@@ -1,0 +1,533 @@
+// The benchmark harness: one benchmark family per experiment of
+// EXPERIMENTS.md, regenerating every quantitative claim of the paper's
+// evaluation (Section 5) plus the ablations of DESIGN.md.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem .
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/apprentice"
+	"repro/internal/asl/parser"
+	"repro/internal/asl/sem"
+	"repro/internal/asl/sqlgen"
+	"repro/internal/core"
+	"repro/internal/earl"
+	"repro/internal/godbc"
+	"repro/internal/model"
+	"repro/internal/paradyn"
+	"repro/internal/sqldb"
+	"repro/internal/sqldb/wire"
+)
+
+// mustGraph simulates and materializes a workload.
+func mustGraph(b *testing.B, w *apprentice.Workload, pes ...int) *model.Graph {
+	b.Helper()
+	ds, err := apprentice.Simulate(w, apprentice.PartitionSweep(pes...), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := model.Build(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func embeddedExecutor(db *sqldb.DB) sqlgen.ExecutorFunc {
+	return func(q string, p *sqldb.Params) (int, error) {
+		res, err := db.Exec(q, p)
+		if err != nil {
+			return 0, err
+		}
+		return res.Affected, nil
+	}
+}
+
+// startServer launches a wire server over a fresh database with the COSY
+// schema created, and returns a connected client.
+func startServer(b *testing.B, profile wire.Profile) (*sqldb.DB, *godbc.Conn) {
+	b.Helper()
+	db := sqldb.NewDB()
+	if err := sqlgen.CreateSchema(model.MustCompileSpec(), embeddedExecutor(db)); err != nil {
+		b.Fatal(err)
+	}
+	srv, err := wire.NewServer(db, profile, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	conn, err := godbc.Dial(srv.Addr())
+	if err != nil {
+		srv.Close()
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		conn.Close()
+		srv.Close()
+	})
+	return db, conn
+}
+
+// connExecutor adapts a godbc connection to the loader interface.
+func connExecutor(c *godbc.Conn) sqlgen.ExecutorFunc {
+	return func(q string, p *sqldb.Params) (int, error) {
+		res, err := c.Exec(q, p)
+		if err != nil {
+			return 0, err
+		}
+		return res.Affected, nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E1 — Figure 1: the ASL grammar. Parsing and checking the full canonical
+// specification (data model + 8 properties).
+// ---------------------------------------------------------------------------
+
+func BenchmarkASLParse(b *testing.B) {
+	b.SetBytes(int64(len(model.SpecSource)))
+	for i := 0; i < b.N; i++ {
+		if _, err := parser.Parse(model.SpecSource); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkASLCheck(b *testing.B) {
+	spec, err := parser.Parse(model.SpecSource)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sem.Check(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E2 — Section 4.2: evaluating the property set over a test run with the
+// object engine (the semantic reference).
+// ---------------------------------------------------------------------------
+
+func BenchmarkPropertyEvaluation(b *testing.B) {
+	g := mustGraph(b, apprentice.Particles(), 2, 8, 32)
+	run := g.Dataset.Versions[0].Runs[2]
+	a := core.New(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := a.AnalyzeObject(run)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Bottleneck() == nil {
+			b.Fatal("no bottleneck")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E3 — Section 5: insertion performance across database configurations.
+// The paper: MS Access (local) ≈ 20× faster than Oracle 7 (networked);
+// MS SQL Server and Postgres ≈ 2× faster than Oracle.
+// ---------------------------------------------------------------------------
+
+func BenchmarkInsertionByBackend(b *testing.B) {
+	world := model.MustCompileSpec()
+	g := mustGraph(b, apprentice.ScaledStencil(3, 3), 2, 8)
+	plan, err := sqlgen.LoadPlan(g.Store)
+	if err != nil {
+		b.Fatal(err)
+	}
+	records := int64(len(plan))
+
+	b.Run("access-embedded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db := sqldb.NewDB()
+			if err := sqlgen.CreateSchema(world, embeddedExecutor(db)); err != nil {
+				b.Fatal(err)
+			}
+			pe := godbc.ProfiledEmbedded{DB: db, Profile: wire.ProfileAccess}
+			exec := sqlgen.ExecutorFunc(func(q string, p *sqldb.Params) (int, error) {
+				res, err := pe.Exec(q, p)
+				return res.Affected, err
+			})
+			if _, err := sqlgen.Load(g.Store, exec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(records)/float64(b.N), "ns/record")
+	})
+	for _, profile := range []wire.Profile{wire.ProfileOracle, wire.ProfileMSSQL, wire.ProfilePostgres} {
+		b.Run(profile.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				_, conn := startServer(b, profile)
+				exec := connExecutor(conn)
+				b.StartTimer()
+				if _, err := sqlgen.Load(g.Store, exec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(records)/float64(b.N), "ns/record")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E4 — Section 5: record-fetch cost. The paper: ≈1 ms per record through
+// JDBC against the Oracle server; JDBC 2–4× slower than C-based access.
+// The godbc row-at-a-time cursor is the JDBC analogue; the batched cursor
+// is JDBC with setFetchSize; the embedded scan is the C-based analogue.
+// ---------------------------------------------------------------------------
+
+func BenchmarkRecordFetch(b *testing.B) {
+	g := mustGraph(b, apprentice.ScaledStencil(4, 4), 2, 8, 32)
+
+	setup := func(b *testing.B, profile wire.Profile) (*sqldb.DB, *godbc.Conn, int64) {
+		db, conn := startServer(b, profile)
+		if _, err := sqlgen.Load(g.Store, embeddedExecutor(db)); err != nil {
+			b.Fatal(err)
+		}
+		res, err := db.Exec("SELECT COUNT(*) FROM TotalTiming", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return db, conn, res.Set.Rows[0][0].Int()
+	}
+
+	b.Run("godbc-row-at-a-time", func(b *testing.B) {
+		_, conn, records := setup(b, wire.ProfileOracle)
+		conn.SetFetchSize(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rows, err := conn.Query("SELECT id, Excl, Incl, Ovhd FROM TotalTiming", nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := int64(0)
+			for rows.Next() {
+				n++
+			}
+			if rows.Err() != nil || n != records {
+				b.Fatalf("fetched %d of %d: %v", n, records, rows.Err())
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(records)/float64(b.N), "ns/record")
+	})
+	b.Run("godbc-batched-100", func(b *testing.B) {
+		_, conn, records := setup(b, wire.ProfileOracle)
+		conn.SetFetchSize(100)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rows, err := conn.Query("SELECT id, Excl, Incl, Ovhd FROM TotalTiming", nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := int64(0)
+			for rows.Next() {
+				n++
+			}
+			if rows.Err() != nil || n != records {
+				b.Fatalf("fetched %d of %d: %v", n, records, rows.Err())
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(records)/float64(b.N), "ns/record")
+	})
+	b.Run("bulk-c-style", func(b *testing.B) {
+		// Single-round-trip array fetch: the "C-based access" the paper
+		// compares JDBC against.
+		_, conn, records := setup(b, wire.ProfileOracle)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			set, err := conn.ExecQuery("SELECT id, Excl, Incl, Ovhd FROM TotalTiming", nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if int64(len(set.Rows)) != records {
+				b.Fatalf("fetched %d of %d", len(set.Rows), records)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(records)/float64(b.N), "ns/record")
+	})
+	b.Run("direct-embedded", func(b *testing.B) {
+		db := sqldb.NewDB()
+		exec := embeddedExecutor(db)
+		if err := sqlgen.CreateSchema(model.MustCompileSpec(), exec); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sqlgen.Load(g.Store, exec); err != nil {
+			b.Fatal(err)
+		}
+		var records int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := db.Exec("SELECT id, Excl, Incl, Ovhd FROM TotalTiming", nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			records = int64(len(res.Set.Rows))
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(records)/float64(b.N), "ns/record")
+	})
+}
+
+// ---------------------------------------------------------------------------
+// E5 — Section 5: where to evaluate property conditions. The paper: pushing
+// the conditions entirely into SQL beats fetching the data components and
+// evaluating in the tool.
+// ---------------------------------------------------------------------------
+
+func BenchmarkEvalPlacement(b *testing.B) {
+	// Database volume dominates the trade-off, as in the paper: the client
+	// path ships every record of every table (the database holds the whole
+	// test-run history), the SQL path ships one query and one result row per
+	// property instance of the single run under analysis.
+	g := mustGraph(b, apprentice.ScaledStencil(6, 6), 2, 4, 8, 16, 32, 64)
+	run := g.Dataset.Versions[0].Runs[5]
+	a := core.New(g)
+
+	b.Run("server-sql", func(b *testing.B) {
+		db, conn := startServer(b, wire.ProfilePostgres)
+		if _, err := sqlgen.Load(g.Store, embeddedExecutor(db)); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := a.AnalyzeSQL(run, conn)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Bottleneck() == nil {
+				b.Fatal("no bottleneck")
+			}
+		}
+	})
+	b.Run("client-fetch-eval-cursor", func(b *testing.B) {
+		// JDBC-style: every record of every table comes over the wire
+		// through a row-at-a-time cursor, then the tool evaluates.
+		db, conn := startServer(b, wire.ProfilePostgres)
+		if _, err := sqlgen.Load(g.Store, embeddedExecutor(db)); err != nil {
+			b.Fatal(err)
+		}
+		conn.SetFetchSize(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := a.AnalyzeClientSide(run, godbc.CursorQuery{Conn: conn})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Bottleneck() == nil {
+				b.Fatal("no bottleneck")
+			}
+		}
+	})
+	b.Run("client-fetch-eval-bulk", func(b *testing.B) {
+		// Best-case client side: whole tables in single round trips.
+		db, conn := startServer(b, wire.ProfilePostgres)
+		if _, err := sqlgen.Load(g.Store, embeddedExecutor(db)); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := a.AnalyzeClientSide(run, conn)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Bottleneck() == nil {
+				b.Fatal("no bottleneck")
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// E6 — Section 3: total-cost analysis across a partition sweep (simulation
+// plus analysis end to end).
+// ---------------------------------------------------------------------------
+
+func BenchmarkScalingSweep(b *testing.B) {
+	for _, pes := range [][]int{{2, 8}, {2, 8, 32}, {2, 8, 32, 128}} {
+		b.Run(fmt.Sprintf("runs=%d", len(pes)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ds, err := apprentice.Simulate(apprentice.Amdahl(), apprentice.PartitionSweep(pes...), 42)
+				if err != nil {
+					b.Fatal(err)
+				}
+				g, err := model.Build(ds)
+				if err != nil {
+					b.Fatal(err)
+				}
+				a := core.New(g)
+				for _, run := range ds.Versions[0].Runs {
+					if _, err := a.AnalyzeObject(run); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// A2 — ablation: specification-driven analysis versus the Paradyn-style
+// fixed bottleneck set.
+// ---------------------------------------------------------------------------
+
+func BenchmarkSpecVsFixed(b *testing.B) {
+	g := mustGraph(b, apprentice.Particles(), 2, 8, 32)
+	run := g.Dataset.Versions[0].Runs[2]
+
+	b.Run("cosy-spec", func(b *testing.B) {
+		a := core.New(g)
+		for i := 0; i < b.N; i++ {
+			if _, err := a.AnalyzeObject(run); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("paradyn-fixed", func(b *testing.B) {
+		cfg := paradyn.DefaultConfig()
+		for i := 0; i < b.N; i++ {
+			if _, err := paradyn.Analyze(g.Dataset.Versions[0], run, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// A3 — ablation: exhaustive evaluation versus the OPAL-style refinement
+// search (evaluate a property only where its parent is a problem).
+// ---------------------------------------------------------------------------
+
+func BenchmarkGuidedVsExhaustive(b *testing.B) {
+	g := mustGraph(b, apprentice.Amdahl(), 2, 8, 32)
+	run := g.Dataset.Versions[0].Runs[2]
+	a := core.New(g)
+
+	b.Run("exhaustive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := a.AnalyzeObject(run); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("guided", func(b *testing.B) {
+		var saved float64
+		for i := 0; i < b.N; i++ {
+			_, stats, err := a.AnalyzeGuided(run, core.DefaultHierarchy())
+			if err != nil {
+				b.Fatal(err)
+			}
+			saved = stats.Savings()
+		}
+		b.ReportMetric(saved*100, "%saved")
+	})
+}
+
+// ---------------------------------------------------------------------------
+// A4 — ablation: trace-based pattern analysis (the EARL approach of the
+// paper's related work) versus summary-based property evaluation on the
+// same execution.
+// ---------------------------------------------------------------------------
+
+func BenchmarkTraceVsSummary(b *testing.B) {
+	w := apprentice.Particles()
+	mach := apprentice.Machine{NoPe: 32, ClockMHz: 450}
+
+	b.Run("trace-generate-and-scan", func(b *testing.B) {
+		var nevents int
+		for i := 0; i < b.N; i++ {
+			tr, err := earl.Generate(w, mach, 42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(earl.BarrierWaits(tr)) == 0 {
+				b.Fatal("no findings")
+			}
+			nevents = tr.Len()
+		}
+		b.ReportMetric(float64(nevents), "events")
+	})
+	b.Run("summary-simulate-and-analyze", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ds, err := apprentice.Simulate(w, []apprentice.Machine{{NoPe: 2, ClockMHz: 450}, mach}, 42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := model.Build(ds)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := core.New(g).AnalyzeObject(ds.Versions[0].Runs[1])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Bottleneck() == nil {
+				b.Fatal("no bottleneck")
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Supporting micro-benchmarks: property compilation and the SQL engine.
+// ---------------------------------------------------------------------------
+
+func BenchmarkCompileProperty(b *testing.B) {
+	world := model.MustCompileSpec()
+	for i := 0; i < b.N; i++ {
+		if _, err := sqlgen.CompileProperty(world, "SublinearSpeedup"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompiledQueryExec(b *testing.B) {
+	g := mustGraph(b, apprentice.Stencil(), 2, 8, 32)
+	db := sqldb.NewDB()
+	exec := embeddedExecutor(db)
+	if err := sqlgen.CreateSchema(g.World, exec); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sqlgen.Load(g.Store, exec); err != nil {
+		b.Fatal(err)
+	}
+	cp, err := sqlgen.CompileProperty(g.World, "SyncCost")
+	if err != nil {
+		b.Fatal(err)
+	}
+	version := g.Dataset.Versions[0]
+	run := g.Runs[version.Runs[2]]
+	var region *model.Region
+	for _, r := range version.AllRegions() {
+		if r.Name == "sweep" {
+			region = r
+		}
+	}
+	basis := g.Regions[version.RootRegion()]
+	params := &sqldb.Params{Named: map[string]sqldb.Value{
+		"r":     sqldb.NewInt(g.Regions[region].ID),
+		"t":     sqldb.NewInt(run.ID),
+		"Basis": sqldb.NewInt(basis.ID),
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.Exec(cp.SQL, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Set.Rows) != 1 {
+			b.Fatal("bad row count")
+		}
+	}
+}

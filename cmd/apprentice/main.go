@@ -1,0 +1,88 @@
+// Command apprentice generates synthetic Cray T3E / MPP Apprentice summary
+// data: it simulates a workload from the library on a sweep of partition
+// sizes and writes the summary file COSY ingests.
+//
+// Usage:
+//
+//	apprentice -workload particles -pes 2,8,32 -seed 42 -o particles.apr
+//	apprentice -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/apprentice"
+)
+
+func main() {
+	workload := flag.String("workload", "stencil2d", "workload name (see -list)")
+	pes := flag.String("pes", "2,4,8,16,32", "comma-separated partition sizes")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	list := flag.Bool("list", false, "list available workloads and exit")
+	scaledFuncs := flag.Int("scaled-funcs", 8, "functions for the 'scaled' workload")
+	scaledLoops := flag.Int("scaled-loops", 6, "loops per function for the 'scaled' workload")
+	flag.Parse()
+
+	lib := apprentice.Library()
+	if *list {
+		names := make([]string, 0, len(lib))
+		for n := range lib {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println("available workloads:", strings.Join(names, ", "), "+ scaled")
+		return
+	}
+
+	var w *apprentice.Workload
+	if *workload == "scaled" {
+		w = apprentice.ScaledStencil(*scaledFuncs, *scaledLoops)
+	} else {
+		var ok bool
+		w, ok = lib[*workload]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "apprentice: unknown workload %q (try -list)\n", *workload)
+			os.Exit(2)
+		}
+	}
+
+	var sizes []int
+	for _, part := range strings.Split(*pes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "apprentice: bad partition size %q\n", part)
+			os.Exit(2)
+		}
+		sizes = append(sizes, n)
+	}
+
+	ds, err := apprentice.Simulate(w, apprentice.PartitionSweep(sizes...), *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := apprentice.WriteSummary(dst, ds); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st := ds.Stats()
+	fmt.Fprintf(os.Stderr, "apprentice: %s: %d runs, %d regions, %d typed timings, %d call sites\n",
+		w.Name, st.Runs, st.Regions, st.TypedTimings, st.CallSites)
+}

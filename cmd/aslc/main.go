@@ -1,0 +1,121 @@
+// Command aslc is the ASL front end: it parses and type-checks an ASL
+// specification and can emit the generated relational schema and the SQL
+// translation of each property — the automation the paper describes as
+// future work.
+//
+// Usage:
+//
+//	aslc spec.asl                  # check only
+//	aslc -emit schema spec.asl     # print generated DDL
+//	aslc -emit sql spec.asl        # print per-property SQL
+//	aslc -emit ast spec.asl        # print the canonicalized specification
+//	aslc -canonical -emit sql      # run on the built-in COSY specification
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/asl/ast"
+	"repro/internal/asl/parser"
+	"repro/internal/asl/sem"
+	"repro/internal/asl/sqlgen"
+	"repro/internal/model"
+)
+
+func main() {
+	emit := flag.String("emit", "", "what to emit: schema, sql, or ast (default: check only)")
+	canonical := flag.Bool("canonical", false, "use the built-in COSY specification instead of a file")
+	flag.Parse()
+
+	var src string
+	switch {
+	case *canonical:
+		src = model.SpecSource
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: aslc [-emit schema|sql|ast] [-canonical] [spec.asl]")
+		os.Exit(2)
+	}
+
+	spec, err := parser.Parse(src)
+	if err != nil {
+		reportErrors(err)
+	}
+	world, err := sem.Check(spec)
+	if err != nil {
+		reportErrors(err)
+	}
+
+	switch *emit {
+	case "":
+		fmt.Printf("ok: %d classes, %d enums, %d functions, %d constants, %d properties\n",
+			len(world.Classes), len(world.Enums), len(world.Funcs), len(world.Consts), len(world.Props))
+	case "ast":
+		fmt.Print(ast.Print(spec))
+	case "schema":
+		ddl, err := sqlgen.Schema(world)
+		if err != nil {
+			fatal(err)
+		}
+		for _, stmt := range ddl {
+			fmt.Println(stmt + ";")
+		}
+	case "sql":
+		compiled, errs := sqlgen.CompileAll(world)
+		names := make([]string, 0, len(compiled))
+		for n := range compiled {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			cp := compiled[n]
+			fmt.Printf("-- property %s(", n)
+			for i, p := range cp.Params {
+				if i > 0 {
+					fmt.Print(", ")
+				}
+				fmt.Printf("%s %s", p.Type, p.Name)
+			}
+			fmt.Printf(")\n%s;\n\n", cp.SQL)
+		}
+		errNames := make([]string, 0, len(errs))
+		for n := range errs {
+			errNames = append(errNames, n)
+		}
+		sort.Strings(errNames)
+		for _, n := range errNames {
+			fmt.Printf("-- property %s: not translatable: %v\n", n, errs[n])
+		}
+	default:
+		fatal(fmt.Errorf("aslc: unknown -emit mode %q", *emit))
+	}
+}
+
+func reportErrors(err error) {
+	switch list := err.(type) {
+	case parser.ErrorList:
+		for _, e := range list {
+			fmt.Fprintln(os.Stderr, e)
+		}
+	case sem.ErrorList:
+		for _, e := range list {
+			fmt.Fprintln(os.Stderr, e)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, err)
+	}
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

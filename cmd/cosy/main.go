@@ -1,0 +1,146 @@
+// Command cosy is the KOJAK Cost Analyzer: it ingests an Apprentice summary
+// file (or simulates a library workload directly), evaluates the ASL
+// performance properties for a selected test run, and prints the severity
+// ranking, the performance problems, and the bottleneck.
+//
+// Usage:
+//
+//	cosy -in particles.apr -nope 32
+//	cosy -workload particles -nope 32 -engine sql
+//	cosy -workload particles -nope 32 -baseline      (Paradyn-style fixed set)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apprentice"
+	"repro/internal/asl/sqlgen"
+	"repro/internal/core"
+	"repro/internal/godbc"
+	"repro/internal/model"
+	"repro/internal/paradyn"
+	"repro/internal/sqldb"
+)
+
+func main() {
+	in := flag.String("in", "", "Apprentice summary file (overrides -workload)")
+	workload := flag.String("workload", "stencil2d", "library workload to simulate when no -in file is given")
+	nope := flag.Int("nope", 0, "test run to analyze, by processor count (default: largest)")
+	engine := flag.String("engine", "object", "evaluation engine: object, sql, or client")
+	threshold := flag.Float64("threshold", core.DefaultThreshold, "performance-problem severity threshold")
+	imbalance := flag.Float64("imbalance-threshold", 0, "override ImbalanceThreshold (0 keeps the spec value)")
+	baseline := flag.Bool("baseline", false, "run the Paradyn-style fixed bottleneck baseline instead")
+	guided := flag.Bool("guided", false, "use the refinement-driven search instead of exhaustive evaluation")
+	flag.Parse()
+
+	ds, err := loadDataset(*in, *workload)
+	if err != nil {
+		fatal(err)
+	}
+	version := ds.Versions[0]
+	run := pickRun(version, *nope)
+	if run == nil {
+		fatal(fmt.Errorf("cosy: no test run with %d PEs", *nope))
+	}
+
+	if *baseline {
+		findings, err := paradyn.Analyze(version, run, paradyn.DefaultConfig())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(paradyn.Render(findings))
+		return
+	}
+
+	g, err := model.Build(ds)
+	if err != nil {
+		fatal(err)
+	}
+	opts := []core.Option{core.WithThreshold(*threshold)}
+	if *imbalance > 0 {
+		opts = append(opts, core.WithConst("ImbalanceThreshold", *imbalance))
+	}
+	analyzer := core.New(g, opts...)
+
+	if *guided {
+		report, stats, err := analyzer.AnalyzeGuided(run, core.DefaultHierarchy())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(report.Render())
+		fmt.Printf("refinement search: evaluated %d of %d instances (%.0f%% saved)\n",
+			stats.Evaluated, stats.Exhaustive, stats.Savings()*100)
+		return
+	}
+
+	var report *core.Report
+	switch *engine {
+	case "object":
+		report, err = analyzer.AnalyzeObject(run)
+	case "sql", "client":
+		db := sqldb.NewDB()
+		exec := sqlgen.ExecutorFunc(func(q string, p *sqldb.Params) (int, error) {
+			res, err := db.Exec(q, p)
+			if err != nil {
+				return 0, err
+			}
+			return res.Affected, nil
+		})
+		if err = sqlgen.CreateSchema(g.World, exec); err != nil {
+			fatal(err)
+		}
+		if _, err = sqlgen.Load(g.Store, exec); err != nil {
+			fatal(err)
+		}
+		if *engine == "sql" {
+			report, err = analyzer.AnalyzeSQL(run, godbc.Embedded{DB: db})
+		} else {
+			report, err = analyzer.AnalyzeClientSide(run, godbc.Embedded{DB: db})
+		}
+	default:
+		fatal(fmt.Errorf("cosy: unknown engine %q", *engine))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(report.Render())
+}
+
+func loadDataset(in, workload string) (*model.Dataset, error) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return apprentice.ReadSummary(f)
+	}
+	w, ok := apprentice.Library()[workload]
+	if !ok {
+		return nil, fmt.Errorf("cosy: unknown workload %q", workload)
+	}
+	return apprentice.Simulate(w, apprentice.PartitionSweep(2, 4, 8, 16, 32), 42)
+}
+
+func pickRun(v *model.Version, nope int) *model.TestRun {
+	var best *model.TestRun
+	for _, r := range v.Runs {
+		if nope > 0 {
+			if r.NoPe == nope {
+				return r
+			}
+			continue
+		}
+		if best == nil || r.NoPe > best.NoPe {
+			best = r
+		}
+	}
+	return best
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

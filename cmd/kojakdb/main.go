@@ -1,0 +1,80 @@
+// Command kojakdb runs a standalone COSY database server speaking the wire
+// protocol, with a selectable vendor performance profile. It optionally
+// pre-creates the COSY schema so clients can start inserting immediately.
+//
+// Usage:
+//
+//	kojakdb -addr 127.0.0.1:7070 -profile oracle7 -schema
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"repro/internal/asl/sqlgen"
+	"repro/internal/model"
+	"repro/internal/sqldb"
+	"repro/internal/sqldb/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	profileName := flag.String("profile", "fast", "vendor profile: fast, oracle7, mssql, postgres")
+	schema := flag.Bool("schema", false, "pre-create the COSY schema")
+	verbose := flag.Bool("v", false, "log connection errors")
+	flag.Parse()
+
+	var profile wire.Profile
+	switch *profileName {
+	case "fast":
+		profile = wire.ProfileFast
+	case "oracle7":
+		profile = wire.ProfileOracle
+	case "mssql":
+		profile = wire.ProfileMSSQL
+	case "postgres":
+		profile = wire.ProfilePostgres
+	default:
+		fmt.Fprintf(os.Stderr, "kojakdb: unknown profile %q\n", *profileName)
+		os.Exit(2)
+	}
+
+	db := sqldb.NewDB()
+	if *schema {
+		world := model.MustCompileSpec()
+		exec := sqlgen.ExecutorFunc(func(q string, p *sqldb.Params) (int, error) {
+			res, err := db.Exec(q, p)
+			if err != nil {
+				return 0, err
+			}
+			return res.Affected, nil
+		})
+		if err := sqlgen.CreateSchema(world, exec); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var logger *log.Logger
+	if *verbose {
+		logger = log.New(os.Stderr, "kojakdb: ", log.LstdFlags)
+	}
+	srv, err := wire.NewServer(db, profile, logger)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Listen(*addr); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kojakdb: serving on %s (profile %s, schema=%v)\n", srv.Addr(), profile, *schema)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("kojakdb: shutting down")
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

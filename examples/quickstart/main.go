@@ -1,0 +1,44 @@
+// Quickstart: simulate a parallel application, run the COSY analyzer, and
+// print the ranked performance properties — the complete KOJAK pipeline in
+// thirty lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apprentice"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+func main() {
+	// 1. "Run" the application on 2..32 processors of the simulated T3E and
+	//    collect Apprentice summary data.
+	workload := apprentice.Stencil()
+	dataset, err := apprentice.Simulate(workload, apprentice.PartitionSweep(2, 8, 32), 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Materialize the data as an ASL object graph (the COSY database
+	//    contents).
+	graph, err := model.Build(dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Analyze the 32-PE run: evaluate every ASL property, rank by
+	//    severity, report problems and the bottleneck.
+	analyzer := core.New(graph)
+	run := dataset.Versions[0].Runs[len(dataset.Versions[0].Runs)-1]
+	report, err := analyzer.AnalyzeObject(run)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report.Render())
+
+	if bn := report.Bottleneck(); bn != nil && bn.Severity <= report.Threshold {
+		fmt.Println("the bottleneck is below the problem threshold; no tuning needed")
+	}
+}

@@ -1,0 +1,65 @@
+// Scaling study: reproduce the paper's total-cost computation (Section 3)
+// across a partition sweep. COSY's main property is the total cost of a
+// test run — the cycles lost against the run with the fewest processors —
+// and this example prints how each workload's cost decomposes into
+// measured overhead categories as the partition grows.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/apprentice"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+func main() {
+	pes := []int{2, 4, 8, 16, 32, 64, 128}
+	lib := apprentice.Library()
+	names := make([]string, 0, len(lib))
+	for n := range lib {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		dataset, err := apprentice.Simulate(lib[name], apprentice.PartitionSweep(pes...), 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		graph, err := model.Build(dataset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		analyzer := core.New(graph)
+
+		fmt.Printf("\n%s — severity of whole-program properties vs partition size\n", name)
+		fmt.Printf("%6s %18s %14s %16s %10s %10s\n", "NoPe", "SublinearSpeedup", "MeasuredCost", "UnmeasuredCost", "SyncCost", "CommCost")
+		for _, run := range dataset.Versions[0].Runs[1:] {
+			rep, err := analyzer.AnalyzeObject(run)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row := map[string]float64{}
+			for _, in := range rep.Instances {
+				if in.Context == "region main" {
+					if _, seen := row[in.Property]; !seen {
+						row[in.Property] = in.Severity
+					}
+				}
+				// Sync/communication problems usually sit in inner regions;
+				// take the maximum over regions as the workload-level signal.
+				for _, p := range []string{"SyncCost", "CommunicationCost"} {
+					if in.Property == p && in.Severity > row[p] {
+						row[p] = in.Severity
+					}
+				}
+			}
+			fmt.Printf("%6d %18.4f %14.4f %16.4f %10.4f %10.4f\n", run.NoPe,
+				row["SublinearSpeedup"], row["MeasuredCost"], row["UnmeasuredCost"],
+				row["SyncCost"], row["CommunicationCost"])
+		}
+	}
+}

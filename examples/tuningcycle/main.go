@@ -1,0 +1,82 @@
+// Tuning cycle: the workflow the COSY database design exists for — keep
+// several versions of an application with their test runs, and check after
+// each tuning step whether the bottleneck actually moved. Here version 1 is
+// the imbalanced particle code; "the programmer" then fixes the
+// decomposition (version 2, imbalance down from 45% to 5%), and COSY's
+// report comparison shows the synchronization problem collapsing and the
+// next bottleneck surfacing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apprentice"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+func main() {
+	repo := core.NewRepository()
+
+	// Version 1: the code as measured.
+	v1, err := apprentice.Simulate(apprentice.Particles(), apprentice.PartitionSweep(2, 8, 32), 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := repo.Add(v1); err != nil {
+		log.Fatal(err)
+	}
+
+	// Version 2: the tuned decomposition. Same program structure, the
+	// forces loop imbalance reduced by an order of magnitude.
+	tuned := apprentice.Particles()
+	tuned.Name = "particles-v2"
+	var fix func(rs []*apprentice.RegionSpec)
+	fix = func(rs []*apprentice.RegionSpec) {
+		for _, r := range rs {
+			if r.Name == "forces" {
+				r.Imbalance = 0.05
+			}
+			fix(r.Children)
+		}
+	}
+	for _, f := range tuned.Funcs {
+		fix(f.Regions)
+	}
+	v2, err := apprentice.Simulate(tuned, apprentice.PartitionSweep(2, 8, 32), 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := repo.Add(v2); err != nil {
+		log.Fatal(err)
+	}
+
+	analyze := func(program string, ds *model.Dataset) *core.Report {
+		a, err := repo.Analyzer(program)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := a.AnalyzeObject(ds.Versions[0].Runs[2])
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep
+	}
+	before := analyze("particles", v1)
+	after := analyze("particles-v2", v2)
+
+	fmt.Println("=== version 1 (imbalanced) ===")
+	fmt.Print(before.Render())
+	fmt.Println("\n=== version 2 (tuned decomposition) ===")
+	fmt.Print(after.Render())
+
+	fmt.Println("\n=== severity deltas (version 2 minus version 1) ===")
+	fmt.Print(core.RenderDeltas(core.CompareReports(before, after)))
+
+	b1, b2 := before.Bottleneck(), after.Bottleneck()
+	if b1 != nil && b2 != nil {
+		fmt.Printf("\nbottleneck moved: %s at %s (%.3f) -> %s at %s (%.3f)\n",
+			b1.Property, b1.Context, b1.Severity, b2.Property, b2.Context, b2.Severity)
+	}
+}

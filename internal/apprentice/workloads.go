@@ -1,0 +1,287 @@
+package apprentice
+
+import "repro/internal/model"
+
+// The workload library: the synthetic applications used by the benchmark
+// harness and examples. Each seeds a different dominant bottleneck so the
+// COSY properties have distinct, predictable rankings.
+
+// Stencil returns a well-balanced 5-point stencil sweep: dominant cost is
+// nearest-neighbour communication, with a light barrier per iteration.
+// Expected ranking: CommunicationCost > SyncCost.
+func Stencil() *Workload {
+	return &Workload{
+		Name:  "stencil2d",
+		Noise: 0.01,
+		Funcs: []*FuncSpec{
+			{
+				Name: "main",
+				Regions: []*RegionSpec{{
+					Name: "main", Kind: model.KindProgram,
+					SerialWork: 0.05,
+					Children: []*RegionSpec{
+						{
+							Name: "init", Kind: model.KindLoop,
+							ParallelWork: 2.0,
+							Overheads: map[model.TimingType]OverheadSpec{
+								model.Startup: {PerPe: 0.002},
+							},
+						},
+						{
+							Name: "iterate", Kind: model.KindLoop,
+							Children: []*RegionSpec{
+								{
+									Name: "sweep", Kind: model.KindLoop,
+									ParallelWork: 24.0, Imbalance: 0.03, SyncAfter: true,
+								},
+								{
+									Name: "exchange", Kind: model.KindBasicBlock,
+									Overheads: map[model.TimingType]OverheadSpec{
+										model.Send:       {PerPe: 0.010, Log2Pe: 0.004},
+										model.Receive:    {PerPe: 0.010, Log2Pe: 0.004},
+										model.PackUnpack: {PerPe: 0.002},
+									},
+									Calls: []CallSpec{
+										{Callee: "mpi_send", CallsPerPe: 400, TimePerCall: 2.5e-5},
+										{Callee: "mpi_recv", CallsPerPe: 400, TimePerCall: 2.5e-5},
+									},
+								},
+								{
+									Name: "residual", Kind: model.KindBasicBlock,
+									ParallelWork: 2.0,
+									Overheads: map[model.TimingType]OverheadSpec{
+										model.Reduce: {Log2Pe: 0.006},
+									},
+									SyncAfter: true,
+								},
+							},
+						},
+					},
+				}},
+			},
+		},
+	}
+}
+
+// Particles returns a strongly load-imbalanced particle simulation: the
+// spatial decomposition concentrates particles on low-numbered processors.
+// Expected ranking: SyncCost and LoadImbalance dominate.
+func Particles() *Workload {
+	return &Workload{
+		Name:  "particles",
+		Noise: 0.01,
+		Funcs: []*FuncSpec{
+			{
+				Name: "main",
+				Regions: []*RegionSpec{{
+					Name: "main", Kind: model.KindProgram,
+					SerialWork: 0.05,
+					Children: []*RegionSpec{
+						{
+							Name: "decompose", Kind: model.KindSubprogram,
+							SerialWork: 0.4,
+						},
+						{
+							Name: "step", Kind: model.KindLoop,
+							Children: []*RegionSpec{
+								{
+									Name: "forces", Kind: model.KindLoop,
+									ParallelWork: 30.0, Imbalance: 0.45, SyncAfter: true,
+								},
+								{
+									Name: "migrate", Kind: model.KindBasicBlock,
+									Overheads: map[model.TimingType]OverheadSpec{
+										model.Send:    {PerPe: 0.004},
+										model.Receive: {PerPe: 0.004},
+									},
+								},
+							},
+						},
+					},
+				}},
+			},
+		},
+	}
+}
+
+// IOBound returns a checkpoint-heavy workload where every processor funnels
+// output through the I/O subsystem. Expected ranking: IOCost dominates.
+func IOBound() *Workload {
+	return &Workload{
+		Name:  "checkpointer",
+		Noise: 0.01,
+		Funcs: []*FuncSpec{
+			{
+				Name: "main",
+				Regions: []*RegionSpec{{
+					Name: "main", Kind: model.KindProgram,
+					Children: []*RegionSpec{
+						{
+							Name: "compute", Kind: model.KindLoop,
+							ParallelWork: 12.0, Imbalance: 0.02, SyncAfter: true,
+						},
+						{
+							Name: "checkpoint", Kind: model.KindSubprogram,
+							Overheads: map[model.TimingType]OverheadSpec{
+								model.IOOpen:  {PerPe: 0.003},
+								model.IOWrite: {PerPe: 0.050, LinearPe: 0.002},
+								model.IOWait:  {LinearPe: 0.004},
+								model.IOClose: {PerPe: 0.002},
+							},
+							Calls: []CallSpec{
+								{Callee: "write_restart", CallsPerPe: 12, TimePerCall: 6e-3},
+							},
+						},
+					},
+				}},
+			},
+		},
+	}
+}
+
+// AllToAll returns a transpose-style workload with quadratic communication
+// volume. Expected ranking: CommunicationCost dominates and grows with the
+// partition size.
+func AllToAll() *Workload {
+	return &Workload{
+		Name:  "fft3d",
+		Noise: 0.01,
+		Funcs: []*FuncSpec{
+			{
+				Name: "main",
+				Regions: []*RegionSpec{{
+					Name: "main", Kind: model.KindProgram,
+					Children: []*RegionSpec{
+						{
+							Name: "fftpass", Kind: model.KindLoop,
+							ParallelWork: 16.0, SyncAfter: true,
+						},
+						{
+							Name: "transpose", Kind: model.KindBasicBlock,
+							Overheads: map[model.TimingType]OverheadSpec{
+								model.AllToAll:   {LinearPe: 0.012},
+								model.BufferCopy: {PerPe: 0.008},
+							},
+						},
+					},
+				}},
+			},
+		},
+	}
+}
+
+// Amdahl returns a workload with a large replicated serial section, the
+// classic sublinear-speedup shape: total cost grows linearly with the
+// partition while measured overhead stays small (UnmeasuredCost dominates).
+func Amdahl() *Workload {
+	return &Workload{
+		Name:  "amdahl",
+		Noise: 0.01,
+		Funcs: []*FuncSpec{
+			{
+				Name: "main",
+				Regions: []*RegionSpec{{
+					Name: "main", Kind: model.KindProgram,
+					Children: []*RegionSpec{
+						{
+							Name: "serial_setup", Kind: model.KindSubprogram,
+							SerialWork: 6.0,
+						},
+						{
+							Name: "parallel_core", Kind: model.KindLoop,
+							ParallelWork: 20.0, Imbalance: 0.02, SyncAfter: true,
+						},
+					},
+				}},
+			},
+		},
+	}
+}
+
+// FineGrained returns a workload dominated by very frequent tiny calls, the
+// signal for the FrequentFineGrainedCalls property (and Paradyn's
+// TooManySmallIOOps analogue).
+func FineGrained() *Workload {
+	return &Workload{
+		Name:  "finegrained",
+		Noise: 0.01,
+		Funcs: []*FuncSpec{
+			{
+				Name: "main",
+				Regions: []*RegionSpec{{
+					Name: "main", Kind: model.KindProgram,
+					Children: []*RegionSpec{
+						{
+							Name: "work", Kind: model.KindLoop,
+							ParallelWork: 4.0, SyncAfter: true,
+							Overheads: map[model.TimingType]OverheadSpec{
+								model.RuntimeSystem: {PerPe: 0.100},
+							},
+							Calls: []CallSpec{
+								{Callee: "get_cell", CallsPerPe: 300000, TimePerCall: 3e-6},
+								{Callee: "put_cell", CallsPerPe: 300000, TimePerCall: 3e-6},
+							},
+						},
+					},
+				}},
+			},
+		},
+	}
+}
+
+// Library returns all standard workloads keyed by name.
+func Library() map[string]*Workload {
+	lib := make(map[string]*Workload)
+	for _, w := range []*Workload{Stencil(), Particles(), IOBound(), AllToAll(), Amdahl(), FineGrained()} {
+		lib[w.Name] = w
+	}
+	return lib
+}
+
+// ScaledStencil returns a stencil workload whose region tree is widened to
+// produce datasets of controllable size: nfuncs functions, each with nloops
+// instrumented loops. It is used by the database benchmarks, where dataset
+// volume (not bottleneck structure) is the variable.
+func ScaledStencil(nfuncs, nloops int) *Workload {
+	w := &Workload{Name: "scaled", Noise: 0.01}
+	main := &FuncSpec{Name: "main", Regions: []*RegionSpec{{
+		Name: "main", Kind: model.KindProgram, SerialWork: 0.01,
+	}}}
+	w.Funcs = append(w.Funcs, main)
+	for f := 0; f < nfuncs; f++ {
+		fs := &FuncSpec{Name: fname(f)}
+		root := &RegionSpec{Name: fname(f) + "_body", Kind: model.KindSubprogram}
+		for l := 0; l < nloops; l++ {
+			root.Children = append(root.Children, &RegionSpec{
+				Name: fname(f) + "_loop" + itoa(l), Kind: model.KindLoop,
+				ParallelWork: 0.5, Imbalance: 0.05, SyncAfter: l%2 == 0,
+				Overheads: map[model.TimingType]OverheadSpec{
+					model.Send:    {PerPe: 0.001},
+					model.Receive: {PerPe: 0.001},
+				},
+				Calls: []CallSpec{
+					{Callee: "kernel" + itoa(l%4), CallsPerPe: 100, TimePerCall: 1e-5},
+				},
+			})
+		}
+		fs.Regions = append(fs.Regions, root)
+		w.Funcs = append(w.Funcs, fs)
+	}
+	return w
+}
+
+func fname(i int) string { return "sub" + itoa(i) }
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}

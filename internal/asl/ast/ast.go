@@ -1,0 +1,447 @@
+// Package ast defines the abstract syntax tree for the APART Specification
+// Language: the object-oriented data-model declarations of Section 4.1 of the
+// paper and the property-specification grammar of Figure 1.
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asl/token"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() token.Pos
+}
+
+// ---------------------------------------------------------------------------
+// Types
+// ---------------------------------------------------------------------------
+
+// TypeRef is a syntactic type reference: a named type optionally wrapped in
+// one or more "setof" constructors ("setof TotalTiming" has SetDepth 1).
+type TypeRef struct {
+	NamePos  token.Pos
+	Name     string // int, float, String, Bool, DateTime, or a class/enum name
+	SetDepth int    // number of "setof" wrappers
+}
+
+// Pos returns the position of the type name.
+func (t TypeRef) Pos() token.Pos { return t.NamePos }
+
+// String renders the type reference in source form.
+func (t TypeRef) String() string {
+	return strings.Repeat("setof ", t.SetDepth) + t.Name
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+// Spec is a complete ASL specification document: a data-model section and a
+// property section, in source order.
+type Spec struct {
+	Decls []Decl
+}
+
+// Classes returns the class declarations in source order.
+func (s *Spec) Classes() []*ClassDecl {
+	var out []*ClassDecl
+	for _, d := range s.Decls {
+		if c, ok := d.(*ClassDecl); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Enums returns the enum declarations in source order.
+func (s *Spec) Enums() []*EnumDecl {
+	var out []*EnumDecl
+	for _, d := range s.Decls {
+		if e, ok := d.(*EnumDecl); ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Funcs returns the function declarations in source order.
+func (s *Spec) Funcs() []*FuncDecl {
+	var out []*FuncDecl
+	for _, d := range s.Decls {
+		if f, ok := d.(*FuncDecl); ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Properties returns the property declarations in source order.
+func (s *Spec) Properties() []*PropertyDecl {
+	var out []*PropertyDecl
+	for _, d := range s.Decls {
+		if p, ok := d.(*PropertyDecl); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Consts returns the constant declarations in source order.
+func (s *Spec) Consts() []*ConstDecl {
+	var out []*ConstDecl
+	for _, d := range s.Decls {
+		if c, ok := d.(*ConstDecl); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Decl is a top-level declaration.
+type Decl interface {
+	Node
+	decl()
+	// DeclName returns the declared name.
+	DeclName() string
+}
+
+// Attr is an attribute inside a class declaration.
+type Attr struct {
+	Type TypeRef
+	Name string
+}
+
+// ClassDecl is "class Name [extends Base] { attrs }".
+type ClassDecl struct {
+	ClassPos token.Pos
+	Name     string
+	Extends  string // empty if no base class
+	Attrs    []Attr
+}
+
+func (d *ClassDecl) decl()            {}
+func (d *ClassDecl) Pos() token.Pos   { return d.ClassPos }
+func (d *ClassDecl) DeclName() string { return d.Name }
+
+// Attr returns the attribute with the given name declared directly on this
+// class, or nil.
+func (d *ClassDecl) Attr(name string) *Attr {
+	for i := range d.Attrs {
+		if d.Attrs[i].Name == name {
+			return &d.Attrs[i]
+		}
+	}
+	return nil
+}
+
+// EnumDecl is "enum Name { A, B, C }".
+type EnumDecl struct {
+	EnumPos token.Pos
+	Name    string
+	Members []string
+}
+
+func (d *EnumDecl) decl()            {}
+func (d *EnumDecl) Pos() token.Pos   { return d.EnumPos }
+func (d *EnumDecl) DeclName() string { return d.Name }
+
+// Param is a formal parameter of a function or property.
+type Param struct {
+	Type TypeRef
+	Name string
+}
+
+// FuncDecl is "RetType Name(params) = expr;" — the ASL auxiliary-function
+// form used by the paper's Summary and Duration helpers.
+type FuncDecl struct {
+	RetType TypeRef
+	Name    string
+	Params  []Param
+	Body    Expr
+}
+
+func (d *FuncDecl) decl()            {}
+func (d *FuncDecl) Pos() token.Pos   { return d.RetType.Pos() }
+func (d *FuncDecl) DeclName() string { return d.Name }
+
+// ConstDecl is "Type Name = expr;" at top level with no parameter list, e.g.
+// the ImbalanceThreshold the LoadImbalance property refers to.
+type ConstDecl struct {
+	Type  TypeRef
+	Name  string
+	Value Expr
+}
+
+func (d *ConstDecl) decl()            {}
+func (d *ConstDecl) Pos() token.Pos   { return d.Type.Pos() }
+func (d *ConstDecl) DeclName() string { return d.Name }
+
+// LetDef is one "Type Name = expr;" binding inside a LET ... IN block.
+type LetDef struct {
+	Type  TypeRef
+	Name  string
+	Value Expr
+}
+
+// Condition is one alternative of the CONDITION clause, optionally labeled
+// with a condition identifier: "(cid) bool-expr".
+type Condition struct {
+	Label string // empty if unlabeled
+	Expr  Expr
+}
+
+// Guarded is one entry of a CONFIDENCE or SEVERITY list, optionally guarded
+// by a condition identifier: "(cid) -> arith-expr".
+type Guarded struct {
+	Guard string // empty if unguarded
+	Expr  Expr
+}
+
+// PropertyDecl is the Figure-1 property production.
+type PropertyDecl struct {
+	PropPos    token.Pos
+	Name       string
+	Params     []Param
+	Lets       []LetDef
+	Conditions []Condition
+	// Confidence and Severity hold the (possibly singleton) lists; IsMax
+	// records whether the source used the MAX(...) form.
+	Confidence    []Guarded
+	ConfidenceMax bool
+	Severity      []Guarded
+	SeverityMax   bool
+}
+
+func (d *PropertyDecl) decl()            {}
+func (d *PropertyDecl) Pos() token.Pos   { return d.PropPos }
+func (d *PropertyDecl) DeclName() string { return d.Name }
+
+// ConditionByLabel returns the labeled condition, or nil.
+func (d *PropertyDecl) ConditionByLabel(label string) *Condition {
+	for i := range d.Conditions {
+		if d.Conditions[i].Label == label {
+			return &d.Conditions[i]
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+// Expr is an ASL expression.
+type Expr interface {
+	Node
+	expr()
+}
+
+// Ident is a variable, parameter, constant, or enum-member reference.
+type Ident struct {
+	IdentPos token.Pos
+	Name     string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	LitPos token.Pos
+	Value  int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	LitPos token.Pos
+	Value  float64
+}
+
+// StringLit is a string literal.
+type StringLit struct {
+	LitPos token.Pos
+	Value  string
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	LitPos token.Pos
+	Value  bool
+}
+
+// NullLit is the null object reference.
+type NullLit struct {
+	LitPos token.Pos
+}
+
+// DateTimeLit is an @...@ timestamp literal; Value is seconds since epoch.
+type DateTimeLit struct {
+	LitPos token.Pos
+	Raw    string
+	Value  int64
+}
+
+// Binary is a binary operation; Op is one of the arithmetic, comparison, or
+// logical operator kinds.
+type Binary struct {
+	Op   token.Kind
+	L, R Expr
+}
+
+// Unary is unary minus or logical NOT.
+type Unary struct {
+	OpPos token.Pos
+	Op    token.Kind
+	X     Expr
+}
+
+// Member is attribute access "X.Name".
+type Member struct {
+	X    Expr
+	Name string
+}
+
+// Call is a call of a user-declared ASL function.
+type Call struct {
+	CallPos token.Pos
+	Name    string
+	Args    []Expr
+}
+
+// AggKind distinguishes the built-in aggregate operators.
+type AggKind int
+
+// Aggregate operators.
+const (
+	AggSum AggKind = iota
+	AggMin
+	AggMax
+	AggAvg
+	AggCount
+)
+
+// String returns the source spelling of the aggregate.
+func (k AggKind) String() string {
+	switch k {
+	case AggSum:
+		return "SUM"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggAvg:
+		return "AVG"
+	case AggCount:
+		return "COUNT"
+	}
+	return fmt.Sprintf("AggKind(%d)", int(k))
+}
+
+// Agg is a quantified aggregate in the paper's WHERE-binder form:
+//
+//	SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run==t AND tt.Type==Barrier)
+//	MIN(s.Run.NoPe WHERE s IN r.TotTimes)
+//
+// Value is evaluated once per element bound to Binder drawn from Source, with
+// the conjunction Conds filtering elements. If Binder is empty the aggregate
+// ranges directly over the (numeric or object) set denoted by Value, e.g.
+// MAX(someSet).
+type Agg struct {
+	AggPos token.Pos
+	Kind   AggKind
+	Value  Expr
+	Binder string
+	Source Expr
+	Conds  []Expr
+}
+
+// NAry is MAX/MIN over an explicit scalar argument list: MAX(a, b, c).
+type NAry struct {
+	AggPos token.Pos
+	Kind   AggKind
+	Args   []Expr
+}
+
+// Unique is UNIQUE(setExpr): the sole member of a singleton set.
+type Unique struct {
+	UPos token.Pos
+	Set  Expr
+}
+
+// SetCompr is the set comprehension "{x IN source WITH cond}".
+type SetCompr struct {
+	LBracePos token.Pos
+	Var       string
+	Source    Expr
+	Cond      Expr // nil means no WITH clause (copy of the source set)
+}
+
+func (e *Ident) expr()       {}
+func (e *IntLit) expr()      {}
+func (e *FloatLit) expr()    {}
+func (e *StringLit) expr()   {}
+func (e *BoolLit) expr()     {}
+func (e *NullLit) expr()     {}
+func (e *DateTimeLit) expr() {}
+func (e *Binary) expr()      {}
+func (e *Unary) expr()       {}
+func (e *Member) expr()      {}
+func (e *Call) expr()        {}
+func (e *Agg) expr()         {}
+func (e *NAry) expr()        {}
+func (e *Unique) expr()      {}
+func (e *SetCompr) expr()    {}
+
+// Pos implementations.
+func (e *Ident) Pos() token.Pos       { return e.IdentPos }
+func (e *IntLit) Pos() token.Pos      { return e.LitPos }
+func (e *FloatLit) Pos() token.Pos    { return e.LitPos }
+func (e *StringLit) Pos() token.Pos   { return e.LitPos }
+func (e *BoolLit) Pos() token.Pos     { return e.LitPos }
+func (e *NullLit) Pos() token.Pos     { return e.LitPos }
+func (e *DateTimeLit) Pos() token.Pos { return e.LitPos }
+func (e *Binary) Pos() token.Pos      { return e.L.Pos() }
+func (e *Unary) Pos() token.Pos       { return e.OpPos }
+func (e *Member) Pos() token.Pos      { return e.X.Pos() }
+func (e *Call) Pos() token.Pos        { return e.CallPos }
+func (e *Agg) Pos() token.Pos         { return e.AggPos }
+func (e *NAry) Pos() token.Pos        { return e.AggPos }
+func (e *Unique) Pos() token.Pos      { return e.UPos }
+func (e *SetCompr) Pos() token.Pos    { return e.LBracePos }
+
+// Walk calls fn for node and every expression reachable from it, pre-order.
+// It descends only through expressions; declarations are walked by WalkDecl.
+func Walk(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *Binary:
+		Walk(x.L, fn)
+		Walk(x.R, fn)
+	case *Unary:
+		Walk(x.X, fn)
+	case *Member:
+		Walk(x.X, fn)
+	case *Call:
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+	case *Agg:
+		Walk(x.Value, fn)
+		Walk(x.Source, fn)
+		for _, c := range x.Conds {
+			Walk(c, fn)
+		}
+	case *NAry:
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+	case *Unique:
+		Walk(x.Set, fn)
+	case *SetCompr:
+		Walk(x.Source, fn)
+		Walk(x.Cond, fn)
+	}
+}

@@ -1,0 +1,171 @@
+package ast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/asl/token"
+)
+
+// Print renders a specification back to canonical ASL source. The output
+// round-trips through the parser (used by the golden grammar tests).
+func Print(s *Spec) string {
+	var b strings.Builder
+	for i, d := range s.Decls {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		printDecl(&b, d)
+	}
+	return b.String()
+}
+
+func printDecl(b *strings.Builder, d Decl) {
+	switch x := d.(type) {
+	case *ClassDecl:
+		fmt.Fprintf(b, "class %s", x.Name)
+		if x.Extends != "" {
+			fmt.Fprintf(b, " extends %s", x.Extends)
+		}
+		b.WriteString(" {\n")
+		for _, a := range x.Attrs {
+			fmt.Fprintf(b, "  %s %s;\n", a.Type, a.Name)
+		}
+		b.WriteString("}\n")
+	case *EnumDecl:
+		fmt.Fprintf(b, "enum %s { %s }\n", x.Name, strings.Join(x.Members, ", "))
+	case *FuncDecl:
+		fmt.Fprintf(b, "%s %s(%s) = %s;\n", x.RetType, x.Name, printParams(x.Params), ExprString(x.Body))
+	case *ConstDecl:
+		fmt.Fprintf(b, "%s %s = %s;\n", x.Type, x.Name, ExprString(x.Value))
+	case *PropertyDecl:
+		fmt.Fprintf(b, "property %s(%s) {\n", x.Name, printParams(x.Params))
+		if len(x.Lets) > 0 {
+			b.WriteString("  LET\n")
+			for _, l := range x.Lets {
+				fmt.Fprintf(b, "    %s %s = %s;\n", l.Type, l.Name, ExprString(l.Value))
+			}
+			b.WriteString("  IN\n")
+		}
+		b.WriteString("  CONDITION: ")
+		for i, c := range x.Conditions {
+			if i > 0 {
+				b.WriteString(" OR ")
+			}
+			if c.Label != "" {
+				fmt.Fprintf(b, "(%s) ", c.Label)
+			}
+			b.WriteString(ExprString(c.Expr))
+		}
+		b.WriteString(";\n")
+		printGuardedClause(b, "CONFIDENCE", x.Confidence, x.ConfidenceMax)
+		printGuardedClause(b, "SEVERITY", x.Severity, x.SeverityMax)
+		b.WriteString("}\n")
+	}
+}
+
+func printGuardedClause(b *strings.Builder, kw string, gs []Guarded, isMax bool) {
+	fmt.Fprintf(b, "  %s: ", kw)
+	if isMax {
+		b.WriteString("MAX(")
+	}
+	for i, g := range gs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if g.Guard != "" {
+			fmt.Fprintf(b, "(%s) -> ", g.Guard)
+		}
+		b.WriteString(ExprString(g.Expr))
+	}
+	if isMax {
+		b.WriteString(")")
+	}
+	b.WriteString(";\n")
+}
+
+func printParams(ps []Param) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = fmt.Sprintf("%s %s", p.Type, p.Name)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ExprString renders an expression in canonical source form with minimal
+// parentheses (fully parenthesized binary operations, which keeps the
+// renderer trivially correct for round-trip tests).
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case nil:
+		return "<nil>"
+	case *Ident:
+		return x.Name
+	case *IntLit:
+		return strconv.FormatInt(x.Value, 10)
+	case *FloatLit:
+		return strconv.FormatFloat(x.Value, 'g', -1, 64)
+	case *StringLit:
+		return strconv.Quote(x.Value)
+	case *BoolLit:
+		if x.Value {
+			return "true"
+		}
+		return "false"
+	case *NullLit:
+		return "null"
+	case *DateTimeLit:
+		return "@" + x.Raw + "@"
+	case *Binary:
+		return "(" + ExprString(x.L) + " " + binOpString(x.Op) + " " + ExprString(x.R) + ")"
+	case *Unary:
+		if x.Op == token.MINUS {
+			return "(-" + ExprString(x.X) + ")"
+		}
+		return "(NOT " + ExprString(x.X) + ")"
+	case *Member:
+		return ExprString(x.X) + "." + x.Name
+	case *Call:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = ExprString(a)
+		}
+		return x.Name + "(" + strings.Join(args, ", ") + ")"
+	case *Agg:
+		s := x.Kind.String() + "(" + ExprString(x.Value)
+		if x.Binder != "" {
+			s += " WHERE " + x.Binder + " IN " + ExprString(x.Source)
+			for _, c := range x.Conds {
+				s += " AND " + ExprString(c)
+			}
+		}
+		return s + ")"
+	case *NAry:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = ExprString(a)
+		}
+		return x.Kind.String() + "(" + strings.Join(args, ", ") + ")"
+	case *Unique:
+		return "UNIQUE(" + ExprString(x.Set) + ")"
+	case *SetCompr:
+		s := "{" + x.Var + " IN " + ExprString(x.Source)
+		if x.Cond != nil {
+			s += " WITH " + ExprString(x.Cond)
+		}
+		return s + "}"
+	}
+	return fmt.Sprintf("<unknown expr %T>", e)
+}
+
+func binOpString(k token.Kind) string {
+	switch k {
+	case token.AND:
+		return "AND"
+	case token.OR:
+		return "OR"
+	default:
+		return k.String()
+	}
+}

@@ -1,0 +1,303 @@
+// Package lexer implements the scanner for the APART Specification Language.
+//
+// The scanner is hand written, keeps precise source positions, supports //
+// line comments and /* block comments */, case-insensitive keywords, string
+// literals with escapes, integer/float literals, and @...@ datetime literals.
+package lexer
+
+import (
+	"fmt"
+
+	"repro/internal/asl/token"
+)
+
+// Error is a scan error with its source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("asl: %s: %s", e.Pos, e.Msg) }
+
+// Lexer scans ASL source text into tokens.
+type Lexer struct {
+	src  string
+	off  int // byte offset of next rune
+	line int
+	col  int
+	errs []*Error
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns the scan errors encountered so far.
+func (l *Lexer) Errors() []*Error { return l.errs }
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
+	l.errs = append(l.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+func isLetter(c byte) bool {
+	return 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || c == '_'
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+// skipSpace consumes whitespace and comments.
+func (l *Lexer) skipSpace() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next scans and returns the next token. At end of input it returns EOF
+// tokens forever.
+func (l *Lexer) Next() token.Token {
+	l.skipSpace()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+	c := l.peek()
+	switch {
+	case isLetter(c):
+		start := l.off
+		for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		return token.Token{Kind: token.Lookup(text), Text: text, Pos: pos}
+	case isDigit(c):
+		return l.scanNumber(pos)
+	case c == '"':
+		return l.scanString(pos)
+	case c == '@':
+		return l.scanDateTime(pos)
+	}
+	l.advance()
+	mk := func(k token.Kind, text string) token.Token {
+		return token.Token{Kind: k, Text: text, Pos: pos}
+	}
+	switch c {
+	case '+':
+		return mk(token.PLUS, "+")
+	case '-':
+		if l.peek() == '>' {
+			l.advance()
+			return mk(token.ARROW, "->")
+		}
+		return mk(token.MINUS, "-")
+	case '*':
+		return mk(token.STAR, "*")
+	case '/':
+		return mk(token.SLASH, "/")
+	case '%':
+		return mk(token.PERCENT, "%")
+	case '=':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.EQ, "==")
+		}
+		return mk(token.ASSIGN, "=")
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.NEQ, "!=")
+		}
+		return mk(token.NOT, "!")
+	case '<':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.LEQ, "<=")
+		}
+		return mk(token.LT, "<")
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.GEQ, ">=")
+		}
+		return mk(token.GT, ">")
+	case '(':
+		return mk(token.LPAREN, "(")
+	case ')':
+		return mk(token.RPAREN, ")")
+	case '{':
+		return mk(token.LBRACE, "{")
+	case '}':
+		return mk(token.RBRACE, "}")
+	case '[':
+		return mk(token.LBRACKET, "[")
+	case ']':
+		return mk(token.RBRACKET, "]")
+	case ',':
+		return mk(token.COMMA, ",")
+	case ';':
+		return mk(token.SEMICOLON, ";")
+	case ':':
+		return mk(token.COLON, ":")
+	case '.':
+		return mk(token.DOT, ".")
+	}
+	l.errorf(pos, "illegal character %q", string(c))
+	return token.Token{Kind: token.ILLEGAL, Text: string(c), Pos: pos}
+}
+
+func (l *Lexer) scanNumber(pos token.Pos) token.Token {
+	start := l.off
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	kind := token.INT
+	// Fraction: a '.' followed by a digit. A bare '.' after digits is member
+	// access on an integer literal, which ASL does not have, so '.' + digit
+	// is unambiguous.
+	if l.peek() == '.' && isDigit(l.peek2()) {
+		kind = token.FLOAT
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		save := l.off
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if isDigit(l.peek()) {
+			kind = token.FLOAT
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			// Not an exponent after all (e.g. "1end"); rewind.
+			l.off = save
+		}
+	}
+	return token.Token{Kind: kind, Text: l.src[start:l.off], Pos: pos}
+}
+
+func (l *Lexer) scanString(pos token.Pos) token.Token {
+	l.advance() // opening quote
+	var buf []byte
+	for l.off < len(l.src) {
+		c := l.advance()
+		switch c {
+		case '"':
+			return token.Token{Kind: token.STRING, Text: string(buf), Pos: pos}
+		case '\\':
+			if l.off >= len(l.src) {
+				break
+			}
+			e := l.advance()
+			switch e {
+			case 'n':
+				buf = append(buf, '\n')
+			case 't':
+				buf = append(buf, '\t')
+			case '\\':
+				buf = append(buf, '\\')
+			case '"':
+				buf = append(buf, '"')
+			default:
+				l.errorf(pos, "unknown escape \\%c in string literal", e)
+				buf = append(buf, e)
+			}
+		case '\n':
+			l.errorf(pos, "unterminated string literal")
+			return token.Token{Kind: token.ILLEGAL, Text: string(buf), Pos: pos}
+		default:
+			buf = append(buf, c)
+		}
+	}
+	l.errorf(pos, "unterminated string literal")
+	return token.Token{Kind: token.ILLEGAL, Text: string(buf), Pos: pos}
+}
+
+// scanDateTime scans @...@ datetime literals, e.g. @1999-12-17T10:30:00@.
+// The payload is validated by the parser; the lexer only brackets it.
+func (l *Lexer) scanDateTime(pos token.Pos) token.Token {
+	l.advance() // opening '@'
+	start := l.off
+	for l.off < len(l.src) && l.peek() != '@' && l.peek() != '\n' {
+		l.advance()
+	}
+	if l.peek() != '@' {
+		l.errorf(pos, "unterminated datetime literal")
+		return token.Token{Kind: token.ILLEGAL, Text: l.src[start:l.off], Pos: pos}
+	}
+	text := l.src[start:l.off]
+	l.advance() // closing '@'
+	return token.Token{Kind: token.DATETIME, Text: text, Pos: pos}
+}
+
+// All scans the entire input and returns the tokens up to and including EOF.
+func (l *Lexer) All() []token.Token {
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asl/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	lx := New(src)
+	var out []token.Kind
+	for {
+		tok := lx.Next()
+		if tok.Kind == token.EOF {
+			return out
+		}
+		out = append(out, tok.Kind)
+	}
+}
+
+func TestOperatorsAndDelimiters(t *testing.T) {
+	src := `+ - * / % = == != < <= > >= -> ( ) { } [ ] , ; : . !`
+	want := []token.Kind{
+		token.PLUS, token.MINUS, token.STAR, token.SLASH, token.PERCENT,
+		token.ASSIGN, token.EQ, token.NEQ, token.LT, token.LEQ, token.GT,
+		token.GEQ, token.ARROW, token.LPAREN, token.RPAREN, token.LBRACE,
+		token.RBRACE, token.LBRACKET, token.RBRACKET, token.COMMA,
+		token.SEMICOLON, token.COLON, token.DOT, token.NOT,
+	}
+	got := kinds(t, src)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	for _, src := range []string{"property", "Property", "PROPERTY", "pRoPeRtY"} {
+		got := kinds(t, src)
+		if len(got) != 1 || got[0] != token.PROPERTY {
+			t.Errorf("%q lexed as %v, want PROPERTY", src, got)
+		}
+	}
+	if got := kinds(t, "CONDITION CONFIDENCE SEVERITY LET IN WITH WHERE AND OR class enum extends setof"); len(got) != 13 {
+		t.Fatalf("keyword count: %v", got)
+	}
+}
+
+func TestAggregateKeywordsCaseSensitive(t *testing.T) {
+	// The paper uses "sum" as a comprehension variable, so only uppercase
+	// spellings are aggregate keywords.
+	got := kinds(t, "SUM sum Sum MIN min UNIQUE unique")
+	want := []token.Kind{token.SUM, token.IDENT, token.IDENT, token.MIN, token.IDENT, token.UNIQUE, token.IDENT}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	lx := New("0 42 3.14 1e6 2.5e-3 7.")
+	cases := []struct {
+		kind token.Kind
+		text string
+	}{
+		{token.INT, "0"},
+		{token.INT, "42"},
+		{token.FLOAT, "3.14"},
+		{token.FLOAT, "1e6"},
+		{token.FLOAT, "2.5e-3"},
+		{token.INT, "7"},
+		{token.DOT, "."},
+	}
+	for i, c := range cases {
+		tok := lx.Next()
+		if tok.Kind != c.kind || tok.Text != c.text {
+			t.Errorf("token %d = %s %q, want %s %q", i, tok.Kind, tok.Text, c.kind, c.text)
+		}
+	}
+}
+
+func TestNumberNotExponent(t *testing.T) {
+	// "1end" is INT(1) IDENT(end), not a malformed exponent.
+	lx := New("1end")
+	a, b := lx.Next(), lx.Next()
+	if a.Kind != token.INT || a.Text != "1" || b.Kind != token.IDENT || b.Text != "end" {
+		t.Fatalf("got %s %s", a, b)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	lx := New(`"hello" "a\"b" "tab\tnl\n"`)
+	want := []string{"hello", `a"b`, "tab\tnl\n"}
+	for i, w := range want {
+		tok := lx.Next()
+		if tok.Kind != token.STRING || tok.Text != w {
+			t.Errorf("string %d = %q (%s), want %q", i, tok.Text, tok.Kind, w)
+		}
+	}
+	if len(New(`"unterminated`).All()) == 0 {
+		t.Fatal("no tokens")
+	}
+	lx = New(`"unterminated`)
+	lx.Next()
+	if len(lx.Errors()) == 0 {
+		t.Error("unterminated string produced no error")
+	}
+}
+
+func TestDateTime(t *testing.T) {
+	lx := New("@1999-12-17T10:30:00@")
+	tok := lx.Next()
+	if tok.Kind != token.DATETIME || tok.Text != "1999-12-17T10:30:00" {
+		t.Fatalf("got %s", tok)
+	}
+	lx = New("@not closed")
+	lx.Next()
+	if len(lx.Errors()) == 0 {
+		t.Error("unterminated datetime produced no error")
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+	// a line comment with property keywords: class enum
+	x /* block
+	   comment */ y`
+	got := kinds(t, src)
+	if len(got) != 2 || got[0] != token.IDENT || got[1] != token.IDENT {
+		t.Fatalf("got %v", got)
+	}
+	lx := New("/* unterminated")
+	lx.Next()
+	if len(lx.Errors()) == 0 {
+		t.Error("unterminated block comment produced no error")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	lx := New("a\n  bb\n")
+	a := lx.Next()
+	b := lx.Next()
+	if a.Pos.Line != 1 || a.Pos.Col != 1 {
+		t.Errorf("a at %s, want 1:1", a.Pos)
+	}
+	if b.Pos.Line != 2 || b.Pos.Col != 3 {
+		t.Errorf("bb at %s, want 2:3", b.Pos)
+	}
+}
+
+func TestIllegalCharacter(t *testing.T) {
+	lx := New("a # b")
+	lx.Next()
+	tok := lx.Next()
+	if tok.Kind != token.ILLEGAL {
+		t.Fatalf("got %s, want ILLEGAL", tok)
+	}
+	if len(lx.Errors()) == 0 {
+		t.Error("illegal character produced no error")
+	}
+}
+
+func TestAllTerminatesWithEOF(t *testing.T) {
+	toks := New("a b c").All()
+	if toks[len(toks)-1].Kind != token.EOF {
+		t.Fatal("All must end with EOF")
+	}
+	// EOF is sticky.
+	lx := New("")
+	for i := 0; i < 3; i++ {
+		if lx.Next().Kind != token.EOF {
+			t.Fatal("EOF not sticky")
+		}
+	}
+}
+
+func TestPaperPropertyLexes(t *testing.T) {
+	src := `
+Property SublinearSpeedup(Region r, TestRun t, Region Basis) {
+  LET TotalTiming MinPeSum = UNIQUE({sum IN r.TotTimes WITH sum.Run.NoPe ==
+      MIN(s.Run.NoPe WHERE s IN r.TotTimes)});
+    float TotalCost = Duration(r,t) - Duration(r,MinPeSum.Run)
+  IN
+  CONDITION: TotalCost>0; CONFIDENCE: 1;
+  SEVERITY: TotalCost/Duration(Basis,t);
+}`
+	lx := New(src)
+	n := 0
+	for {
+		tok := lx.Next()
+		if tok.Kind == token.EOF {
+			break
+		}
+		if tok.Kind == token.ILLEGAL {
+			t.Fatalf("illegal token %s at %s", tok, tok.Pos)
+		}
+		n++
+	}
+	if len(lx.Errors()) != 0 {
+		t.Fatalf("errors: %v", lx.Errors())
+	}
+	if n < 60 {
+		t.Fatalf("suspiciously few tokens: %d", n)
+	}
+}
+
+func TestTokenStringer(t *testing.T) {
+	if s := (token.Token{Kind: token.IDENT, Text: "x"}).String(); !strings.Contains(s, "x") {
+		t.Errorf("IDENT stringer: %s", s)
+	}
+	if token.LEQ.String() != "<=" {
+		t.Errorf("LEQ stringer: %s", token.LEQ)
+	}
+	if !token.PROPERTY.IsKeyword() || token.IDENT.IsKeyword() {
+		t.Error("IsKeyword misclassifies")
+	}
+}

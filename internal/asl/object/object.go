@@ -1,0 +1,316 @@
+// Package object implements the runtime representation of ASL data-model
+// instances: typed values, objects with attributes, sets, and an object
+// store holding a complete performance-data snapshot.
+//
+// The object graph is the semantic reference for property evaluation (the
+// "client-side" path of the paper); the relational representation used by
+// the SQL path is derived from the same graph.
+package object
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/asl/sem"
+)
+
+// Value is the interface implemented by all ASL runtime values.
+type Value interface {
+	value()
+	// TypeName names the dynamic type for diagnostics.
+	TypeName() string
+	// String renders the value for reports and debugging.
+	String() string
+}
+
+// Int is an ASL int value.
+type Int int64
+
+// Float is an ASL float value.
+type Float float64
+
+// Bool is an ASL Bool value.
+type Bool bool
+
+// Str is an ASL String value.
+type Str string
+
+// DateTime is an ASL DateTime value, in seconds since the Unix epoch.
+type DateTime int64
+
+// Enum is a member of a declared enumeration.
+type Enum struct {
+	Type   *sem.Enum
+	Member string
+}
+
+// Null is the null object reference.
+type Null struct{}
+
+// Set is an ASL set value. Sets preserve insertion order so that evaluation
+// and reports are deterministic; set semantics (no duplicates) are the
+// responsibility of the producers.
+type Set struct {
+	Elems []Value
+}
+
+// Object is an instance of a declared class.
+type Object struct {
+	Class *sem.Class
+	// ID is unique within a Store and doubles as the relational primary key.
+	ID    int64
+	attrs map[string]Value
+}
+
+func (Int) value()      {}
+func (Float) value()    {}
+func (Bool) value()     {}
+func (Str) value()      {}
+func (DateTime) value() {}
+func (Enum) value()     {}
+func (Null) value()     {}
+func (*Set) value()     {}
+func (*Object) value()  {}
+
+// TypeName implementations.
+func (Int) TypeName() string      { return "int" }
+func (Float) TypeName() string    { return "float" }
+func (Bool) TypeName() string     { return "Bool" }
+func (Str) TypeName() string      { return "String" }
+func (DateTime) TypeName() string { return "DateTime" }
+func (v Enum) TypeName() string   { return v.Type.Name }
+func (Null) TypeName() string     { return "null" }
+func (*Set) TypeName() string     { return "set" }
+func (o *Object) TypeName() string {
+	if o == nil || o.Class == nil {
+		return "object"
+	}
+	return o.Class.Name
+}
+
+// String implementations.
+func (v Int) String() string      { return strconv.FormatInt(int64(v), 10) }
+func (v Float) String() string    { return strconv.FormatFloat(float64(v), 'g', -1, 64) }
+func (v Bool) String() string     { return strconv.FormatBool(bool(v)) }
+func (v Str) String() string      { return strconv.Quote(string(v)) }
+func (v DateTime) String() string { return fmt.Sprintf("@%d@", int64(v)) }
+func (v Enum) String() string     { return v.Member }
+func (Null) String() string       { return "null" }
+
+func (v *Set) String() string {
+	s := "{"
+	for i, e := range v.Elems {
+		if i > 0 {
+			s += ", "
+		}
+		s += e.String()
+	}
+	return s + "}"
+}
+
+func (o *Object) String() string {
+	if o == nil {
+		return "null"
+	}
+	return fmt.Sprintf("%s#%d", o.Class.Name, o.ID)
+}
+
+// Get returns the value of an attribute. Unset attributes read as Null for
+// class-typed attributes and as the zero value otherwise.
+func (o *Object) Get(name string) Value {
+	if v, ok := o.attrs[name]; ok {
+		return v
+	}
+	attr, ok := o.Class.Lookup(name)
+	if !ok {
+		return Null{}
+	}
+	return ZeroOf(attr.Type)
+}
+
+// Has reports whether the attribute has been explicitly set.
+func (o *Object) Has(name string) bool {
+	_, ok := o.attrs[name]
+	return ok
+}
+
+// Set assigns an attribute value. It panics if the attribute is not declared
+// on the object's class: the data loaders are generated from the same
+// specification, so an unknown attribute is a programming error, not input
+// error.
+func (o *Object) Set(name string, v Value) {
+	if _, ok := o.Class.Lookup(name); !ok {
+		panic(fmt.Sprintf("object: class %s has no attribute %s", o.Class.Name, name))
+	}
+	o.attrs[name] = v
+}
+
+// Append adds an element to a set-valued attribute, creating the set on
+// first use. It panics if the attribute is not declared with a setof type.
+func (o *Object) Append(name string, v Value) {
+	attr, ok := o.Class.Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("object: class %s has no attribute %s", o.Class.Name, name))
+	}
+	if _, isSet := attr.Type.(*sem.Set); !isSet {
+		panic(fmt.Sprintf("object: attribute %s of %s is not a set", name, o.Class.Name))
+	}
+	cur, ok := o.attrs[name]
+	if !ok {
+		cur = &Set{}
+		o.attrs[name] = cur
+	}
+	set, ok := cur.(*Set)
+	if !ok {
+		panic(fmt.Sprintf("object: attribute %s of %s holds a non-set value", name, o.Class.Name))
+	}
+	set.Elems = append(set.Elems, v)
+}
+
+// AttrNames returns the names of explicitly set attributes, sorted.
+func (o *Object) AttrNames() []string {
+	names := make([]string, 0, len(o.attrs))
+	for n := range o.attrs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ZeroOf returns the zero value of a semantic type: 0, 0.0, false, "",
+// epoch, the first enum member, null for classes, and the empty set.
+func ZeroOf(t sem.Type) Value {
+	switch x := t.(type) {
+	case *sem.Basic:
+		switch x.Kind {
+		case sem.Int:
+			return Int(0)
+		case sem.Float:
+			return Float(0)
+		case sem.Bool:
+			return Bool(false)
+		case sem.String:
+			return Str("")
+		case sem.DateTime:
+			return DateTime(0)
+		}
+	case *sem.Enum:
+		if len(x.Members) > 0 {
+			return Enum{Type: x, Member: x.Members[0]}
+		}
+	case *sem.Class:
+		return Null{}
+	case *sem.Set:
+		return &Set{}
+	}
+	return Null{}
+}
+
+// Store owns a set of objects and assigns their IDs.
+type Store struct {
+	nextID  int64
+	objects []*Object
+	byClass map[string][]*Object
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{nextID: 1, byClass: make(map[string][]*Object)}
+}
+
+// New allocates an object of the given class.
+func (s *Store) New(class *sem.Class) *Object {
+	o := &Object{Class: class, ID: s.nextID, attrs: make(map[string]Value)}
+	s.nextID++
+	s.objects = append(s.objects, o)
+	s.byClass[class.Name] = append(s.byClass[class.Name], o)
+	return o
+}
+
+// NewWithID allocates an object with a caller-chosen ID; used when
+// reconstructing a store from its relational representation, where the IDs
+// are the primary keys. The caller is responsible for ID uniqueness.
+func (s *Store) NewWithID(class *sem.Class, id int64) *Object {
+	o := &Object{Class: class, ID: id, attrs: make(map[string]Value)}
+	if id >= s.nextID {
+		s.nextID = id + 1
+	}
+	s.objects = append(s.objects, o)
+	s.byClass[class.Name] = append(s.byClass[class.Name], o)
+	return o
+}
+
+// All returns every object in allocation order.
+func (s *Store) All() []*Object { return s.objects }
+
+// OfClass returns the objects whose class is exactly the named class, in
+// allocation order.
+func (s *Store) OfClass(name string) []*Object { return s.byClass[name] }
+
+// Len returns the number of objects in the store.
+func (s *Store) Len() int { return len(s.objects) }
+
+// IsNull reports whether v is the null reference.
+func IsNull(v Value) bool {
+	_, ok := v.(Null)
+	return ok
+}
+
+// AsFloat converts a numeric value to float64.
+func AsFloat(v Value) (float64, bool) {
+	switch x := v.(type) {
+	case Int:
+		return float64(x), true
+	case Float:
+		return float64(x), true
+	}
+	return 0, false
+}
+
+// Equal implements ASL value equality: numeric comparison across int/float,
+// identity for objects, member equality for enums, and null == null.
+func Equal(a, b Value) bool {
+	if af, ok := AsFloat(a); ok {
+		if bf, ok := AsFloat(b); ok {
+			return af == bf
+		}
+		return false
+	}
+	switch x := a.(type) {
+	case Bool:
+		y, ok := b.(Bool)
+		return ok && x == y
+	case Str:
+		y, ok := b.(Str)
+		return ok && x == y
+	case DateTime:
+		y, ok := b.(DateTime)
+		return ok && x == y
+	case Enum:
+		y, ok := b.(Enum)
+		return ok && x.Type == y.Type && x.Member == y.Member
+	case Null:
+		_, ok := b.(Null)
+		return ok
+	case *Object:
+		y, ok := b.(*Object)
+		if ok {
+			return x == y
+		}
+		_, isNull := b.(Null)
+		return isNull && x == nil
+	case *Set:
+		y, ok := b.(*Set)
+		if !ok || len(x.Elems) != len(y.Elems) {
+			return false
+		}
+		for i := range x.Elems {
+			if !Equal(x.Elems[i], y.Elems[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

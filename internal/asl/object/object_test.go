@@ -1,0 +1,216 @@
+package object
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asl/parser"
+	"repro/internal/asl/sem"
+)
+
+func testWorld(t *testing.T) *sem.World {
+	t.Helper()
+	spec, err := parser.Parse(`
+class Run { int NoPe; }
+class Region { String Name; float T; Bool Hot; DateTime When; Run R; setof Run Rs; Color C; }
+enum Color { Red, Green }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sem.Check(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestStoreAllocation(t *testing.T) {
+	w := testWorld(t)
+	s := NewStore()
+	a := s.New(w.Classes["Run"])
+	b := s.New(w.Classes["Region"])
+	if a.ID == b.ID {
+		t.Fatal("IDs must be unique")
+	}
+	if s.Len() != 2 || len(s.All()) != 2 {
+		t.Fatalf("store size %d", s.Len())
+	}
+	if got := s.OfClass("Run"); len(got) != 1 || got[0] != a {
+		t.Fatalf("OfClass: %v", got)
+	}
+}
+
+func TestNewWithID(t *testing.T) {
+	w := testWorld(t)
+	s := NewStore()
+	o := s.NewWithID(w.Classes["Run"], 100)
+	if o.ID != 100 {
+		t.Fatalf("ID = %d", o.ID)
+	}
+	next := s.New(w.Classes["Run"])
+	if next.ID <= 100 {
+		t.Fatalf("allocator did not advance past explicit ID: %d", next.ID)
+	}
+}
+
+func TestAttributeDefaults(t *testing.T) {
+	w := testWorld(t)
+	s := NewStore()
+	r := s.New(w.Classes["Region"])
+	if v := r.Get("Name"); !Equal(v, Str("")) {
+		t.Errorf("Name default %s", v)
+	}
+	if v := r.Get("T"); !Equal(v, Float(0)) {
+		t.Errorf("T default %s", v)
+	}
+	if v := r.Get("Hot"); !Equal(v, Bool(false)) {
+		t.Errorf("Hot default %s", v)
+	}
+	if v := r.Get("R"); !IsNull(v) {
+		t.Errorf("R default %s", v)
+	}
+	if v, ok := r.Get("Rs").(*Set); !ok || len(v.Elems) != 0 {
+		t.Errorf("Rs default %v", r.Get("Rs"))
+	}
+	if v, ok := r.Get("C").(Enum); !ok || v.Member != "Red" {
+		t.Errorf("C default %v", r.Get("C"))
+	}
+	if r.Has("Name") {
+		t.Error("Has reports unset attribute")
+	}
+	r.Set("Name", Str("x"))
+	if !r.Has("Name") {
+		t.Error("Has misses set attribute")
+	}
+}
+
+func TestSetUnknownAttributePanics(t *testing.T) {
+	w := testWorld(t)
+	s := NewStore()
+	r := s.New(w.Classes["Region"])
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown attribute")
+		}
+	}()
+	r.Set("Bogus", Int(1))
+}
+
+func TestAppendNonSetPanics(t *testing.T) {
+	w := testWorld(t)
+	s := NewStore()
+	r := s.New(w.Classes["Region"])
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Append on scalar attribute")
+		}
+	}()
+	r.Append("Name", Str("x"))
+}
+
+func TestAppendBuildsSet(t *testing.T) {
+	w := testWorld(t)
+	s := NewStore()
+	r := s.New(w.Classes["Region"])
+	run1, run2 := s.New(w.Classes["Run"]), s.New(w.Classes["Run"])
+	r.Append("Rs", run1)
+	r.Append("Rs", run2)
+	set := r.Get("Rs").(*Set)
+	if len(set.Elems) != 2 || set.Elems[0] != Value(run1) {
+		t.Fatalf("set: %v", set)
+	}
+	names := r.AttrNames()
+	if len(names) != 1 || names[0] != "Rs" {
+		t.Fatalf("AttrNames: %v", names)
+	}
+}
+
+func TestEqualSemantics(t *testing.T) {
+	w := testWorld(t)
+	s := NewStore()
+	a, b := s.New(w.Classes["Run"]), s.New(w.Classes["Run"])
+	cases := []struct {
+		x, y Value
+		want bool
+	}{
+		{Int(1), Int(1), true},
+		{Int(1), Float(1.0), true},
+		{Float(1.5), Int(1), false},
+		{Str("a"), Str("a"), true},
+		{Str("a"), Int(1), false},
+		{Bool(true), Bool(true), true},
+		{DateTime(5), DateTime(5), true},
+		{DateTime(5), Int(5), false},
+		{Null{}, Null{}, true},
+		{a, a, true},
+		{a, b, false},
+		{a, Null{}, false},
+		{&Set{Elems: []Value{Int(1)}}, &Set{Elems: []Value{Int(1)}}, true},
+		{&Set{Elems: []Value{Int(1)}}, &Set{Elems: []Value{Int(2)}}, false},
+		{&Set{Elems: []Value{Int(1)}}, &Set{Elems: []Value{Int(1), Int(2)}}, false},
+	}
+	for i, c := range cases {
+		if got := Equal(c.x, c.y); got != c.want {
+			t.Errorf("case %d: Equal(%s, %s) = %v", i, c.x, c.y, got)
+		}
+	}
+	e := w.Enums["Color"]
+	if !Equal(Enum{Type: e, Member: "Red"}, Enum{Type: e, Member: "Red"}) {
+		t.Error("enum equality")
+	}
+	if Equal(Enum{Type: e, Member: "Red"}, Enum{Type: e, Member: "Green"}) {
+		t.Error("enum inequality")
+	}
+}
+
+func TestQuickEqualIsReflexiveAndSymmetric(t *testing.T) {
+	f := func(a, b int32, s1, s2 string) bool {
+		vals := []Value{Int(int64(a)), Float(float64(b)), Str(s1), Str(s2), Bool(a%2 == 0), Null{}}
+		for _, x := range vals {
+			if !Equal(x, x) {
+				return false
+			}
+			for _, y := range vals {
+				if Equal(x, y) != Equal(y, x) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueStrings(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Int(3), "3"},
+		{Float(2.5), "2.5"},
+		{Str("x"), `"x"`},
+		{Bool(true), "true"},
+		{Null{}, "null"},
+		{&Set{Elems: []Value{Int(1), Int(2)}}, "{1, 2}"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%T String = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestAsFloat(t *testing.T) {
+	if f, ok := AsFloat(Int(3)); !ok || f != 3 {
+		t.Error("AsFloat(Int)")
+	}
+	if f, ok := AsFloat(Float(2.5)); !ok || f != 2.5 {
+		t.Error("AsFloat(Float)")
+	}
+	if _, ok := AsFloat(Str("x")); ok {
+		t.Error("AsFloat(Str) should fail")
+	}
+}

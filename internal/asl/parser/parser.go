@@ -1,0 +1,592 @@
+// Package parser implements a recursive-descent parser for the APART
+// Specification Language: the class/enum data-model syntax of Section 4.1 of
+// the paper and the property grammar of Figure 1, including LET/IN blocks,
+// labeled conditions, guarded confidence and severity lists, set
+// comprehensions, UNIQUE, and WHERE-quantified aggregates.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/asl/ast"
+	"repro/internal/asl/lexer"
+	"repro/internal/asl/token"
+)
+
+// Error is a parse error with position information.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("asl: %s: %s", e.Pos, e.Msg) }
+
+// ErrorList is a collection of parse errors.
+type ErrorList []*Error
+
+// Error implements the error interface; it reports the first error and the
+// total count.
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more errors)", l[0], len(l)-1)
+}
+
+// Parser parses ASL source text.
+type Parser struct {
+	toks []token.Token
+	pos  int
+	errs ErrorList
+}
+
+type bailout struct{}
+
+// Parse parses a complete specification document. On syntax errors it
+// returns the partial AST together with an ErrorList.
+func Parse(src string) (*ast.Spec, error) {
+	lx := lexer.New(src)
+	toks := lx.All()
+	p := &Parser{toks: toks}
+	for _, le := range lx.Errors() {
+		p.errs = append(p.errs, &Error{Pos: le.Pos, Msg: le.Msg})
+	}
+	spec := &ast.Spec{}
+	for p.cur().Kind != token.EOF {
+		d := p.parseDeclRecover()
+		if d != nil {
+			spec.Decls = append(spec.Decls, d)
+		}
+	}
+	if len(p.errs) > 0 {
+		return spec, p.errs
+	}
+	return spec, nil
+}
+
+// ParseExpr parses a single standalone expression (used by tests and by the
+// interactive tooling).
+func ParseExpr(src string) (ast.Expr, error) {
+	lx := lexer.New(src)
+	p := &Parser{toks: lx.All()}
+	var e ast.Expr
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(bailout); !ok {
+					panic(r)
+				}
+				err = p.errs
+			}
+		}()
+		e = p.parseExpr(1)
+		if p.cur().Kind != token.EOF {
+			p.errorf(p.cur().Pos, "unexpected %s after expression", p.cur())
+			return p.errs
+		}
+		return nil
+	}()
+	if err != nil {
+		return nil, err
+	}
+	if len(p.errs) > 0 {
+		return e, p.errs
+	}
+	return e, nil
+}
+
+func (p *Parser) cur() token.Token { return p.toks[p.pos] }
+
+func (p *Parser) peek(n int) token.Token {
+	i := p.pos + n
+	if i >= len(p.toks) {
+		return p.toks[len(p.toks)-1] // EOF
+	}
+	return p.toks[i]
+}
+
+func (p *Parser) next() token.Token {
+	t := p.toks[p.pos]
+	if t.Kind != token.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) accept(k token.Kind) bool {
+	if p.cur().Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k token.Kind) token.Token {
+	t := p.cur()
+	if t.Kind != k {
+		p.errorf(t.Pos, "expected %s, found %s", k, t)
+		panic(bailout{})
+	}
+	return p.next()
+}
+
+func (p *Parser) errorf(pos token.Pos, format string, args ...any) {
+	p.errs = append(p.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// parseDeclRecover parses one top-level declaration, resynchronizing to the
+// next declaration keyword on error so several errors can be reported in one
+// pass.
+func (p *Parser) parseDeclRecover() (d ast.Decl) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(bailout); !ok {
+				panic(r)
+			}
+			d = nil
+			p.sync()
+		}
+	}()
+	return p.parseDecl()
+}
+
+// sync skips tokens until a plausible start of the next declaration.
+func (p *Parser) sync() {
+	depth := 0
+	for {
+		switch p.cur().Kind {
+		case token.EOF:
+			return
+		case token.LBRACE:
+			depth++
+		case token.RBRACE:
+			if depth > 0 {
+				depth--
+			} else {
+				p.next()
+				return
+			}
+		case token.CLASS, token.ENUM, token.PROPERTY:
+			if depth == 0 {
+				return
+			}
+		}
+		p.next()
+	}
+}
+
+func (p *Parser) parseDecl() ast.Decl {
+	switch p.cur().Kind {
+	case token.CLASS:
+		return p.parseClass()
+	case token.ENUM:
+		return p.parseEnum()
+	case token.PROPERTY:
+		return p.parseProperty()
+	case token.IDENT, token.SETOF:
+		return p.parseFuncOrConst()
+	default:
+		p.errorf(p.cur().Pos, "expected declaration, found %s", p.cur())
+		panic(bailout{})
+	}
+}
+
+func (p *Parser) parseClass() *ast.ClassDecl {
+	kw := p.expect(token.CLASS)
+	name := p.expect(token.IDENT)
+	d := &ast.ClassDecl{ClassPos: kw.Pos, Name: name.Text}
+	if p.accept(token.EXTENDS) {
+		d.Extends = p.expect(token.IDENT).Text
+	}
+	p.expect(token.LBRACE)
+	for p.cur().Kind != token.RBRACE && p.cur().Kind != token.EOF {
+		typ := p.parseTypeRef()
+		attr := p.expect(token.IDENT)
+		p.expect(token.SEMICOLON)
+		d.Attrs = append(d.Attrs, ast.Attr{Type: typ, Name: attr.Text})
+	}
+	p.expect(token.RBRACE)
+	return d
+}
+
+func (p *Parser) parseEnum() *ast.EnumDecl {
+	kw := p.expect(token.ENUM)
+	name := p.expect(token.IDENT)
+	d := &ast.EnumDecl{EnumPos: kw.Pos, Name: name.Text}
+	p.expect(token.LBRACE)
+	for {
+		m := p.expect(token.IDENT)
+		d.Members = append(d.Members, m.Text)
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	p.expect(token.RBRACE)
+	return d
+}
+
+func (p *Parser) parseTypeRef() ast.TypeRef {
+	var t ast.TypeRef
+	first := p.cur()
+	for p.accept(token.SETOF) {
+		t.SetDepth++
+	}
+	name := p.expect(token.IDENT)
+	t.Name = name.Text
+	if t.SetDepth > 0 {
+		t.NamePos = first.Pos
+	} else {
+		t.NamePos = name.Pos
+	}
+	return t
+}
+
+// parseFuncOrConst parses either a constant ("float Threshold = 0.25;") or a
+// function declaration ("float Duration(Region r, TestRun t) = expr;").
+func (p *Parser) parseFuncOrConst() ast.Decl {
+	typ := p.parseTypeRef()
+	name := p.expect(token.IDENT)
+	if p.accept(token.LPAREN) {
+		var params []ast.Param
+		if p.cur().Kind != token.RPAREN {
+			params = p.parseParams()
+		}
+		p.expect(token.RPAREN)
+		p.expect(token.ASSIGN)
+		body := p.parseExpr(1)
+		p.expect(token.SEMICOLON)
+		return &ast.FuncDecl{RetType: typ, Name: name.Text, Params: params, Body: body}
+	}
+	p.expect(token.ASSIGN)
+	val := p.parseExpr(1)
+	p.expect(token.SEMICOLON)
+	return &ast.ConstDecl{Type: typ, Name: name.Text, Value: val}
+}
+
+func (p *Parser) parseParams() []ast.Param {
+	var params []ast.Param
+	for {
+		typ := p.parseTypeRef()
+		name := p.expect(token.IDENT)
+		params = append(params, ast.Param{Type: typ, Name: name.Text})
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	return params
+}
+
+func (p *Parser) parseProperty() *ast.PropertyDecl {
+	kw := p.expect(token.PROPERTY)
+	name := p.expect(token.IDENT)
+	d := &ast.PropertyDecl{PropPos: kw.Pos, Name: name.Text}
+	p.expect(token.LPAREN)
+	if p.cur().Kind != token.RPAREN {
+		d.Params = p.parseParams()
+	}
+	p.expect(token.RPAREN)
+	p.expect(token.LBRACE)
+
+	if p.accept(token.LET) {
+		for p.cur().Kind != token.IN && p.cur().Kind != token.EOF {
+			typ := p.parseTypeRef()
+			lname := p.expect(token.IDENT)
+			p.expect(token.ASSIGN)
+			val := p.parseExpr(1)
+			// The paper's own examples are inconsistent about the trailing
+			// semicolon before IN; accept it as optional.
+			p.accept(token.SEMICOLON)
+			d.Lets = append(d.Lets, ast.LetDef{Type: typ, Name: lname.Text, Value: val})
+		}
+		p.expect(token.IN)
+	}
+
+	p.expect(token.CONDITION)
+	p.expect(token.COLON)
+	d.Conditions = p.parseConditions()
+	p.expect(token.SEMICOLON)
+
+	p.expect(token.CONFIDENCE)
+	p.expect(token.COLON)
+	d.Confidence, d.ConfidenceMax = p.parseGuardedClause()
+	p.expect(token.SEMICOLON)
+
+	p.expect(token.SEVERITY)
+	p.expect(token.COLON)
+	d.Severity, d.SeverityMax = p.parseGuardedClause()
+	p.expect(token.SEMICOLON)
+
+	p.expect(token.RBRACE)
+	p.accept(token.SEMICOLON) // Figure 1 shows '};' — the semicolon is optional here
+	return d
+}
+
+// parseConditions parses the CONDITION alternatives. Figure 1 makes OR the
+// separator between conditions, so each alternative is parsed above OR
+// precedence; an OR inside one alternative requires parentheses.
+func (p *Parser) parseConditions() []ast.Condition {
+	var conds []ast.Condition
+	for {
+		var c ast.Condition
+		if lbl, ok := p.tryCondLabel(); ok {
+			c.Label = lbl
+		}
+		c.Expr = p.parseExpr(2)
+		conds = append(conds, c)
+		if !p.accept(token.OR) {
+			break
+		}
+	}
+	return conds
+}
+
+// tryCondLabel recognizes the "(cond-id)" prefix of a labeled condition. A
+// bare "(ident)" is also a valid parenthesized expression, so the label
+// reading is chosen only when the token after the closing parenthesis can
+// begin an expression; this matches Figure 1, where a label is always
+// followed by a bool-expr.
+func (p *Parser) tryCondLabel() (string, bool) {
+	if p.cur().Kind != token.LPAREN || p.peek(1).Kind != token.IDENT || p.peek(2).Kind != token.RPAREN {
+		return "", false
+	}
+	if !startsExpr(p.peek(3).Kind) {
+		return "", false
+	}
+	p.next() // (
+	id := p.next()
+	p.next() // )
+	return id.Text, true
+}
+
+func startsExpr(k token.Kind) bool {
+	switch k {
+	case token.IDENT, token.INT, token.FLOAT, token.STRING, token.DATETIME,
+		token.LPAREN, token.LBRACE, token.MINUS, token.NOT, token.NOTKW,
+		token.TRUE, token.FALSE, token.NULLKW,
+		token.SUM, token.MIN, token.MAX, token.AVG, token.COUNT, token.UNIQUE:
+		return true
+	}
+	return false
+}
+
+// parseGuardedClause parses the body of a CONFIDENCE or SEVERITY clause:
+// either MAX(guarded-list) or a single guarded expression.
+func (p *Parser) parseGuardedClause() ([]ast.Guarded, bool) {
+	// "MAX (" could open either the clause-level MAX of Figure 1 or an
+	// ordinary arithmetic MAX expression. Treat it as the clause-level form;
+	// the two coincide semantically (maximum over the listed values), and the
+	// guarded "->" form is only legal here.
+	if p.cur().Kind == token.MAX && p.peek(1).Kind == token.LPAREN {
+		p.next()
+		p.next()
+		var gs []ast.Guarded
+		for {
+			gs = append(gs, p.parseGuarded())
+			if !p.accept(token.COMMA) {
+				break
+			}
+		}
+		p.expect(token.RPAREN)
+		return gs, true
+	}
+	return []ast.Guarded{p.parseGuarded()}, false
+}
+
+func (p *Parser) parseGuarded() ast.Guarded {
+	var g ast.Guarded
+	if p.cur().Kind == token.LPAREN && p.peek(1).Kind == token.IDENT &&
+		p.peek(2).Kind == token.RPAREN && p.peek(3).Kind == token.ARROW {
+		p.next() // (
+		g.Guard = p.next().Text
+		p.next() // )
+		p.next() // ->
+	}
+	g.Expr = p.parseExpr(1)
+	return g
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+// parseExpr parses a binary expression with operators of precedence at least
+// minPrec (precedence climbing).
+func (p *Parser) parseExpr(minPrec int) ast.Expr {
+	left := p.parseUnary()
+	for {
+		op := p.cur().Kind
+		prec := op.Precedence()
+		if prec < minPrec || prec == 0 {
+			return left
+		}
+		p.next()
+		right := p.parseExpr(prec + 1)
+		left = &ast.Binary{Op: op, L: left, R: right}
+	}
+}
+
+func (p *Parser) parseUnary() ast.Expr {
+	t := p.cur()
+	switch t.Kind {
+	case token.MINUS:
+		p.next()
+		return &ast.Unary{OpPos: t.Pos, Op: token.MINUS, X: p.parseUnary()}
+	case token.NOT, token.NOTKW:
+		p.next()
+		return &ast.Unary{OpPos: t.Pos, Op: token.NOTKW, X: p.parseUnary()}
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() ast.Expr {
+	e := p.parsePrimary()
+	for p.cur().Kind == token.DOT {
+		p.next()
+		name := p.expect(token.IDENT)
+		e = &ast.Member{X: e, Name: name.Text}
+	}
+	return e
+}
+
+func (p *Parser) parsePrimary() ast.Expr {
+	t := p.cur()
+	switch t.Kind {
+	case token.INT:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			p.errorf(t.Pos, "invalid integer literal %q: %v", t.Text, err)
+		}
+		return &ast.IntLit{LitPos: t.Pos, Value: v}
+	case token.FLOAT:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			p.errorf(t.Pos, "invalid float literal %q: %v", t.Text, err)
+		}
+		return &ast.FloatLit{LitPos: t.Pos, Value: v}
+	case token.STRING:
+		p.next()
+		return &ast.StringLit{LitPos: t.Pos, Value: t.Text}
+	case token.TRUE:
+		p.next()
+		return &ast.BoolLit{LitPos: t.Pos, Value: true}
+	case token.FALSE:
+		p.next()
+		return &ast.BoolLit{LitPos: t.Pos, Value: false}
+	case token.NULLKW:
+		p.next()
+		return &ast.NullLit{LitPos: t.Pos}
+	case token.DATETIME:
+		p.next()
+		ts, err := time.Parse("2006-01-02T15:04:05", t.Text)
+		if err != nil {
+			p.errorf(t.Pos, "invalid datetime literal %q (want 2006-01-02T15:04:05)", t.Text)
+		}
+		return &ast.DateTimeLit{LitPos: t.Pos, Raw: t.Text, Value: ts.Unix()}
+	case token.LPAREN:
+		p.next()
+		e := p.parseExpr(1)
+		p.expect(token.RPAREN)
+		return e
+	case token.LBRACE:
+		return p.parseSetCompr()
+	case token.SUM, token.MIN, token.MAX, token.AVG, token.COUNT:
+		return p.parseAgg()
+	case token.UNIQUE:
+		p.next()
+		p.expect(token.LPAREN)
+		set := p.parseExpr(1)
+		p.expect(token.RPAREN)
+		return &ast.Unique{UPos: t.Pos, Set: set}
+	case token.IDENT:
+		p.next()
+		if p.cur().Kind == token.LPAREN {
+			p.next()
+			var args []ast.Expr
+			if p.cur().Kind != token.RPAREN {
+				for {
+					args = append(args, p.parseExpr(1))
+					if !p.accept(token.COMMA) {
+						break
+					}
+				}
+			}
+			p.expect(token.RPAREN)
+			return &ast.Call{CallPos: t.Pos, Name: t.Text, Args: args}
+		}
+		return &ast.Ident{IdentPos: t.Pos, Name: t.Text}
+	}
+	p.errorf(t.Pos, "expected expression, found %s", t)
+	panic(bailout{})
+}
+
+// parseSetCompr parses "{x IN source WITH cond}" (WITH optional).
+func (p *Parser) parseSetCompr() ast.Expr {
+	lb := p.expect(token.LBRACE)
+	v := p.expect(token.IDENT)
+	p.expect(token.IN)
+	src := p.parseExpr(1)
+	sc := &ast.SetCompr{LBracePos: lb.Pos, Var: v.Text, Source: src}
+	if p.accept(token.WITH) {
+		sc.Cond = p.parseExpr(1)
+	}
+	p.expect(token.RBRACE)
+	return sc
+}
+
+// parseAgg parses the built-in aggregates in both of their forms:
+//
+//	SUM(value WHERE x IN source AND c1 AND c2)  — quantified form
+//	MAX(a, b, c)                                — n-ary scalar form
+//	COUNT(setExpr)                              — aggregate over a set value
+//
+// In the quantified form, the value expression and the filter conjuncts are
+// parsed at comparison precedence so that the top-level ANDs separate the
+// conjuncts (an AND inside a conjunct needs parentheses), mirroring the
+// grammar in the paper's examples.
+func (p *Parser) parseAgg() ast.Expr {
+	t := p.next()
+	var kind ast.AggKind
+	switch t.Kind {
+	case token.SUM:
+		kind = ast.AggSum
+	case token.MIN:
+		kind = ast.AggMin
+	case token.MAX:
+		kind = ast.AggMax
+	case token.AVG:
+		kind = ast.AggAvg
+	case token.COUNT:
+		kind = ast.AggCount
+	}
+	p.expect(token.LPAREN)
+	first := p.parseExpr(3) // stop below AND/OR so WHERE conjuncts stay separate
+	if p.accept(token.WHERE) {
+		binder := p.expect(token.IDENT)
+		p.expect(token.IN)
+		src := p.parseExpr(3)
+		agg := &ast.Agg{AggPos: t.Pos, Kind: kind, Value: first, Binder: binder.Text, Source: src}
+		for p.accept(token.AND) {
+			agg.Conds = append(agg.Conds, p.parseExpr(3))
+		}
+		p.expect(token.RPAREN)
+		return agg
+	}
+	if p.cur().Kind == token.COMMA {
+		args := []ast.Expr{first}
+		for p.accept(token.COMMA) {
+			args = append(args, p.parseExpr(1))
+		}
+		p.expect(token.RPAREN)
+		return &ast.NAry{AggPos: t.Pos, Kind: kind, Args: args}
+	}
+	p.expect(token.RPAREN)
+	return &ast.Agg{AggPos: t.Pos, Kind: kind, Value: first}
+}

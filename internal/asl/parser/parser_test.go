@@ -1,0 +1,345 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asl/ast"
+	"repro/internal/asl/token"
+)
+
+// paperSpec is the verbatim material of the paper's Section 4 (with the
+// TotTimes→TotalTiming LET type corrected, see model.SpecSource).
+const paperSpec = `
+class Program {
+  String Name;
+  setof ProgVersion Versions;
+}
+class ProgVersion {
+  DateTime Compilation;
+  setof Function Functions;
+  setof TestRun Runs;
+  SourceCode Code;
+}
+class TestRun { DateTime Start; int NoPe; int Clockspeed; }
+class Region {
+  Region ParentRegion;
+  setof TotalTiming TotTimes;
+  setof TypedTiming TypTimes;
+}
+class TotalTiming { TestRun Run; float Excl; float Incl; float Ovhd; }
+
+TotalTiming Summary(Region r, TestRun t) = UNIQUE({s IN r.TotTimes WITH s.Run==t});
+float Duration(Region r, TestRun t) = Summary(r,t).Incl;
+
+Property SublinearSpeedup(Region r, TestRun t, Region Basis) {
+  LET TotalTiming MinPeSum = UNIQUE({sum IN r.TotTimes WITH sum.Run.NoPe ==
+      MIN(s.Run.NoPe WHERE s IN r.TotTimes)});
+  float TotalCost = Duration(r,t) - Duration(r,MinPeSum.Run)
+  IN
+  CONDITION: TotalCost>0; CONFIDENCE: 1;
+  SEVERITY: TotalCost/Duration(Basis,t);
+}
+`
+
+func TestPaperSpecParses(t *testing.T) {
+	spec, err := Parse(paperSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(spec.Classes()); n != 5 {
+		t.Errorf("classes = %d, want 5", n)
+	}
+	if n := len(spec.Funcs()); n != 2 {
+		t.Errorf("funcs = %d, want 2", n)
+	}
+	props := spec.Properties()
+	if len(props) != 1 {
+		t.Fatalf("properties = %d, want 1", len(props))
+	}
+	p := props[0]
+	if p.Name != "SublinearSpeedup" || len(p.Params) != 3 || len(p.Lets) != 2 {
+		t.Fatalf("property shape: %+v", p)
+	}
+	if len(p.Conditions) != 1 || len(p.Confidence) != 1 || len(p.Severity) != 1 {
+		t.Fatalf("clauses: %d cond, %d conf, %d sev", len(p.Conditions), len(p.Confidence), len(p.Severity))
+	}
+	// The first LET binds UNIQUE over a comprehension whose filter holds a
+	// WHERE-quantified MIN.
+	uniq, ok := p.Lets[0].Value.(*ast.Unique)
+	if !ok {
+		t.Fatalf("LET 0 is %T, want Unique", p.Lets[0].Value)
+	}
+	compr, ok := uniq.Set.(*ast.SetCompr)
+	if !ok || compr.Var != "sum" {
+		t.Fatalf("comprehension: %+v", uniq.Set)
+	}
+	cmp, ok := compr.Cond.(*ast.Binary)
+	if !ok || cmp.Op != token.EQ {
+		t.Fatalf("comprehension filter: %T", compr.Cond)
+	}
+	min, ok := cmp.R.(*ast.Agg)
+	if !ok || min.Kind != ast.AggMin || min.Binder != "s" {
+		t.Fatalf("MIN aggregate: %+v", cmp.R)
+	}
+}
+
+func TestLabeledConditionsAndGuards(t *testing.T) {
+	src := `
+property P(Region r, TestRun t) {
+  CONDITION: (a) r.X > 0 OR (b) r.Y > 0 OR r.Z > 0;
+  CONFIDENCE: MAX((a) -> 0.9, (b) -> 0.5, 0.1);
+  SEVERITY: MAX((a) -> r.X, (b) -> r.Y);
+}`
+	spec, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := spec.Properties()[0]
+	if len(p.Conditions) != 3 {
+		t.Fatalf("conditions = %d", len(p.Conditions))
+	}
+	if p.Conditions[0].Label != "a" || p.Conditions[1].Label != "b" || p.Conditions[2].Label != "" {
+		t.Fatalf("labels: %+v", p.Conditions)
+	}
+	if !p.ConfidenceMax || len(p.Confidence) != 3 {
+		t.Fatalf("confidence: max=%v n=%d", p.ConfidenceMax, len(p.Confidence))
+	}
+	if p.Confidence[0].Guard != "a" || p.Confidence[2].Guard != "" {
+		t.Fatalf("guards: %+v", p.Confidence)
+	}
+	if !p.SeverityMax || len(p.Severity) != 2 {
+		t.Fatalf("severity: %+v", p.Severity)
+	}
+	if c := p.ConditionByLabel("b"); c == nil {
+		t.Fatal("ConditionByLabel(b) = nil")
+	}
+}
+
+func TestParenthesizedExprIsNotALabel(t *testing.T) {
+	// "(x) > 5" must parse as a comparison of the parenthesized identifier,
+	// not as label x followed by "> 5".
+	src := `
+property P(Region r) {
+  CONDITION: (r) != null;
+  CONFIDENCE: 1;
+  SEVERITY: 1;
+}`
+	spec, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := spec.Properties()[0]
+	if p.Conditions[0].Label != "" {
+		t.Fatalf("label %q leaked from parenthesized expression", p.Conditions[0].Label)
+	}
+}
+
+func TestEnumAndExtends(t *testing.T) {
+	src := `
+enum TimingType { Barrier, Send, Receive }
+class Base { int X; }
+class Derived extends Base { float Y; }
+`
+	spec, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enums := spec.Enums()
+	if len(enums) != 1 || len(enums[0].Members) != 3 {
+		t.Fatalf("enum: %+v", enums)
+	}
+	var derived *ast.ClassDecl
+	for _, c := range spec.Classes() {
+		if c.Name == "Derived" {
+			derived = c
+		}
+	}
+	if derived == nil || derived.Extends != "Base" {
+		t.Fatalf("extends: %+v", derived)
+	}
+}
+
+func TestSetofNesting(t *testing.T) {
+	spec, err := Parse(`class C { setof setof D Grid; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attr := spec.Classes()[0].Attrs[0]
+	if attr.Type.SetDepth != 2 || attr.Type.Name != "D" {
+		t.Fatalf("type: %+v", attr.Type)
+	}
+	if attr.Type.String() != "setof setof D" {
+		t.Fatalf("type string: %s", attr.Type)
+	}
+}
+
+func TestExprPrecedence(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"1 + 2 * 3", "(1 + (2 * 3))"},
+		{"(1 + 2) * 3", "((1 + 2) * 3)"},
+		{"a AND b OR c", "((a AND b) OR c)"},
+		{"NOT a AND b", "((NOT a) AND b)"},
+		{"-a * b", "((-a) * b)"},
+		{"a < b == false", "((a < b) == false)"},
+		{"a.b.c + 1", "(a.b.c + 1)"},
+		{"x % 2 == 0", "((x % 2) == 0)"},
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.src)
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		if got := ast.ExprString(e); got != c.want {
+			t.Errorf("%q parsed as %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestAggregateForms(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run == t)", "SUM(tt.Time WHERE tt IN r.TypTimes AND (tt.Run == t))"},
+		{"MIN(s.Run.NoPe WHERE s IN r.TotTimes)", "MIN(s.Run.NoPe WHERE s IN r.TotTimes)"},
+		{"MAX(a, b, c)", "MAX(a, b, c)"},
+		{"COUNT(r.TotTimes)", "COUNT(r.TotTimes)"},
+		{"UNIQUE({x IN s WITH x.A == 1})", "UNIQUE({x IN s WITH (x.A == 1)})"},
+		{"{x IN s}", "{x IN s}"},
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.src)
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		if got := ast.ExprString(e); got != c.want {
+			t.Errorf("%q parsed as %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestAggregateConjunctsWithParenthesizedOr(t *testing.T) {
+	e, err := ParseExpr("SUM(tt.Time WHERE tt IN r.TypTimes AND (tt.Type == Send OR tt.Type == Receive) AND tt.Run == t)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := e.(*ast.Agg)
+	if len(agg.Conds) != 2 {
+		t.Fatalf("conds = %d, want 2", len(agg.Conds))
+	}
+	if _, ok := agg.Conds[0].(*ast.Binary); !ok {
+		t.Fatalf("cond 0: %T", agg.Conds[0])
+	}
+}
+
+func TestLiterals(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"42", "42"},
+		{"3.5", "3.5"},
+		{`"hi"`, `"hi"`},
+		{"true", "true"},
+		{"false", "false"},
+		{"null", "null"},
+		{"@1999-12-17T10:30:00@", "@1999-12-17T10:30:00@"},
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.src)
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		if got := ast.ExprString(e); got != c.want {
+			t.Errorf("%q -> %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestBadDateTime(t *testing.T) {
+	if _, err := ParseExpr("@17-12-1999@"); err == nil {
+		t.Fatal("expected error for malformed datetime")
+	}
+}
+
+func TestRoundTripThroughPrinter(t *testing.T) {
+	spec, err := Parse(paperSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := ast.Print(spec)
+	spec2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("re-parsing printed spec: %v\n%s", err, printed)
+	}
+	printed2 := ast.Print(spec2)
+	if printed != printed2 {
+		t.Fatalf("printer not a fixed point:\n--- first:\n%s\n--- second:\n%s", printed, printed2)
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []string{
+		`class { }`,
+		`class C extends { }`,
+		`class C { int ; }`,
+		`enum E { }`,
+		`property P() { CONFIDENCE: 1; SEVERITY: 1; }`, // missing CONDITION
+		`property P() { CONDITION: 1 > 0; SEVERITY: 1; }`,
+		`property P() { CONDITION: 1 > 0; CONFIDENCE: 1; }`,
+		`float F( = 1;`,
+		`float C = ;`,
+		`property P() { CONDITION: UNIQUE(; CONFIDENCE: 1; SEVERITY: 1; }`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q: expected syntax error", src)
+		}
+	}
+}
+
+func TestErrorRecoveryFindsMultipleErrors(t *testing.T) {
+	src := `
+class A { int X }
+class B { int Y; }
+class C { bogus bogus bogus
+`
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	list, ok := err.(ErrorList)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if len(list) < 2 {
+		t.Fatalf("recovered only %d errors: %v", len(list), err)
+	}
+	if !strings.Contains(list.Error(), "more error") {
+		t.Errorf("ErrorList summary: %s", list.Error())
+	}
+}
+
+func TestTrailingSemicolonAfterProperty(t *testing.T) {
+	// Figure 1 writes '};' — the semicolon must be accepted.
+	src := `property P(Region r) { CONDITION: true; CONFIDENCE: 1; SEVERITY: 1; };`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseExprTrailingGarbage(t *testing.T) {
+	if _, err := ParseExpr("1 + 2 extra"); err == nil {
+		t.Fatal("expected error for trailing tokens")
+	}
+}
+
+func TestWalkVisitsAllNodes(t *testing.T) {
+	e, err := ParseExpr("SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run == t) / MAX(a, 1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	ast.Walk(e, func(ast.Expr) { count++ })
+	if count < 10 {
+		t.Fatalf("walk visited %d nodes", count)
+	}
+}

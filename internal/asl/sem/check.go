@@ -1,0 +1,622 @@
+package sem
+
+import (
+	"fmt"
+
+	"repro/internal/asl/ast"
+	"repro/internal/asl/token"
+)
+
+// Error is a semantic error with position information.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("asl: %s: %s", e.Pos, e.Msg) }
+
+// ErrorList is a collection of semantic errors.
+type ErrorList []*Error
+
+// Error implements the error interface.
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more errors)", l[0], len(l)-1)
+}
+
+// World is the result of semantic analysis: every declared type, function,
+// constant, and property, plus the inferred type of every expression.
+type World struct {
+	Spec    *Spec
+	Classes map[string]*Class
+	Enums   map[string]*Enum
+	// EnumMembers maps a member name (e.g. "Barrier") to its enum. Member
+	// names are required to be unique across enums so they can be used as
+	// bare identifiers, as the paper does with "Barrier".
+	EnumMembers map[string]*Enum
+	Funcs       map[string]*FuncSig
+	FuncDecls   map[string]*ast.FuncDecl
+	Consts      map[string]Type
+	ConstDecls  map[string]*ast.ConstDecl
+	Props       map[string]*PropertySig
+	PropDecls   map[string]*ast.PropertyDecl
+	// Types records the inferred type of every checked expression node.
+	Types map[ast.Expr]Type
+}
+
+// Spec is re-exported so downstream packages need not import ast for the
+// common case.
+type Spec = ast.Spec
+
+// checker carries the analysis state.
+type checker struct {
+	w    *World
+	errs ErrorList
+}
+
+// Check analyses a parsed specification and returns the typed World. All
+// semantic errors are collected and returned together.
+func Check(spec *ast.Spec) (*World, error) {
+	w := &World{
+		Spec:        spec,
+		Classes:     make(map[string]*Class),
+		Enums:       make(map[string]*Enum),
+		EnumMembers: make(map[string]*Enum),
+		Funcs:       make(map[string]*FuncSig),
+		FuncDecls:   make(map[string]*ast.FuncDecl),
+		Consts:      make(map[string]Type),
+		ConstDecls:  make(map[string]*ast.ConstDecl),
+		Props:       make(map[string]*PropertySig),
+		PropDecls:   make(map[string]*ast.PropertyDecl),
+		Types:       make(map[ast.Expr]Type),
+	}
+	c := &checker{w: w}
+
+	c.declareTypes(spec)
+	c.resolveClasses(spec)
+	c.checkDecls(spec)
+
+	if len(c.errs) > 0 {
+		return w, c.errs
+	}
+	return w, nil
+}
+
+func (c *checker) errorf(pos token.Pos, format string, args ...any) {
+	c.errs = append(c.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// declareTypes registers class and enum names (pass 1).
+func (c *checker) declareTypes(spec *ast.Spec) {
+	for _, d := range spec.Decls {
+		switch x := d.(type) {
+		case *ast.ClassDecl:
+			if _, dup := c.w.Classes[x.Name]; dup {
+				c.errorf(x.Pos(), "class %s redeclared", x.Name)
+				continue
+			}
+			if _, dup := c.w.Enums[x.Name]; dup {
+				c.errorf(x.Pos(), "%s declared as both class and enum", x.Name)
+				continue
+			}
+			c.w.Classes[x.Name] = &Class{Name: x.Name}
+		case *ast.EnumDecl:
+			if _, dup := c.w.Enums[x.Name]; dup {
+				c.errorf(x.Pos(), "enum %s redeclared", x.Name)
+				continue
+			}
+			if _, dup := c.w.Classes[x.Name]; dup {
+				c.errorf(x.Pos(), "%s declared as both class and enum", x.Name)
+				continue
+			}
+			e := &Enum{Name: x.Name, Members: x.Members, Ordinal: make(map[string]int)}
+			for i, m := range x.Members {
+				if _, dup := e.Ordinal[m]; dup {
+					c.errorf(x.Pos(), "enum %s: member %s repeated", x.Name, m)
+					continue
+				}
+				e.Ordinal[m] = i
+				if other, clash := c.w.EnumMembers[m]; clash {
+					c.errorf(x.Pos(), "enum member %s already declared in enum %s", m, other.Name)
+					continue
+				}
+				c.w.EnumMembers[m] = e
+			}
+			c.w.Enums[x.Name] = e
+		}
+	}
+}
+
+// resolveClasses links base classes and attribute types (pass 2).
+func (c *checker) resolveClasses(spec *ast.Spec) {
+	for _, d := range spec.Decls {
+		x, ok := d.(*ast.ClassDecl)
+		if !ok {
+			continue
+		}
+		cls := c.w.Classes[x.Name]
+		if x.Extends != "" {
+			base, ok := c.w.Classes[x.Extends]
+			if !ok {
+				c.errorf(x.Pos(), "class %s extends unknown class %s", x.Name, x.Extends)
+			} else {
+				cls.Base = base
+			}
+		}
+		for _, a := range x.Attrs {
+			t := c.resolveTypeRef(a.Type)
+			if t == nil {
+				continue
+			}
+			if _, dup := cls.Lookup(a.Name); dup {
+				c.errorf(a.Type.Pos(), "class %s: attribute %s redeclared", x.Name, a.Name)
+				continue
+			}
+			cls.Attrs = append(cls.Attrs, Attr{Name: a.Name, Type: t})
+		}
+	}
+	// Detect inheritance cycles.
+	for name, cls := range c.w.Classes {
+		slow, fast := cls, cls
+		for fast != nil && fast.Base != nil {
+			slow, fast = slow.Base, fast.Base.Base
+			if slow == fast {
+				c.errorf(token.Pos{Line: 1, Col: 1}, "inheritance cycle involving class %s", name)
+				cls.Base = nil
+				break
+			}
+		}
+	}
+}
+
+func (c *checker) resolveTypeRef(ref ast.TypeRef) Type {
+	var base Type
+	switch ref.Name {
+	case "int":
+		base = IntType
+	case "float":
+		base = FloatType
+	case "Bool", "bool", "boolean":
+		base = BoolType
+	case "String", "string":
+		base = StringType
+	case "DateTime":
+		base = DateTimeType
+	default:
+		if cls, ok := c.w.Classes[ref.Name]; ok {
+			base = cls
+		} else if e, ok := c.w.Enums[ref.Name]; ok {
+			base = e
+		} else {
+			c.errorf(ref.Pos(), "unknown type %s", ref.Name)
+			return nil
+		}
+	}
+	for i := 0; i < ref.SetDepth; i++ {
+		base = &Set{Elem: base}
+	}
+	return base
+}
+
+// env is a lexical scope for expression checking.
+type env struct {
+	parent *env
+	vars   map[string]Type
+}
+
+func newEnv(parent *env) *env { return &env{parent: parent, vars: make(map[string]Type)} }
+
+func (e *env) lookup(name string) (Type, bool) {
+	for s := e; s != nil; s = s.parent {
+		if t, ok := s.vars[name]; ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// checkDecls checks constants, functions, and properties (pass 3).
+func (c *checker) checkDecls(spec *ast.Spec) {
+	// Declare signatures first so functions may call each other and
+	// constants are visible everywhere, independent of source order.
+	for _, d := range spec.Decls {
+		switch x := d.(type) {
+		case *ast.ConstDecl:
+			t := c.resolveTypeRef(x.Type)
+			if t == nil {
+				continue
+			}
+			if _, dup := c.w.Consts[x.Name]; dup {
+				c.errorf(x.Pos(), "constant %s redeclared", x.Name)
+				continue
+			}
+			c.w.Consts[x.Name] = t
+			c.w.ConstDecls[x.Name] = x
+		case *ast.FuncDecl:
+			ret := c.resolveTypeRef(x.RetType)
+			if ret == nil {
+				continue
+			}
+			if _, dup := c.w.Funcs[x.Name]; dup {
+				c.errorf(x.Pos(), "function %s redeclared", x.Name)
+				continue
+			}
+			sig := &FuncSig{Name: x.Name, Ret: ret}
+			for _, p := range x.Params {
+				pt := c.resolveTypeRef(p.Type)
+				if pt == nil {
+					pt = FloatType // error already reported; keep checking
+				}
+				sig.Params = append(sig.Params, Attr{Name: p.Name, Type: pt})
+			}
+			c.w.Funcs[x.Name] = sig
+			c.w.FuncDecls[x.Name] = x
+		}
+	}
+
+	for _, d := range spec.Decls {
+		switch x := d.(type) {
+		case *ast.ConstDecl:
+			want, ok := c.w.Consts[x.Name]
+			if !ok {
+				continue
+			}
+			got := c.checkExpr(x.Value, newEnv(nil))
+			if got != nil && !AssignableTo(got, want) {
+				c.errorf(x.Pos(), "constant %s declared %s but initialized with %s", x.Name, want, got)
+			}
+		case *ast.FuncDecl:
+			sig, ok := c.w.Funcs[x.Name]
+			if !ok {
+				continue
+			}
+			scope := newEnv(nil)
+			for _, p := range sig.Params {
+				scope.vars[p.Name] = p.Type
+			}
+			got := c.checkExpr(x.Body, scope)
+			if got != nil && !AssignableTo(got, sig.Ret) {
+				c.errorf(x.Pos(), "function %s declared to return %s but body has type %s", x.Name, sig.Ret, got)
+			}
+		case *ast.PropertyDecl:
+			c.checkProperty(x)
+		}
+	}
+}
+
+func (c *checker) checkProperty(x *ast.PropertyDecl) {
+	if _, dup := c.w.Props[x.Name]; dup {
+		c.errorf(x.Pos(), "property %s redeclared", x.Name)
+		return
+	}
+	sig := &PropertySig{Name: x.Name}
+	scope := newEnv(nil)
+	for _, p := range x.Params {
+		pt := c.resolveTypeRef(p.Type)
+		if pt == nil {
+			pt = FloatType
+		}
+		if _, dup := scope.vars[p.Name]; dup {
+			c.errorf(x.Pos(), "property %s: parameter %s repeated", x.Name, p.Name)
+		}
+		scope.vars[p.Name] = pt
+		sig.Params = append(sig.Params, Attr{Name: p.Name, Type: pt})
+	}
+	for _, l := range x.Lets {
+		want := c.resolveTypeRef(l.Type)
+		got := c.checkExpr(l.Value, scope)
+		if want == nil {
+			want = got
+		}
+		if want == nil {
+			want = FloatType
+		}
+		if got != nil && !AssignableTo(got, want) {
+			c.errorf(l.Type.Pos(), "property %s: LET %s declared %s but bound to %s", x.Name, l.Name, want, got)
+		}
+		scope.vars[l.Name] = want
+		sig.LetTypes = append(sig.LetTypes, Attr{Name: l.Name, Type: want})
+	}
+
+	if len(x.Conditions) == 0 {
+		c.errorf(x.Pos(), "property %s: missing CONDITION clause", x.Name)
+	}
+	labels := make(map[string]bool)
+	for _, cond := range x.Conditions {
+		if cond.Label != "" {
+			if labels[cond.Label] {
+				c.errorf(cond.Expr.Pos(), "property %s: condition label %s repeated", x.Name, cond.Label)
+			}
+			labels[cond.Label] = true
+		}
+		t := c.checkExpr(cond.Expr, scope)
+		if t != nil && !Identical(t, BoolType) {
+			c.errorf(cond.Expr.Pos(), "property %s: condition must be Bool, found %s", x.Name, t)
+		}
+	}
+	checkGuarded := func(kind string, gs []ast.Guarded) {
+		for _, g := range gs {
+			if g.Guard != "" && !labels[g.Guard] {
+				c.errorf(g.Expr.Pos(), "property %s: %s guard (%s) does not name a condition", x.Name, kind, g.Guard)
+			}
+			t := c.checkExpr(g.Expr, scope)
+			if t != nil && !IsNumeric(t) {
+				c.errorf(g.Expr.Pos(), "property %s: %s expression must be numeric, found %s", x.Name, kind, t)
+			}
+		}
+	}
+	checkGuarded("CONFIDENCE", x.Confidence)
+	checkGuarded("SEVERITY", x.Severity)
+
+	c.w.Props[x.Name] = sig
+	c.w.PropDecls[x.Name] = x
+}
+
+// checkExpr infers and records the type of e, reporting errors against the
+// expression's position. A nil result means the type could not be determined
+// (an error has already been reported).
+func (c *checker) checkExpr(e ast.Expr, scope *env) Type {
+	t := c.exprType(e, scope)
+	if t != nil {
+		c.w.Types[e] = t
+	}
+	return t
+}
+
+func (c *checker) exprType(e ast.Expr, scope *env) Type {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return IntType
+	case *ast.FloatLit:
+		return FloatType
+	case *ast.StringLit:
+		return StringType
+	case *ast.BoolLit:
+		return BoolType
+	case *ast.NullLit:
+		return NullType
+	case *ast.DateTimeLit:
+		return DateTimeType
+	case *ast.Ident:
+		if t, ok := scope.lookup(x.Name); ok {
+			return t
+		}
+		if t, ok := c.w.Consts[x.Name]; ok {
+			return t
+		}
+		if enum, ok := c.w.EnumMembers[x.Name]; ok {
+			return enum
+		}
+		c.errorf(x.Pos(), "undefined identifier %s", x.Name)
+		return nil
+	case *ast.Member:
+		recv := c.checkExpr(x.X, scope)
+		if recv == nil {
+			return nil
+		}
+		cls, ok := recv.(*Class)
+		if !ok {
+			c.errorf(x.Pos(), "attribute access .%s on non-class type %s", x.Name, recv)
+			return nil
+		}
+		attr, ok := cls.Lookup(x.Name)
+		if !ok {
+			c.errorf(x.Pos(), "class %s has no attribute %s", cls.Name, x.Name)
+			return nil
+		}
+		return attr.Type
+	case *ast.Unary:
+		t := c.checkExpr(x.X, scope)
+		if t == nil {
+			return nil
+		}
+		if x.Op == token.MINUS {
+			if !IsNumeric(t) {
+				c.errorf(x.Pos(), "unary - requires a numeric operand, found %s", t)
+				return nil
+			}
+			return t
+		}
+		if !Identical(t, BoolType) {
+			c.errorf(x.Pos(), "NOT requires a Bool operand, found %s", t)
+			return nil
+		}
+		return BoolType
+	case *ast.Binary:
+		return c.binaryType(x, scope)
+	case *ast.Call:
+		sig, ok := c.w.Funcs[x.Name]
+		if !ok {
+			c.errorf(x.Pos(), "call of undefined function %s", x.Name)
+			for _, a := range x.Args {
+				c.checkExpr(a, scope)
+			}
+			return nil
+		}
+		if len(x.Args) != len(sig.Params) {
+			c.errorf(x.Pos(), "function %s expects %d arguments, got %d", x.Name, len(sig.Params), len(x.Args))
+		}
+		for i, a := range x.Args {
+			at := c.checkExpr(a, scope)
+			if i < len(sig.Params) && at != nil && !AssignableTo(at, sig.Params[i].Type) {
+				c.errorf(a.Pos(), "function %s: argument %d has type %s, want %s", x.Name, i+1, at, sig.Params[i].Type)
+			}
+		}
+		return sig.Ret
+	case *ast.SetCompr:
+		src := c.checkExpr(x.Source, scope)
+		var elem Type
+		if src != nil {
+			set, ok := src.(*Set)
+			if !ok {
+				c.errorf(x.Source.Pos(), "set comprehension over non-set type %s", src)
+			} else {
+				elem = set.Elem
+			}
+		}
+		inner := newEnv(scope)
+		if elem == nil {
+			elem = FloatType
+		}
+		inner.vars[x.Var] = elem
+		if x.Cond != nil {
+			ct := c.checkExpr(x.Cond, inner)
+			if ct != nil && !Identical(ct, BoolType) {
+				c.errorf(x.Cond.Pos(), "WITH condition must be Bool, found %s", ct)
+			}
+		}
+		return &Set{Elem: elem}
+	case *ast.Unique:
+		st := c.checkExpr(x.Set, scope)
+		if st == nil {
+			return nil
+		}
+		set, ok := st.(*Set)
+		if !ok {
+			c.errorf(x.Pos(), "UNIQUE requires a set, found %s", st)
+			return nil
+		}
+		return set.Elem
+	case *ast.NAry:
+		var result Type = IntType
+		for _, a := range x.Args {
+			at := c.checkExpr(a, scope)
+			if at == nil {
+				continue
+			}
+			if !IsNumeric(at) {
+				c.errorf(a.Pos(), "%s argument must be numeric, found %s", x.Kind, at)
+				continue
+			}
+			if Identical(at, FloatType) {
+				result = FloatType
+			}
+		}
+		return result
+	case *ast.Agg:
+		return c.aggType(x, scope)
+	}
+	c.errorf(e.Pos(), "internal: unhandled expression %T", e)
+	return nil
+}
+
+func (c *checker) aggType(x *ast.Agg, scope *env) Type {
+	inner := scope
+	if x.Binder != "" {
+		src := c.checkExpr(x.Source, scope)
+		var elem Type
+		if src != nil {
+			set, ok := src.(*Set)
+			if !ok {
+				c.errorf(x.Source.Pos(), "%s WHERE %s IN ...: source is not a set (%s)", x.Kind, x.Binder, src)
+			} else {
+				elem = set.Elem
+			}
+		}
+		if elem == nil {
+			elem = FloatType
+		}
+		inner = newEnv(scope)
+		inner.vars[x.Binder] = elem
+		for _, cond := range x.Conds {
+			ct := c.checkExpr(cond, inner)
+			if ct != nil && !Identical(ct, BoolType) {
+				c.errorf(cond.Pos(), "%s filter must be Bool, found %s", x.Kind, ct)
+			}
+		}
+	}
+	vt := c.checkExpr(x.Value, inner)
+	if x.Binder == "" {
+		// Aggregate over a set-valued expression, e.g. COUNT(r.TotTimes).
+		if vt != nil {
+			set, ok := vt.(*Set)
+			if !ok {
+				c.errorf(x.Value.Pos(), "%s over non-set value of type %s", x.Kind, vt)
+				return nil
+			}
+			vt = set.Elem
+		}
+	}
+	switch x.Kind {
+	case ast.AggCount:
+		return IntType
+	case ast.AggAvg:
+		if vt != nil && !IsNumeric(vt) {
+			c.errorf(x.Value.Pos(), "%s requires numeric elements, found %s", x.Kind, vt)
+		}
+		return FloatType
+	case ast.AggSum:
+		if vt != nil && !IsNumeric(vt) {
+			c.errorf(x.Value.Pos(), "%s requires numeric elements, found %s", x.Kind, vt)
+			return FloatType
+		}
+		if vt == nil {
+			return FloatType
+		}
+		return vt
+	default: // MIN, MAX
+		if vt != nil && !IsNumeric(vt) && !Identical(vt, DateTimeType) && !Identical(vt, StringType) {
+			c.errorf(x.Value.Pos(), "%s requires ordered elements, found %s", x.Kind, vt)
+			return FloatType
+		}
+		if vt == nil {
+			return FloatType
+		}
+		return vt
+	}
+}
+
+func (c *checker) binaryType(x *ast.Binary, scope *env) Type {
+	lt := c.checkExpr(x.L, scope)
+	rt := c.checkExpr(x.R, scope)
+	if lt == nil || rt == nil {
+		return nil
+	}
+	switch x.Op {
+	case token.PLUS, token.MINUS, token.STAR, token.SLASH, token.PERCENT:
+		if x.Op == token.PLUS && Identical(lt, StringType) && Identical(rt, StringType) {
+			return StringType
+		}
+		if !IsNumeric(lt) || !IsNumeric(rt) {
+			c.errorf(x.Pos(), "operator %s requires numeric operands, found %s and %s", x.Op, lt, rt)
+			return nil
+		}
+		if x.Op == token.PERCENT {
+			if !Identical(lt, IntType) || !Identical(rt, IntType) {
+				c.errorf(x.Pos(), "operator %% requires int operands, found %s and %s", lt, rt)
+				return nil
+			}
+			return IntType
+		}
+		if Identical(lt, FloatType) || Identical(rt, FloatType) || x.Op == token.SLASH {
+			return FloatType
+		}
+		return IntType
+	case token.EQ, token.NEQ:
+		if !Comparable(lt, rt) {
+			c.errorf(x.Pos(), "cannot compare %s and %s", lt, rt)
+			return nil
+		}
+		return BoolType
+	case token.LT, token.LEQ, token.GT, token.GEQ:
+		if !Ordered(lt, rt) {
+			c.errorf(x.Pos(), "operator %s requires ordered operands, found %s and %s", x.Op, lt, rt)
+			return nil
+		}
+		return BoolType
+	case token.AND, token.OR:
+		if !Identical(lt, BoolType) || !Identical(rt, BoolType) {
+			c.errorf(x.Pos(), "operator %s requires Bool operands, found %s and %s", x.Op, lt, rt)
+			return nil
+		}
+		return BoolType
+	}
+	c.errorf(x.Pos(), "internal: unhandled binary operator %s", x.Op)
+	return nil
+}

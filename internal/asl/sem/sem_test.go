@@ -1,0 +1,262 @@
+package sem
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asl/parser"
+)
+
+func check(t *testing.T, src string) (*World, error) {
+	t.Helper()
+	spec, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Check(spec)
+}
+
+func mustCheck(t *testing.T, src string) *World {
+	t.Helper()
+	w, err := check(t, src)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return w
+}
+
+func wantErr(t *testing.T, src, fragment string) {
+	t.Helper()
+	_, err := check(t, src)
+	if err == nil {
+		t.Fatalf("expected error containing %q", fragment)
+	}
+	if !strings.Contains(err.Error(), fragment) {
+		t.Fatalf("error %q does not contain %q", err, fragment)
+	}
+}
+
+const base = `
+class Run { int NoPe; }
+class Timing { Run R; float T; }
+class Region { String Name; setof Timing Ts; }
+enum Color { Red, Green, Blue }
+`
+
+func TestClassResolution(t *testing.T) {
+	w := mustCheck(t, base)
+	region := w.Classes["Region"]
+	attr, ok := region.Lookup("Ts")
+	if !ok {
+		t.Fatal("Region.Ts missing")
+	}
+	set, ok := attr.Type.(*Set)
+	if !ok {
+		t.Fatalf("Ts type %s", attr.Type)
+	}
+	if set.Elem != w.Classes["Timing"] {
+		t.Fatalf("Ts element %s", set.Elem)
+	}
+}
+
+func TestInheritance(t *testing.T) {
+	w := mustCheck(t, `
+class Base { int X; }
+class Mid extends Base { int Y; }
+class Leaf extends Mid { int Z; }
+`)
+	leaf := w.Classes["Leaf"]
+	for _, name := range []string{"X", "Y", "Z"} {
+		if _, ok := leaf.Lookup(name); !ok {
+			t.Errorf("Leaf.%s not inherited", name)
+		}
+	}
+	if got := len(leaf.AllAttrs()); got != 3 {
+		t.Errorf("AllAttrs = %d", got)
+	}
+	if !leaf.IsSubclassOf(w.Classes["Base"]) || w.Classes["Base"].IsSubclassOf(leaf) {
+		t.Error("IsSubclassOf wrong")
+	}
+}
+
+func TestInheritanceCycle(t *testing.T) {
+	wantErr(t, `
+class A extends B { }
+class B extends A { }
+`, "cycle")
+}
+
+func TestDuplicateDeclarations(t *testing.T) {
+	wantErr(t, `class A {} class A {}`, "redeclared")
+	wantErr(t, `enum E { X } enum E { Y }`, "redeclared")
+	wantErr(t, `class A {} enum A { X }`, "both class and enum")
+	wantErr(t, `enum E { X, X }`, "repeated")
+	wantErr(t, `enum E { X } enum F { X }`, "already declared")
+	wantErr(t, `class A { int X; int X; }`, "redeclared")
+	wantErr(t, base+`float F(Run r) = 1.0; float F(Run r) = 2.0;`, "redeclared")
+	wantErr(t, base+`float C = 1.0; float C = 2.0;`, "redeclared")
+}
+
+func TestUnknownTypes(t *testing.T) {
+	wantErr(t, `class A { Bogus X; }`, "unknown type")
+	wantErr(t, `class A extends Nope { }`, "unknown class")
+}
+
+func TestFunctionChecks(t *testing.T) {
+	mustCheck(t, base+`float Total(Region r) = SUM(x.T WHERE x IN r.Ts);`)
+	wantErr(t, base+`int Total(Region r) = SUM(x.T WHERE x IN r.Ts);`, "declared to return")
+	wantErr(t, base+`float F(Region r) = r.Bogus;`, "no attribute")
+	wantErr(t, base+`float F(Region r) = G(r);`, "undefined function")
+	wantErr(t, base+`float F(Region r) = r.Name + 1;`, "numeric")
+}
+
+func TestExpressionTypes(t *testing.T) {
+	w := mustCheck(t, base+`
+float C1 = 1.5 * 2.0;
+int C2 = 3 + 4;
+float C3 = 3 / 4;
+Bool C4 = 1 < 2 AND true;
+Bool C5 = Red == Green;
+String C6 = "a" + "b";
+int C7 = 7 % 2;
+`)
+	if len(w.Consts) != 7 {
+		t.Fatalf("consts = %d", len(w.Consts))
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	wantErr(t, `float C = 1 + true;`, "numeric")
+	wantErr(t, `float C = "a" * 2;`, "numeric")
+	wantErr(t, `Bool C = 1 AND 2;`, "Bool")
+	wantErr(t, base+`Bool C = Red < Green;`, "ordered")
+	wantErr(t, base+`Bool C = Red == 1;`, "compare")
+	wantErr(t, `int C = 1.5 % 2;`, "int operands")
+	wantErr(t, `float C = -true;`, "numeric operand")
+	wantErr(t, `Bool C = NOT 5;`, "Bool operand")
+	wantErr(t, `float C = Undefined;`, "undefined identifier")
+}
+
+func TestIntPromotesToFloat(t *testing.T) {
+	mustCheck(t, `float C = 3;`)
+	wantErr(t, `int C = 3.5;`, "initialized with")
+}
+
+func TestPropertyChecks(t *testing.T) {
+	mustCheck(t, base+`
+property P(Region r, Run t) {
+  LET float Total = SUM(x.T WHERE x IN r.Ts AND x.R == t);
+  IN
+  CONDITION: (big) Total > 1.0;
+  CONFIDENCE: MAX((big) -> 0.8);
+  SEVERITY: Total;
+}`)
+	wantErr(t, base+`
+property P(Region r) {
+  CONDITION: r.Name;
+  CONFIDENCE: 1;
+  SEVERITY: 1;
+}`, "must be Bool")
+	wantErr(t, base+`
+property P(Region r) {
+  CONDITION: true;
+  CONFIDENCE: r.Name;
+  SEVERITY: 1;
+}`, "must be numeric")
+	wantErr(t, base+`
+property P(Region r) {
+  CONDITION: (a) true OR (a) false;
+  CONFIDENCE: 1;
+  SEVERITY: 1;
+}`, "repeated")
+	wantErr(t, base+`
+property P(Region r) {
+  CONDITION: (a) true;
+  CONFIDENCE: MAX((zz) -> 1);
+  SEVERITY: 1;
+}`, "does not name a condition")
+	wantErr(t, base+`
+property P(Region r, Region r) {
+  CONDITION: true;
+  CONFIDENCE: 1;
+  SEVERITY: 1;
+}`, "repeated")
+}
+
+func TestComprehensionAndUnique(t *testing.T) {
+	mustCheck(t, base+`
+Timing First(Region r, Run t) = UNIQUE({x IN r.Ts WITH x.R == t});
+float V(Region r, Run t) = First(r, t).T;
+`)
+	wantErr(t, base+`float F(Region r) = UNIQUE(r.Name);`, "requires a set")
+	wantErr(t, base+`float F(Region r) = SUM(x.T WHERE x IN r.Name);`, "not a set")
+	wantErr(t, base+`Bool F(Region r) = {x IN r.Ts WITH x.T};`, "must be Bool")
+}
+
+func TestAggregateTyping(t *testing.T) {
+	w := mustCheck(t, base+`
+int N(Region r) = COUNT(r.Ts);
+float A(Region r) = AVG(x.T WHERE x IN r.Ts);
+float M(Region r) = MIN(x.T WHERE x IN r.Ts);
+`)
+	if !Identical(w.Funcs["N"].Ret, IntType) {
+		t.Errorf("COUNT returns %s", w.Funcs["N"].Ret)
+	}
+	wantErr(t, base+`float F(Region r) = SUM(x.R WHERE x IN r.Ts);`, "numeric")
+	wantErr(t, base+`float F(Region r) = MAX(x.R WHERE x IN r.Ts);`, "ordered")
+}
+
+func TestNullAssignableToClass(t *testing.T) {
+	mustCheck(t, base+`Bool F(Region r) = r == null;`)
+	wantErr(t, `Bool C = 1 == null;`, "compare")
+}
+
+func TestCallArity(t *testing.T) {
+	wantErr(t, base+`
+float D(Region r, Run t) = 1.0;
+float F(Region r) = D(r);
+`, "expects 2 arguments")
+	wantErr(t, base+`
+float D(Region r) = 1.0;
+float F(Run t) = D(t);
+`, "want Region")
+}
+
+func TestAssignabilityAndComparability(t *testing.T) {
+	w := mustCheck(t, `
+class Base { int X; }
+class Sub extends Base { int Y; }
+`)
+	sub, bse := w.Classes["Sub"], w.Classes["Base"]
+	if !AssignableTo(sub, bse) || AssignableTo(bse, sub) {
+		t.Error("subclass assignability wrong")
+	}
+	if !AssignableTo(NullType, bse) {
+		t.Error("null not assignable to class")
+	}
+	if !AssignableTo(&Set{Elem: sub}, &Set{Elem: bse}) {
+		t.Error("set covariance for subclass failed")
+	}
+	if !Comparable(IntType, FloatType) || Comparable(IntType, BoolType) {
+		t.Error("comparability wrong")
+	}
+	if !Ordered(StringType, StringType) || Ordered(BoolType, BoolType) {
+		t.Error("ordering wrong")
+	}
+}
+
+func TestTypesRecorded(t *testing.T) {
+	w := mustCheck(t, base+`float F(Region r) = SUM(x.T WHERE x IN r.Ts);`)
+	decl := w.FuncDecls["F"]
+	typ, ok := w.Types[decl.Body]
+	if !ok || !Identical(typ, FloatType) {
+		t.Fatalf("body type %v recorded=%v", typ, ok)
+	}
+}
+
+func TestFuncSigString(t *testing.T) {
+	w := mustCheck(t, base+`float F(Region r, Run t) = 1.0;`)
+	if got := w.Funcs["F"].String(); !strings.Contains(got, "float F(Region r, Run t)") {
+		t.Errorf("signature: %s", got)
+	}
+}

@@ -1,0 +1,236 @@
+// Package sem implements semantic analysis for ASL specifications: symbol
+// resolution, the class hierarchy, and a full type checker over every
+// declaration and expression. Later stages (the object evaluator and the SQL
+// generator) rely on the types recorded here.
+package sem
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BasicKind enumerates the built-in scalar types of ASL.
+type BasicKind int
+
+// Built-in scalar types.
+const (
+	Int BasicKind = iota
+	Float
+	Bool
+	String
+	DateTime
+)
+
+// String returns the ASL spelling of the basic kind.
+func (k BasicKind) String() string {
+	switch k {
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case Bool:
+		return "Bool"
+	case String:
+		return "String"
+	case DateTime:
+		return "DateTime"
+	}
+	return fmt.Sprintf("BasicKind(%d)", int(k))
+}
+
+// Type is the interface implemented by all ASL types.
+type Type interface {
+	String() string
+	typ()
+}
+
+// Basic is a built-in scalar type.
+type Basic struct{ Kind BasicKind }
+
+func (t *Basic) typ()           {}
+func (t *Basic) String() string { return t.Kind.String() }
+
+// Singleton basic types, shared by the whole checker.
+var (
+	IntType      = &Basic{Kind: Int}
+	FloatType    = &Basic{Kind: Float}
+	BoolType     = &Basic{Kind: Bool}
+	StringType   = &Basic{Kind: String}
+	DateTimeType = &Basic{Kind: DateTime}
+)
+
+// Enum is a declared enumeration type such as TimingType.
+type Enum struct {
+	Name    string
+	Members []string
+	// Ordinal maps member name to its position.
+	Ordinal map[string]int
+}
+
+func (t *Enum) typ()           {}
+func (t *Enum) String() string { return t.Name }
+
+// Attr is a resolved class attribute.
+type Attr struct {
+	Name string
+	Type Type
+}
+
+// Class is a declared class type with single inheritance.
+type Class struct {
+	Name  string
+	Base  *Class // nil for root classes
+	Attrs []Attr // attributes declared directly on this class
+}
+
+func (t *Class) typ()           {}
+func (t *Class) String() string { return t.Name }
+
+// Lookup finds an attribute by name, searching the inheritance chain.
+func (t *Class) Lookup(name string) (Attr, bool) {
+	for c := t; c != nil; c = c.Base {
+		for _, a := range c.Attrs {
+			if a.Name == name {
+				return a, true
+			}
+		}
+	}
+	return Attr{}, false
+}
+
+// AllAttrs returns the attributes of the class including inherited ones,
+// base-class attributes first.
+func (t *Class) AllAttrs() []Attr {
+	var out []Attr
+	if t.Base != nil {
+		out = append(out, t.Base.AllAttrs()...)
+	}
+	return append(out, t.Attrs...)
+}
+
+// IsSubclassOf reports whether t is c or derives from c.
+func (t *Class) IsSubclassOf(c *Class) bool {
+	for x := t; x != nil; x = x.Base {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Set is "setof Elem".
+type Set struct{ Elem Type }
+
+func (t *Set) typ()           {}
+func (t *Set) String() string { return "setof " + t.Elem.String() }
+
+// Null is the type of the null literal; assignable to any class type.
+type Null struct{}
+
+func (t *Null) typ()           {}
+func (t *Null) String() string { return "null" }
+
+// NullType is the singleton null type.
+var NullType = &Null{}
+
+// IsNumeric reports whether t is int or float.
+func IsNumeric(t Type) bool {
+	b, ok := t.(*Basic)
+	return ok && (b.Kind == Int || b.Kind == Float)
+}
+
+// Identical reports structural type identity.
+func Identical(a, b Type) bool {
+	switch x := a.(type) {
+	case *Basic:
+		y, ok := b.(*Basic)
+		return ok && x.Kind == y.Kind
+	case *Enum:
+		return a == b
+	case *Class:
+		return a == b
+	case *Null:
+		_, ok := b.(*Null)
+		return ok
+	case *Set:
+		y, ok := b.(*Set)
+		return ok && Identical(x.Elem, y.Elem)
+	}
+	return false
+}
+
+// AssignableTo reports whether a value of type src can be used where dst is
+// expected: identity, int→float promotion, null→class, and subclass→base.
+func AssignableTo(src, dst Type) bool {
+	if Identical(src, dst) {
+		return true
+	}
+	if sb, ok := src.(*Basic); ok {
+		if db, ok := dst.(*Basic); ok && sb.Kind == Int && db.Kind == Float {
+			return true
+		}
+	}
+	if _, ok := src.(*Null); ok {
+		if _, ok := dst.(*Class); ok {
+			return true
+		}
+	}
+	if sc, ok := src.(*Class); ok {
+		if dc, ok := dst.(*Class); ok {
+			return sc.IsSubclassOf(dc)
+		}
+	}
+	if ss, ok := src.(*Set); ok {
+		if ds, ok := dst.(*Set); ok {
+			return AssignableTo(ss.Elem, ds.Elem)
+		}
+	}
+	return false
+}
+
+// Comparable reports whether values of the two types may be compared with
+// == and !=.
+func Comparable(a, b Type) bool {
+	if IsNumeric(a) && IsNumeric(b) {
+		return true
+	}
+	return AssignableTo(a, b) || AssignableTo(b, a)
+}
+
+// Ordered reports whether values of the two types may be compared with the
+// ordering operators < <= > >=.
+func Ordered(a, b Type) bool {
+	if IsNumeric(a) && IsNumeric(b) {
+		return true
+	}
+	ab, aok := a.(*Basic)
+	bb, bok := b.(*Basic)
+	if aok && bok && ab.Kind == bb.Kind && (ab.Kind == String || ab.Kind == DateTime) {
+		return true
+	}
+	return false
+}
+
+// FuncSig is the signature of a declared ASL function.
+type FuncSig struct {
+	Name   string
+	Params []Attr // parameter names and types, in order
+	Ret    Type
+}
+
+// String renders the signature.
+func (f *FuncSig) String() string {
+	parts := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		parts[i] = p.Type.String() + " " + p.Name
+	}
+	return fmt.Sprintf("%s %s(%s)", f.Ret, f.Name, strings.Join(parts, ", "))
+}
+
+// PropertySig is the checked signature of a property declaration.
+type PropertySig struct {
+	Name   string
+	Params []Attr
+	// LetTypes records the declared type of each LET binding, in order.
+	LetTypes []Attr
+}

@@ -1,0 +1,518 @@
+package sqlgen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/asl/ast"
+	"repro/internal/asl/sem"
+	"repro/internal/asl/token"
+)
+
+// CompiledProperty is an ASL property translated into a single SQL SELECT.
+// The query produces one row with one boolean column per condition
+// ("c0".."cN"), one numeric column per confidence entry ("f0"..) and one per
+// severity entry ("s0".."sM"). Property parameters become named SQL
+// parameters "$<param>" carrying object ids for class-typed parameters and
+// plain values otherwise.
+//
+// NULL columns arise where the object evaluator would raise an evaluation
+// error (UNIQUE over an empty set, MIN over an empty selection, and so on);
+// the analyzer treats both as "instance not evaluable".
+type CompiledProperty struct {
+	Name string
+	// Params are the ASL property parameters in order.
+	Params []sem.Attr
+	// SQL is the complete SELECT statement.
+	SQL string
+	// CondLabels holds the condition label (or "") per condition column.
+	CondLabels []string
+	// ConfGuards and SevGuards hold the guard label (or "") per confidence
+	// and severity column.
+	ConfGuards []string
+	SevGuards  []string
+}
+
+// maxInlineDepth bounds ASL function inlining.
+const maxInlineDepth = 32
+
+// CompileError reports a property that cannot be translated to SQL.
+type CompileError struct {
+	Property string
+	Pos      token.Pos
+	Msg      string
+}
+
+// Error implements the error interface.
+func (e *CompileError) Error() string {
+	return fmt.Sprintf("sqlgen: property %s: %s: %s", e.Property, e.Pos, e.Msg)
+}
+
+// compiler carries translation state for one property.
+type compiler struct {
+	w      *sem.World
+	prop   string
+	aliasN int
+	depth  int
+}
+
+// cval is a compiled ASL expression.
+//
+// Exactly one representation applies:
+//   - text != ""  — a SQL scalar expression; for class-typed values the
+//     expression yields the object id;
+//   - alias != "" — a bound table row (set-comprehension or aggregate
+//     binder variable), whose columns are directly addressable;
+//   - set != nil  — a set-valued expression (only legal inside UNIQUE,
+//     aggregates, and comprehensions).
+type cval struct {
+	text  string
+	alias string
+	class *sem.Class // non-nil for object-valued text/alias values
+	set   *setDesc
+	// isNull marks the ASL null literal.
+	isNull bool
+}
+
+// setDesc describes a compiled set expression: the elements of a junction
+// attribute, optionally filtered.
+type setDesc struct {
+	elem      *sem.Class
+	junction  string
+	ownerText string   // SQL expression for the owning object id
+	elemAlias string   // alias bound for the element rows
+	conds     []string // SQL predicates over elemAlias
+}
+
+func (c *compiler) errf(pos token.Pos, format string, args ...any) *CompileError {
+	return &CompileError{Property: c.prop, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (c *compiler) newAlias(prefix string) string {
+	c.aliasN++
+	return fmt.Sprintf("%s%d", prefix, c.aliasN)
+}
+
+// env maps ASL names to compiled values.
+type cenv struct {
+	parent *cenv
+	vars   map[string]cval
+}
+
+func newCEnv(parent *cenv) *cenv { return &cenv{parent: parent, vars: make(map[string]cval)} }
+
+func (e *cenv) lookup(name string) (cval, bool) {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v, true
+		}
+	}
+	return cval{}, false
+}
+
+// CompileProperty translates the named property of the world into SQL.
+func CompileProperty(w *sem.World, name string) (*CompiledProperty, error) {
+	decl, ok := w.PropDecls[name]
+	if !ok {
+		return nil, fmt.Errorf("sqlgen: unknown property %s", name)
+	}
+	sig := w.Props[name]
+	c := &compiler{w: w, prop: name}
+
+	env := newCEnv(nil)
+	for _, p := range sig.Params {
+		v := cval{text: "$" + p.Name}
+		if cls, isClass := p.Type.(*sem.Class); isClass {
+			v.class = cls
+		}
+		env.vars[p.Name] = v
+	}
+	for _, l := range decl.Lets {
+		v, err := c.compile(l.Value, env)
+		if err != nil {
+			return nil, err
+		}
+		env.vars[l.Name] = v
+	}
+
+	out := &CompiledProperty{Name: name, Params: sig.Params}
+	var items []string
+	for i, cond := range decl.Conditions {
+		sql, err := c.compileScalar(cond.Expr, env)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, fmt.Sprintf("%s AS c%d", sql, i))
+		out.CondLabels = append(out.CondLabels, cond.Label)
+	}
+	for i, g := range decl.Confidence {
+		sql, err := c.compileScalar(g.Expr, env)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, fmt.Sprintf("%s AS f%d", sql, i))
+		out.ConfGuards = append(out.ConfGuards, g.Guard)
+	}
+	for i, g := range decl.Severity {
+		sql, err := c.compileScalar(g.Expr, env)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, fmt.Sprintf("%s AS s%d", sql, i))
+		out.SevGuards = append(out.SevGuards, g.Guard)
+	}
+	out.SQL = "SELECT " + strings.Join(items, ", ")
+	return out, nil
+}
+
+// compileScalar compiles an expression that must yield a SQL scalar.
+func (c *compiler) compileScalar(e ast.Expr, env *cenv) (string, error) {
+	v, err := c.compile(e, env)
+	if err != nil {
+		return "", err
+	}
+	switch {
+	case v.set != nil:
+		return "", c.errf(e.Pos(), "set-valued expression where a scalar is required")
+	case v.alias != "":
+		// A bare binder variable as a scalar means its id.
+		return v.alias + ".id", nil
+	case v.isNull:
+		return "NULL", nil
+	default:
+		return v.text, nil
+	}
+}
+
+// idText returns a SQL expression for the object id of a class-typed value.
+func (c *compiler) idText(v cval, pos token.Pos) (string, error) {
+	switch {
+	case v.alias != "":
+		return v.alias + ".id", nil
+	case v.class != nil:
+		return v.text, nil
+	}
+	return "", c.errf(pos, "expected an object value")
+}
+
+func (c *compiler) compile(e ast.Expr, env *cenv) (cval, error) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return cval{text: strconv.FormatInt(x.Value, 10)}, nil
+	case *ast.FloatLit:
+		return cval{text: strconv.FormatFloat(x.Value, 'g', -1, 64)}, nil
+	case *ast.StringLit:
+		return cval{text: sqlString(x.Value)}, nil
+	case *ast.BoolLit:
+		if x.Value {
+			return cval{text: "TRUE"}, nil
+		}
+		return cval{text: "FALSE"}, nil
+	case *ast.NullLit:
+		return cval{isNull: true}, nil
+	case *ast.DateTimeLit:
+		return cval{text: strconv.FormatInt(x.Value, 10)}, nil
+	case *ast.Ident:
+		if v, ok := env.lookup(x.Name); ok {
+			return v, nil
+		}
+		if decl, ok := c.w.ConstDecls[x.Name]; ok {
+			return c.compile(decl.Value, newCEnv(nil))
+		}
+		if _, ok := c.w.EnumMembers[x.Name]; ok {
+			return cval{text: sqlString(x.Name)}, nil
+		}
+		return cval{}, c.errf(x.Pos(), "undefined identifier %s", x.Name)
+	case *ast.Member:
+		return c.compileMember(x, env)
+	case *ast.Unary:
+		sub, err := c.compileScalar(x.X, env)
+		if err != nil {
+			return cval{}, err
+		}
+		if x.Op == token.MINUS {
+			return cval{text: "(-" + sub + ")"}, nil
+		}
+		return cval{text: "(NOT " + sub + ")"}, nil
+	case *ast.Binary:
+		return c.compileBinary(x, env)
+	case *ast.Call:
+		return c.compileCall(x, env)
+	case *ast.SetCompr:
+		src, err := c.compileSet(x.Source, env)
+		if err != nil {
+			return cval{}, err
+		}
+		inner := newCEnv(env)
+		inner.vars[x.Var] = cval{alias: src.elemAlias, class: src.elem}
+		if x.Cond != nil {
+			cond, err := c.compileScalar(x.Cond, inner)
+			if err != nil {
+				return cval{}, err
+			}
+			src.conds = append(src.conds, cond)
+		}
+		return cval{set: src}, nil
+	case *ast.Unique:
+		src, err := c.compileSet(x.Set, env)
+		if err != nil {
+			return cval{}, err
+		}
+		return cval{text: c.setQuery(src, src.elemAlias+".id"), class: src.elem}, nil
+	case *ast.Agg:
+		return c.compileAgg(x, env)
+	case *ast.NAry:
+		return cval{}, c.errf(x.Pos(), "scalar %s(...) argument lists are not supported in SQL translation", x.Kind)
+	}
+	return cval{}, c.errf(e.Pos(), "internal: unhandled expression %T", e)
+}
+
+// compileSet compiles an expression that must denote a set.
+func (c *compiler) compileSet(e ast.Expr, env *cenv) (*setDesc, error) {
+	v, err := c.compile(e, env)
+	if err != nil {
+		return nil, err
+	}
+	if v.set == nil {
+		return nil, c.errf(e.Pos(), "expected a set-valued expression")
+	}
+	return v.set, nil
+}
+
+// setQuery renders a setDesc as a scalar subquery computing valueSQL.
+func (c *compiler) setQuery(s *setDesc, valueSQL string) string {
+	j := c.newAlias("j")
+	var b strings.Builder
+	fmt.Fprintf(&b, "(SELECT %s FROM %s %s JOIN %s %s ON %s.id = %s.elem_id WHERE %s.owner_id = %s",
+		valueSQL, s.junction, j, s.elem.Name, s.elemAlias, s.elemAlias, j, j, s.ownerText)
+	for _, cond := range s.conds {
+		b.WriteString(" AND ")
+		b.WriteString(cond)
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+func (c *compiler) compileMember(x *ast.Member, env *cenv) (cval, error) {
+	base, err := c.compile(x.X, env)
+	if err != nil {
+		return cval{}, err
+	}
+	if base.set != nil {
+		return cval{}, c.errf(x.Pos(), "attribute access on a set")
+	}
+	if base.class == nil {
+		return cval{}, c.errf(x.Pos(), "attribute access on a non-object value")
+	}
+	attr, ok := base.class.Lookup(x.Name)
+	if !ok {
+		return cval{}, c.errf(x.Pos(), "class %s has no attribute %s", base.class.Name, x.Name)
+	}
+
+	if set, isSet := attr.Type.(*sem.Set); isSet {
+		elem, ok := set.Elem.(*sem.Class)
+		if !ok {
+			return cval{}, c.errf(x.Pos(), "setof %s is not a class set", set.Elem)
+		}
+		owner, err := c.idText(base, x.Pos())
+		if err != nil {
+			return cval{}, err
+		}
+		return cval{set: &setDesc{
+			elem:      elem,
+			junction:  JunctionFor(base.class, x.Name),
+			ownerText: owner,
+			elemAlias: c.newAlias("a"),
+		}}, nil
+	}
+
+	col := ColumnFor(attr)
+	var out cval
+	if cls, isClass := attr.Type.(*sem.Class); isClass {
+		out.class = cls
+	}
+	if base.alias != "" {
+		out.text = base.alias + "." + col
+		return out, nil
+	}
+	// Dereference via a scalar subquery on the base class table.
+	a := c.newAlias("d")
+	out.text = fmt.Sprintf("(SELECT %s.%s FROM %s %s WHERE %s.id = %s)",
+		a, col, base.class.Name, a, a, base.text)
+	return out, nil
+}
+
+func (c *compiler) compileBinary(x *ast.Binary, env *cenv) (cval, error) {
+	l, err := c.compile(x.L, env)
+	if err != nil {
+		return cval{}, err
+	}
+	r, err := c.compile(x.R, env)
+	if err != nil {
+		return cval{}, err
+	}
+	// Comparisons against the null literal become IS NULL tests.
+	if l.isNull || r.isNull {
+		other := l
+		if l.isNull {
+			other = r
+		}
+		text, err := c.scalarOf(other, x.Pos())
+		if err != nil {
+			return cval{}, err
+		}
+		switch x.Op {
+		case token.EQ:
+			return cval{text: "(" + text + " IS NULL)"}, nil
+		case token.NEQ:
+			return cval{text: "(" + text + " IS NOT NULL)"}, nil
+		}
+		return cval{}, c.errf(x.Pos(), "null may only be compared with == or !=")
+	}
+	lt, err := c.scalarOf(l, x.L.Pos())
+	if err != nil {
+		return cval{}, err
+	}
+	rt, err := c.scalarOf(r, x.R.Pos())
+	if err != nil {
+		return cval{}, err
+	}
+	var op string
+	switch x.Op {
+	case token.PLUS:
+		op = "+"
+	case token.MINUS:
+		op = "-"
+	case token.STAR:
+		op = "*"
+	case token.SLASH:
+		op = "/"
+	case token.PERCENT:
+		op = "%"
+	case token.EQ:
+		op = "="
+	case token.NEQ:
+		op = "<>"
+	case token.LT:
+		op = "<"
+	case token.LEQ:
+		op = "<="
+	case token.GT:
+		op = ">"
+	case token.GEQ:
+		op = ">="
+	case token.AND:
+		op = "AND"
+	case token.OR:
+		op = "OR"
+	default:
+		return cval{}, c.errf(x.Pos(), "operator %s is not supported in SQL translation", x.Op)
+	}
+	return cval{text: "(" + lt + " " + op + " " + rt + ")"}, nil
+}
+
+// scalarOf renders a compiled value as a SQL scalar (object values render as
+// their id).
+func (c *compiler) scalarOf(v cval, pos token.Pos) (string, error) {
+	switch {
+	case v.set != nil:
+		return "", c.errf(pos, "set value used as a scalar")
+	case v.alias != "":
+		return v.alias + ".id", nil
+	case v.isNull:
+		return "NULL", nil
+	}
+	return v.text, nil
+}
+
+func (c *compiler) compileCall(x *ast.Call, env *cenv) (cval, error) {
+	decl, ok := c.w.FuncDecls[x.Name]
+	if !ok {
+		return cval{}, c.errf(x.Pos(), "call of unknown function %s", x.Name)
+	}
+	if len(x.Args) != len(decl.Params) {
+		return cval{}, c.errf(x.Pos(), "function %s expects %d arguments, got %d", x.Name, len(decl.Params), len(x.Args))
+	}
+	if c.depth >= maxInlineDepth {
+		return cval{}, c.errf(x.Pos(), "function inlining exceeds depth %d (recursive functions cannot be translated)", maxInlineDepth)
+	}
+	inner := newCEnv(nil)
+	for i, p := range decl.Params {
+		av, err := c.compile(x.Args[i], env)
+		if err != nil {
+			return cval{}, err
+		}
+		inner.vars[p.Name] = av
+	}
+	c.depth++
+	defer func() { c.depth-- }()
+	return c.compile(decl.Body, inner)
+}
+
+func (c *compiler) compileAgg(x *ast.Agg, env *cenv) (cval, error) {
+	var src *setDesc
+	inner := env
+	if x.Binder != "" {
+		var err error
+		src, err = c.compileSet(x.Source, env)
+		if err != nil {
+			return cval{}, err
+		}
+		inner = newCEnv(env)
+		inner.vars[x.Binder] = cval{alias: src.elemAlias, class: src.elem}
+		for _, cond := range x.Conds {
+			sql, err := c.compileScalar(cond, inner)
+			if err != nil {
+				return cval{}, err
+			}
+			src.conds = append(src.conds, sql)
+		}
+	} else {
+		var err error
+		src, err = c.compileSet(x.Value, env)
+		if err != nil {
+			return cval{}, err
+		}
+		if x.Kind != ast.AggCount {
+			return cval{}, c.errf(x.Pos(), "%s over a bare set is only supported for COUNT", x.Kind)
+		}
+		return cval{text: c.setQuery(src, "COUNT(*)")}, nil
+	}
+
+	if x.Kind == ast.AggCount {
+		return cval{text: c.setQuery(src, "COUNT(*)")}, nil
+	}
+	valSQL, err := c.compileScalar(x.Value, inner)
+	if err != nil {
+		return cval{}, err
+	}
+	agg := c.setQuery(src, fmt.Sprintf("%s(%s)", x.Kind, valSQL))
+	if x.Kind == ast.AggSum {
+		// ASL defines SUM over an empty selection as zero; SQL yields NULL.
+		agg = "COALESCE(" + agg + ", 0)"
+	}
+	return cval{text: agg}, nil
+}
+
+func sqlString(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}
+
+// CompileAll compiles every property of the world, returning them keyed by
+// name. Properties that cannot be translated are reported in the errors map
+// rather than failing the whole batch, mirroring COSY's per-property
+// fallback to client-side evaluation.
+func CompileAll(w *sem.World) (map[string]*CompiledProperty, map[string]error) {
+	out := make(map[string]*CompiledProperty)
+	errs := make(map[string]error)
+	for name := range w.PropDecls {
+		cp, err := CompileProperty(w, name)
+		if err != nil {
+			errs[name] = err
+			continue
+		}
+		out[name] = cp
+	}
+	return out, errs
+}

@@ -1,0 +1,229 @@
+// Package sqlgen implements the automation the paper lists as future work:
+// it derives a relational database schema from an ASL data model and
+// translates ASL performance properties into SQL queries, so that property
+// conditions are evaluated entirely inside the database (the fast path of
+// the paper's Section 5).
+//
+// Mapping conventions:
+//
+//   - every class becomes a table named after the class with an "id"
+//     INTEGER PRIMARY KEY;
+//   - scalar attributes map to columns of the same name (int, DateTime →
+//     INTEGER; float → REAL; String, enums → TEXT; Bool → BOOLEAN);
+//   - class-valued attributes become "<Attr>_id" foreign-key columns;
+//   - "setof C" attributes become junction tables "<Class>_<Attr>" with
+//     owner_id and elem_id columns and an index on owner_id.
+package sqlgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/asl/object"
+	"repro/internal/asl/sem"
+	"repro/internal/sqldb"
+)
+
+// ColumnFor returns the column name of a scalar or class-valued attribute.
+func ColumnFor(attr sem.Attr) string {
+	if _, ok := attr.Type.(*sem.Class); ok {
+		return attr.Name + "_id"
+	}
+	return attr.Name
+}
+
+// JunctionFor returns the junction table name of a set-valued attribute.
+func JunctionFor(class *sem.Class, attrName string) string {
+	return class.Name + "_" + attrName
+}
+
+// sqlTypeFor maps an ASL scalar type to a SQL column type.
+func sqlTypeFor(t sem.Type) (string, error) {
+	switch x := t.(type) {
+	case *sem.Basic:
+		switch x.Kind {
+		case sem.Int, sem.DateTime:
+			return "INTEGER", nil
+		case sem.Float:
+			return "REAL", nil
+		case sem.String:
+			return "TEXT", nil
+		case sem.Bool:
+			return "BOOLEAN", nil
+		}
+	case *sem.Enum:
+		return "TEXT", nil
+	case *sem.Class:
+		return "INTEGER", nil // foreign key
+	}
+	return "", fmt.Errorf("sqlgen: no SQL type for %s", t)
+}
+
+// Schema generates the DDL statements (CREATE TABLE and CREATE INDEX) for
+// every class of the world, in deterministic order.
+func Schema(w *sem.World) ([]string, error) {
+	names := make([]string, 0, len(w.Classes))
+	for n := range w.Classes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var ddl []string
+	for _, n := range names {
+		cls := w.Classes[n]
+		var cols []string
+		cols = append(cols, "id INTEGER PRIMARY KEY")
+		var indexes []string
+		for _, attr := range cls.AllAttrs() {
+			if set, ok := attr.Type.(*sem.Set); ok {
+				elem, ok := set.Elem.(*sem.Class)
+				if !ok {
+					return nil, fmt.Errorf("sqlgen: class %s: setof %s is not a class set", n, set.Elem)
+				}
+				j := JunctionFor(cls, attr.Name)
+				ddl = append(ddl,
+					fmt.Sprintf("CREATE TABLE %s (owner_id INTEGER NOT NULL, elem_id INTEGER NOT NULL)", j))
+				indexes = append(indexes,
+					fmt.Sprintf("CREATE INDEX idx_%s_owner ON %s (owner_id)", j, j),
+					fmt.Sprintf("CREATE INDEX idx_%s_elem ON %s (elem_id)", j, j))
+				_ = elem
+				continue
+			}
+			st, err := sqlTypeFor(attr.Type)
+			if err != nil {
+				return nil, fmt.Errorf("sqlgen: class %s attribute %s: %w", n, attr.Name, err)
+			}
+			cols = append(cols, fmt.Sprintf("%s %s", ColumnFor(attr), st))
+			if _, isClass := attr.Type.(*sem.Class); isClass {
+				indexes = append(indexes,
+					fmt.Sprintf("CREATE INDEX idx_%s_%s ON %s (%s)", n, ColumnFor(attr), n, ColumnFor(attr)))
+			}
+		}
+		ddl = append(ddl, fmt.Sprintf("CREATE TABLE %s (%s)", n, strings.Join(cols, ", ")))
+		ddl = append(ddl, indexes...)
+	}
+	return ddl, nil
+}
+
+// Statement is one parameterized SQL statement of a load plan.
+type Statement struct {
+	SQL    string
+	Params *sqldb.Params
+}
+
+// toSQLValue converts a runtime ASL value to a SQL value.
+func toSQLValue(v object.Value) (sqldb.Value, error) {
+	switch x := v.(type) {
+	case object.Int:
+		return sqldb.NewInt(int64(x)), nil
+	case object.Float:
+		return sqldb.NewFloat(float64(x)), nil
+	case object.Str:
+		return sqldb.NewText(string(x)), nil
+	case object.Bool:
+		return sqldb.NewBool(bool(x)), nil
+	case object.DateTime:
+		return sqldb.NewInt(int64(x)), nil
+	case object.Enum:
+		return sqldb.NewText(x.Member), nil
+	case object.Null:
+		return sqldb.Null, nil
+	case *object.Object:
+		return sqldb.NewInt(x.ID), nil
+	}
+	return sqldb.Null, fmt.Errorf("sqlgen: cannot store %s value in a column", v.TypeName())
+}
+
+// LoadPlan converts an object store into one INSERT statement per object
+// plus one per set membership, mirroring the record-at-a-time insertion the
+// paper benchmarks. Statements come out in store allocation order.
+func LoadPlan(store *object.Store) ([]Statement, error) {
+	var stmts []Statement
+	for _, obj := range store.All() {
+		cls := obj.Class
+		colNames := []string{"id"}
+		vals := []sqldb.Value{sqldb.NewInt(obj.ID)}
+		var junctions []Statement
+		for _, attr := range cls.AllAttrs() {
+			if _, isSet := attr.Type.(*sem.Set); isSet {
+				setVal, ok := obj.Get(attr.Name).(*object.Set)
+				if !ok {
+					continue
+				}
+				j := JunctionFor(cls, attr.Name)
+				for _, elem := range setVal.Elems {
+					eo, ok := elem.(*object.Object)
+					if !ok {
+						return nil, fmt.Errorf("sqlgen: %s.%s holds a non-object element", cls.Name, attr.Name)
+					}
+					junctions = append(junctions, Statement{
+						SQL: fmt.Sprintf("INSERT INTO %s (owner_id, elem_id) VALUES (?, ?)", j),
+						Params: &sqldb.Params{Positional: []sqldb.Value{
+							sqldb.NewInt(obj.ID), sqldb.NewInt(eo.ID),
+						}},
+					})
+				}
+				continue
+			}
+			sv, err := toSQLValue(obj.Get(attr.Name))
+			if err != nil {
+				return nil, fmt.Errorf("sqlgen: %s.%s: %w", cls.Name, attr.Name, err)
+			}
+			colNames = append(colNames, ColumnFor(attr))
+			vals = append(vals, sv)
+		}
+		marks := strings.Repeat("?, ", len(colNames))
+		stmts = append(stmts, Statement{
+			SQL: fmt.Sprintf("INSERT INTO %s (%s) VALUES (%s)",
+				cls.Name, strings.Join(colNames, ", "), marks[:len(marks)-2]),
+			Params: &sqldb.Params{Positional: vals},
+		})
+		stmts = append(stmts, junctions...)
+	}
+	return stmts, nil
+}
+
+// Executor abstracts statement execution so the loader works against both
+// the embedded engine and a godbc connection.
+type Executor interface {
+	Exec(query string, params *sqldb.Params) (affected int, err error)
+}
+
+// ExecutorFunc adapts a function to the Executor interface.
+type ExecutorFunc func(query string, params *sqldb.Params) (int, error)
+
+// Exec implements Executor.
+func (f ExecutorFunc) Exec(query string, params *sqldb.Params) (int, error) {
+	return f(query, params)
+}
+
+// CreateSchema runs the generated DDL against an executor.
+func CreateSchema(w *sem.World, exec Executor) error {
+	ddl, err := Schema(w)
+	if err != nil {
+		return err
+	}
+	for _, stmt := range ddl {
+		if _, err := exec.Exec(stmt, nil); err != nil {
+			return fmt.Errorf("sqlgen: %s: %w", stmt, err)
+		}
+	}
+	return nil
+}
+
+// Load executes the full load plan for a store.
+func Load(store *object.Store, exec Executor) (int, error) {
+	plan, err := LoadPlan(store)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, stmt := range plan {
+		if _, err := exec.Exec(stmt.SQL, stmt.Params); err != nil {
+			return n, fmt.Errorf("sqlgen: %s: %w", stmt.SQL, err)
+		}
+		n++
+	}
+	return n, nil
+}

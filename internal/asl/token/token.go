@@ -1,0 +1,257 @@
+// Package token defines the lexical tokens of the APART Specification
+// Language (ASL) as used by the KOJAK Cost Analyzer, together with source
+// positions for error reporting.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Keyword kinds follow the grammar of the paper (Figure 1 plus
+// the data-model syntax of Section 4.1). ASL keywords are case-insensitive.
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	// Literals and identifiers.
+	IDENT    // Duration, r, TotTimes
+	INT      // 42
+	FLOAT    // 3.14
+	STRING   // "sweep3d"
+	DATETIME // @1999-12-17T10:30:00@
+
+	// Operators and delimiters.
+	PLUS      // +
+	MINUS     // -
+	STAR      // *
+	SLASH     // /
+	PERCENT   // %
+	ASSIGN    // =
+	EQ        // ==
+	NEQ       // !=
+	LT        // <
+	LEQ       // <=
+	GT        // >
+	GEQ       // >=
+	ARROW     // ->
+	LPAREN    // (
+	RPAREN    // )
+	LBRACE    // {
+	RBRACE    // }
+	LBRACKET  // [
+	RBRACKET  // ]
+	COMMA     // ,
+	SEMICOLON // ;
+	COLON     // :
+	DOT       // .
+	NOT       // ! (also keyword NOT)
+
+	// Keywords.
+	keywordBegin
+	CLASS
+	ENUM
+	EXTENDS
+	SETOF
+	PROPERTY
+	LET
+	IN
+	CONDITION
+	CONFIDENCE
+	SEVERITY
+	MAX
+	MIN
+	SUM
+	AVG
+	COUNT
+	UNIQUE
+	WITH
+	WHERE
+	AND
+	OR
+	NOTKW
+	TRUE
+	FALSE
+	NULLKW
+	keywordEnd
+)
+
+var kindNames = map[Kind]string{
+	ILLEGAL:    "ILLEGAL",
+	EOF:        "EOF",
+	IDENT:      "IDENT",
+	INT:        "INT",
+	FLOAT:      "FLOAT",
+	STRING:     "STRING",
+	DATETIME:   "DATETIME",
+	PLUS:       "+",
+	MINUS:      "-",
+	STAR:       "*",
+	SLASH:      "/",
+	PERCENT:    "%",
+	ASSIGN:     "=",
+	EQ:         "==",
+	NEQ:        "!=",
+	LT:         "<",
+	LEQ:        "<=",
+	GT:         ">",
+	GEQ:        ">=",
+	ARROW:      "->",
+	LPAREN:     "(",
+	RPAREN:     ")",
+	LBRACE:     "{",
+	RBRACE:     "}",
+	LBRACKET:   "[",
+	RBRACKET:   "]",
+	COMMA:      ",",
+	SEMICOLON:  ";",
+	COLON:      ":",
+	DOT:        ".",
+	NOT:        "!",
+	CLASS:      "class",
+	ENUM:       "enum",
+	EXTENDS:    "extends",
+	SETOF:      "setof",
+	PROPERTY:   "property",
+	LET:        "LET",
+	IN:         "IN",
+	CONDITION:  "CONDITION",
+	CONFIDENCE: "CONFIDENCE",
+	SEVERITY:   "SEVERITY",
+	MAX:        "MAX",
+	MIN:        "MIN",
+	SUM:        "SUM",
+	AVG:        "AVG",
+	COUNT:      "COUNT",
+	UNIQUE:     "UNIQUE",
+	WITH:       "WITH",
+	WHERE:      "WHERE",
+	AND:        "AND",
+	OR:         "OR",
+	NOTKW:      "NOT",
+	TRUE:       "true",
+	FALSE:      "false",
+	NULLKW:     "null",
+}
+
+// String returns the textual spelling of the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsKeyword reports whether the kind is an ASL keyword.
+func (k Kind) IsKeyword() bool { return k > keywordBegin && k < keywordEnd }
+
+// keywords maps lower-cased spellings to the case-insensitive keyword
+// kinds: the paper itself mixes "Property" and "PROPERTY".
+var keywords = map[string]Kind{
+	"class":      CLASS,
+	"enum":       ENUM,
+	"extends":    EXTENDS,
+	"setof":      SETOF,
+	"property":   PROPERTY,
+	"let":        LET,
+	"in":         IN,
+	"condition":  CONDITION,
+	"confidence": CONFIDENCE,
+	"severity":   SEVERITY,
+	"with":       WITH,
+	"where":      WHERE,
+	"and":        AND,
+	"or":         OR,
+	"not":        NOTKW,
+	"true":       TRUE,
+	"false":      FALSE,
+	"null":       NULLKW,
+}
+
+// aggKeywords are recognized only in their exact uppercase spelling, which
+// is how the paper writes them. The paper also uses "sum" as a set-
+// comprehension variable, so these spellings cannot be case-insensitive.
+var aggKeywords = map[string]Kind{
+	"MAX":    MAX,
+	"MIN":    MIN,
+	"SUM":    SUM,
+	"AVG":    AVG,
+	"COUNT":  COUNT,
+	"UNIQUE": UNIQUE,
+}
+
+// Lookup maps an identifier spelling to its keyword kind, or IDENT if the
+// spelling is not a keyword. Structural keywords match case-insensitively;
+// the aggregate operators MAX, MIN, SUM, AVG, COUNT and UNIQUE match only in
+// uppercase (the paper uses "sum" as an ordinary variable).
+func Lookup(ident string) Kind {
+	if k, ok := aggKeywords[ident]; ok {
+		return k
+	}
+	if k, ok := keywords[toLower(ident)]; ok {
+		return k
+	}
+	return IDENT
+}
+
+func toLower(s string) string {
+	b := []byte(s)
+	changed := false
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+			changed = true
+		}
+	}
+	if !changed {
+		return s
+	}
+	return string(b)
+}
+
+// Pos is a source position: 1-based line and column.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Valid reports whether the position has been set.
+func (p Pos) Valid() bool { return p.Line > 0 }
+
+// Token is a single lexical token with its source text and position.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, FLOAT, STRING, DATETIME, ILLEGAL:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Precedence returns the binary-operator precedence for expression parsing,
+// or 0 if the kind is not a binary operator. Higher binds tighter.
+func (k Kind) Precedence() int {
+	switch k {
+	case OR:
+		return 1
+	case AND:
+		return 2
+	case EQ, NEQ, LT, LEQ, GT, GEQ:
+		return 3
+	case PLUS, MINUS:
+		return 4
+	case STAR, SLASH, PERCENT:
+		return 5
+	}
+	return 0
+}

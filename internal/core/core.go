@@ -1,0 +1,599 @@
+// Package core implements the KOJAK Cost Analyzer (COSY): it enumerates
+// property instances over a performance-data snapshot, evaluates them with
+// either the ASL object interpreter (client-side) or the generated SQL
+// queries (server-side), ranks properties by severity, and reports
+// performance problems and the bottleneck, following Section 3 and 4 of the
+// paper.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/asl/ast"
+	"repro/internal/asl/eval"
+	"repro/internal/asl/object"
+	"repro/internal/asl/sem"
+	"repro/internal/asl/sqlgen"
+	"repro/internal/model"
+	"repro/internal/sqldb"
+)
+
+// DefaultThreshold is the severity above which a property is a performance
+// problem: 5% of the ranking basis duration.
+const DefaultThreshold = 0.05
+
+// Outcome is the result of evaluating one property instance.
+type Outcome struct {
+	// Holds reports whether any condition of the property was true.
+	Holds bool
+	// Confidence in [0,1].
+	Confidence float64
+	// Severity relative to the ranking basis.
+	Severity float64
+	// Diagnostic is non-empty when the instance could not be evaluated
+	// (missing data; UNIQUE over an empty set and similar), in which case
+	// Holds is false.
+	Diagnostic string
+}
+
+// Instance is one evaluated property instance.
+type Instance struct {
+	// Property is the ASL property name.
+	Property string
+	// Context describes the instance parameters, e.g. "region main/sweep".
+	Context string
+	Outcome
+}
+
+// Report is the analysis result for one test run.
+type Report struct {
+	Program   string
+	NoPe      int
+	Engine    string
+	Threshold float64
+	// Instances holds every instance that holds, sorted by decreasing
+	// severity (ties broken by property and context for determinism).
+	Instances []Instance
+	// Skipped counts instances that did not hold; Diagnostics lists
+	// instances that could not be evaluated.
+	Skipped     int
+	Diagnostics []Instance
+}
+
+// Problems returns the instances whose severity exceeds the threshold, i.e.
+// the performance problems of the paper's definition.
+func (r *Report) Problems() []Instance {
+	var out []Instance
+	for _, in := range r.Instances {
+		if in.Severity > r.Threshold {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// Bottleneck returns the most severe instance, or nil if nothing holds. Per
+// the paper, if the bottleneck is not a performance problem the program
+// needs no further tuning.
+func (r *Report) Bottleneck() *Instance {
+	if len(r.Instances) == 0 {
+		return nil
+	}
+	return &r.Instances[0]
+}
+
+// Render formats the report as a text table.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "COSY analysis: program %s, %d PEs (engine: %s)\n", r.Program, r.NoPe, r.Engine)
+	fmt.Fprintf(&b, "severity threshold: %.3f\n", r.Threshold)
+	if len(r.Instances) == 0 {
+		b.WriteString("no performance properties hold; nothing to tune\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-28s %-34s %10s %6s %s\n", "PROPERTY", "CONTEXT", "SEVERITY", "CONF", "PROBLEM")
+	for _, in := range r.Instances {
+		mark := ""
+		if in.Severity > r.Threshold {
+			mark = "yes"
+		}
+		fmt.Fprintf(&b, "%-28s %-34s %10.4f %6.2f %s\n", in.Property, in.Context, in.Severity, in.Confidence, mark)
+	}
+	if bn := r.Bottleneck(); bn != nil {
+		fmt.Fprintf(&b, "bottleneck: %s at %s (severity %.4f)\n", bn.Property, bn.Context, bn.Severity)
+	}
+	for _, d := range r.Diagnostics {
+		fmt.Fprintf(&b, "diagnostic: %s %s: %s\n", d.Property, d.Context, d.Diagnostic)
+	}
+	return b.String()
+}
+
+// Option configures an Analyzer.
+type Option func(*Analyzer)
+
+// WithThreshold sets the performance-problem severity threshold.
+func WithThreshold(t float64) Option { return func(a *Analyzer) { a.threshold = t } }
+
+// WithProperties restricts and orders the evaluated properties.
+func WithProperties(names ...string) Option {
+	return func(a *Analyzer) { a.props = append([]string(nil), names...) }
+}
+
+// WithCallFilter restricts a FunctionCall-context property to call sites of
+// the named callee ("" removes the restriction). By default LoadImbalance is
+// restricted to the barrier routine, as the paper prescribes.
+func WithCallFilter(property, callee string) Option {
+	return func(a *Analyzer) { a.callFilter[property] = callee }
+}
+
+// WithConst overrides a specification constant (e.g. ImbalanceThreshold).
+func WithConst(name string, value float64) Option {
+	return func(a *Analyzer) { a.consts[name] = value }
+}
+
+// Analyzer evaluates the canonical property set over a materialized graph.
+type Analyzer struct {
+	world      *sem.World
+	graph      *model.Graph
+	threshold  float64
+	props      []string
+	callFilter map[string]string
+	consts     map[string]float64
+}
+
+// New returns an analyzer over the graph.
+func New(g *model.Graph, opts ...Option) *Analyzer {
+	a := &Analyzer{
+		world:      g.World,
+		graph:      g,
+		threshold:  DefaultThreshold,
+		props:      append([]string(nil), model.AllProperties...),
+		callFilter: map[string]string{"LoadImbalance": model.BarrierFunction},
+		consts:     make(map[string]float64),
+	}
+	for _, o := range opts {
+		o(a)
+	}
+	return a
+}
+
+// Threshold returns the configured problem threshold.
+func (a *Analyzer) Threshold() float64 { return a.threshold }
+
+// instCtx is one property instance before evaluation.
+type instCtx struct {
+	label string
+	args  []object.Value
+	// ids carries the argument object ids for the SQL engine, keyed by
+	// parameter name.
+	params *sqldb.Params
+}
+
+// scope is the slice of a database one analysis looks at: the regions and
+// call sites of one program version, the selected test run, and the ranking
+// basis. The COSY database holds multiple applications and versions; the
+// scope is what the paper's "select a program version and a specific test
+// run" step produces.
+type scope struct {
+	regions []*object.Object
+	calls   []*object.Object
+	run     *object.Object
+	basis   *object.Object
+}
+
+// scopeFromGraph builds the scope for a run of the analyzer's own dataset.
+func (a *Analyzer) scopeFromGraph(run *model.TestRun) (*scope, error) {
+	runObj, ok := a.graph.Runs[run]
+	if !ok {
+		return nil, fmt.Errorf("core: run not part of the analyzed dataset")
+	}
+	sc := &scope{regions: a.graph.OrderedRegions, calls: a.graph.OrderedCalls, run: runObj}
+	var err error
+	if sc.basis, err = findBasis(sc.regions); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// scopeFromStore rebuilds the scope inside a store fetched back from the
+// database: it locates the analyzer's program by name, the version by
+// compilation timestamp, and the run by processor count, then walks the
+// containment sets in order.
+func (a *Analyzer) scopeFromStore(store *object.Store, version *model.Version, nope int) (*scope, error) {
+	var prog *object.Object
+	for _, p := range store.OfClass("Program") {
+		if n, ok := p.Get("Name").(object.Str); ok && string(n) == a.graph.Dataset.Program {
+			prog = p
+			break
+		}
+	}
+	if prog == nil {
+		return nil, fmt.Errorf("core: program %s not in database", a.graph.Dataset.Program)
+	}
+	var verObj *object.Object
+	if versions, ok := prog.Get("Versions").(*object.Set); ok {
+		for _, v := range versions.Elems {
+			vo, ok := v.(*object.Object)
+			if !ok {
+				continue
+			}
+			if c, ok := vo.Get("Compilation").(object.DateTime); ok && int64(c) == version.Compilation.Unix() {
+				verObj = vo
+				break
+			}
+		}
+	}
+	if verObj == nil {
+		return nil, fmt.Errorf("core: program version not in database")
+	}
+	sc := &scope{}
+	if runs, ok := verObj.Get("Runs").(*object.Set); ok {
+		for _, r := range runs.Elems {
+			ro, ok := r.(*object.Object)
+			if !ok {
+				continue
+			}
+			if n, ok := ro.Get("NoPe").(object.Int); ok && int(n) == nope {
+				sc.run = ro
+				break
+			}
+		}
+	}
+	if sc.run == nil {
+		return nil, fmt.Errorf("core: no test run with %d PEs", nope)
+	}
+	if funcs, ok := verObj.Get("Functions").(*object.Set); ok {
+		for _, f := range funcs.Elems {
+			fo, ok := f.(*object.Object)
+			if !ok {
+				continue
+			}
+			if regions, ok := fo.Get("Regions").(*object.Set); ok {
+				for _, r := range regions.Elems {
+					if ro, ok := r.(*object.Object); ok {
+						sc.regions = append(sc.regions, ro)
+					}
+				}
+			}
+		}
+		for _, f := range funcs.Elems {
+			fo, ok := f.(*object.Object)
+			if !ok {
+				continue
+			}
+			if calls, ok := fo.Get("Calls").(*object.Set); ok {
+				for _, c := range calls.Elems {
+					if co, ok := c.(*object.Object); ok {
+						sc.calls = append(sc.calls, co)
+					}
+				}
+			}
+		}
+	}
+	var err error
+	if sc.basis, err = findBasis(sc.regions); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// contexts enumerates the instances of a property over a scope: properties
+// with a Region first parameter get one instance per region; properties
+// with a FunctionCall first parameter one per (optionally filtered) call
+// site. The test run and ranking basis fill the remaining parameters.
+func (a *Analyzer) contexts(sc *scope, prop string) ([]instCtx, error) {
+	decl := a.world.PropDecls[prop]
+	if decl == nil {
+		return nil, fmt.Errorf("core: unknown property %s", prop)
+	}
+	sig := a.world.Props[prop]
+	if len(sig.Params) != 3 {
+		return nil, fmt.Errorf("core: property %s: unsupported parameter count %d", prop, len(sig.Params))
+	}
+	firstClass, ok := sig.Params[0].Type.(*sem.Class)
+	if !ok {
+		return nil, fmt.Errorf("core: property %s: first parameter is not class typed", prop)
+	}
+
+	mk := func(label string, first *object.Object) instCtx {
+		return instCtx{
+			label: label,
+			args:  []object.Value{first, sc.run, sc.basis},
+			params: &sqldb.Params{Named: map[string]sqldb.Value{
+				sig.Params[0].Name: sqldb.NewInt(first.ID),
+				sig.Params[1].Name: sqldb.NewInt(sc.run.ID),
+				sig.Params[2].Name: sqldb.NewInt(sc.basis.ID),
+			}},
+		}
+	}
+
+	var out []instCtx
+	switch firstClass.Name {
+	case "Region":
+		for _, r := range sc.regions {
+			name, _ := r.Get("Name").(object.Str)
+			out = append(out, mk("region "+string(name), r))
+		}
+	case "FunctionCall":
+		filter := a.callFilter[prop]
+		for _, c := range sc.calls {
+			callee, _ := c.Get("Callee").(object.Str)
+			if filter != "" && string(callee) != filter {
+				continue
+			}
+			where := ""
+			if reg, ok := c.Get("CallingReg").(*object.Object); ok {
+				if n, ok := reg.Get("Name").(object.Str); ok {
+					where = "@" + string(n)
+				}
+			}
+			out = append(out, mk("call "+string(callee)+where, c))
+		}
+	default:
+		return nil, fmt.Errorf("core: property %s: unsupported context class %s", prop, firstClass.Name)
+	}
+	return out, nil
+}
+
+// findBasis locates the whole-program region, the default ranking basis.
+func findBasis(regions []*object.Object) (*object.Object, error) {
+	for _, r := range regions {
+		if k, ok := r.Get("Kind").(object.Str); ok && string(k) == string(model.KindProgram) {
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("core: no program region to use as ranking basis")
+}
+
+// finish sorts, classifies, and wraps evaluated instances into a report.
+func (a *Analyzer) finish(engine string, nope int, instances []Instance) *Report {
+	rep := &Report{
+		Program:   a.graph.Dataset.Program,
+		NoPe:      nope,
+		Engine:    engine,
+		Threshold: a.threshold,
+	}
+	for _, in := range instances {
+		switch {
+		case in.Diagnostic != "":
+			rep.Diagnostics = append(rep.Diagnostics, in)
+		case in.Holds:
+			rep.Instances = append(rep.Instances, in)
+		default:
+			rep.Skipped++
+		}
+	}
+	sort.SliceStable(rep.Instances, func(i, j int) bool {
+		a, b := rep.Instances[i], rep.Instances[j]
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		if a.Property != b.Property {
+			return a.Property < b.Property
+		}
+		return a.Context < b.Context
+	})
+	return rep
+}
+
+// AnalyzeObject evaluates all properties for the run using the ASL object
+// interpreter over the in-memory graph.
+func (a *Analyzer) AnalyzeObject(run *model.TestRun) (*Report, error) {
+	sc, err := a.scopeFromGraph(run)
+	if err != nil {
+		return nil, err
+	}
+	instances, err := a.evalScope(sc)
+	if err != nil {
+		return nil, err
+	}
+	return a.finish("object", run.NoPe, instances), nil
+}
+
+// objectEvaluator builds the object engine with the configured constant
+// overrides applied.
+func (a *Analyzer) objectEvaluator() *eval.Evaluator {
+	ev := eval.New(a.world)
+	for name, v := range a.consts {
+		ev.SetConst(name, object.Float(v))
+	}
+	return ev
+}
+
+// evalScope runs the object engine over a scope.
+func (a *Analyzer) evalScope(sc *scope) ([]Instance, error) {
+	ev := a.objectEvaluator()
+	var instances []Instance
+	for _, prop := range a.props {
+		ctxs, err := a.contexts(sc, prop)
+		if err != nil {
+			return nil, err
+		}
+		for _, ctx := range ctxs {
+			in := Instance{Property: prop, Context: ctx.label}
+			res, err := ev.EvalProperty(prop, ctx.args...)
+			if err != nil {
+				in.Diagnostic = err.Error()
+			} else {
+				in.Holds = res.Holds
+				in.Confidence = res.Confidence
+				in.Severity = res.Severity
+			}
+			instances = append(instances, in)
+		}
+	}
+	return instances, nil
+}
+
+// QueryExec is the query interface shared by the embedded engine and godbc
+// connections.
+type QueryExec = sqlgen.QueryExecutor
+
+// AnalyzeSQL evaluates all properties for the run by executing the compiled
+// SQL queries against a database that holds the dataset (see sqlgen.Load).
+// This is the paper's preferred configuration: conditions and severity
+// expressions run entirely inside the database.
+func (a *Analyzer) AnalyzeSQL(run *model.TestRun, q QueryExec) (*Report, error) {
+	sc, err := a.scopeFromGraph(run)
+	if err != nil {
+		return nil, err
+	}
+	var instances []Instance
+	for _, prop := range a.props {
+		cp, err := sqlgen.CompileProperty(a.world, prop)
+		if err != nil {
+			return nil, fmt.Errorf("core: compiling %s: %w", prop, err)
+		}
+		sql, err := a.overrideConsts(cp, prop)
+		if err != nil {
+			return nil, err
+		}
+		ctxs, err := a.contexts(sc, prop)
+		if err != nil {
+			return nil, err
+		}
+		for _, ctx := range ctxs {
+			in := Instance{Property: prop, Context: ctx.label}
+			set, err := q.ExecQuery(sql, ctx.params)
+			if err != nil {
+				in.Diagnostic = err.Error()
+			} else {
+				in.Outcome = interpretRow(cp, set)
+			}
+			instances = append(instances, in)
+		}
+	}
+	return a.finish("sql", run.NoPe, instances), nil
+}
+
+// overrideConsts applies constant overrides to a compiled property. The
+// compiler inlines constants as their literal SQL spelling, so an override
+// is a textual substitution of that spelling. Only literal-valued constants
+// (the canonical spec's thresholds) can be overridden on the SQL path.
+func (a *Analyzer) overrideConsts(cp *sqlgen.CompiledProperty, prop string) (string, error) {
+	sql := cp.SQL
+	for name, v := range a.consts {
+		decl, ok := a.world.ConstDecls[name]
+		if !ok {
+			return "", fmt.Errorf("core: unknown constant %s", name)
+		}
+		var old string
+		switch lit := decl.Value.(type) {
+		case *ast.FloatLit:
+			old = strconv.FormatFloat(lit.Value, 'g', -1, 64)
+		case *ast.IntLit:
+			old = strconv.FormatInt(lit.Value, 10)
+		default:
+			return "", fmt.Errorf("core: constant %s is not a literal; cannot override it in the SQL engine", name)
+		}
+		if strings.Contains(sql, old) {
+			sql = strings.ReplaceAll(sql, old, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	_ = prop
+	return sql, nil
+}
+
+// interpretRow folds the single result row of a compiled property query into
+// an Outcome, applying the condition/guard semantics of the ASL evaluator.
+func interpretRow(cp *sqlgen.CompiledProperty, set *sqldb.ResultSet) Outcome {
+	var out Outcome
+	if len(set.Rows) != 1 {
+		out.Diagnostic = fmt.Sprintf("compiled query returned %d rows", len(set.Rows))
+		return out
+	}
+	row := set.Rows[0]
+	nc := len(cp.CondLabels)
+	nf := len(cp.ConfGuards)
+	if len(row) != nc+nf+len(cp.SevGuards) {
+		out.Diagnostic = "compiled query returned wrong column count"
+		return out
+	}
+	condTrue := make(map[string]bool)
+	for i := 0; i < nc; i++ {
+		v := row[i]
+		if v.IsNull() {
+			out.Diagnostic = "condition not evaluable (NULL)"
+			return out
+		}
+		if !v.IsBool() {
+			out.Diagnostic = "condition column is not boolean"
+			return out
+		}
+		if v.Bool() {
+			out.Holds = true
+			if cp.CondLabels[i] != "" {
+				condTrue[cp.CondLabels[i]] = true
+			}
+		}
+	}
+	if !out.Holds {
+		return out
+	}
+	fold := func(guards []string, base int) (float64, string) {
+		best := 0.0
+		for i, g := range guards {
+			if g != "" && !condTrue[g] {
+				continue
+			}
+			v := row[base+i]
+			if v.IsNull() {
+				return 0, "guarded expression not evaluable (NULL)"
+			}
+			if !v.IsNumeric() {
+				return 0, "guarded expression is not numeric"
+			}
+			if f := v.Float(); f > best {
+				best = f
+			}
+		}
+		return best, ""
+	}
+	var diag string
+	if out.Confidence, diag = fold(cp.ConfGuards, nc); diag != "" {
+		return Outcome{Diagnostic: diag}
+	}
+	if out.Severity, diag = fold(cp.SevGuards, nc+nf); diag != "" {
+		return Outcome{Diagnostic: diag}
+	}
+	return out
+}
+
+// AnalyzeClientSide fetches the entire dataset out of the database first and
+// then evaluates the properties with the object interpreter — the slow
+// configuration of the paper's Section 5 ("first accessing the data
+// components and evaluating the expressions in the analysis tool").
+func (a *Analyzer) AnalyzeClientSide(run *model.TestRun, q QueryExec) (*Report, error) {
+	store, err := sqlgen.ReadStore(a.world, q)
+	if err != nil {
+		return nil, err
+	}
+	version := a.versionOf(run)
+	if version == nil {
+		return nil, fmt.Errorf("core: run not part of the analyzed dataset")
+	}
+	sc, err := a.scopeFromStore(store, version, run.NoPe)
+	if err != nil {
+		return nil, err
+	}
+	instances, err := a.evalScope(sc)
+	if err != nil {
+		return nil, err
+	}
+	return a.finish("client-sql", run.NoPe, instances), nil
+}
+
+// versionOf returns the dataset version containing the run.
+func (a *Analyzer) versionOf(run *model.TestRun) *model.Version {
+	for _, v := range a.graph.Dataset.Versions {
+		for _, r := range v.Runs {
+			if r == run {
+				return v
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apprentice"
+	"repro/internal/godbc"
+	"repro/internal/model"
+	"repro/internal/sqldb"
+)
+
+func simulateNamed(t *testing.T, w *apprentice.Workload, pes ...int) *model.Dataset {
+	t.Helper()
+	ds, err := apprentice.Simulate(w, apprentice.PartitionSweep(pes...), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestRepositoryMultipleApplications(t *testing.T) {
+	repo := NewRepository()
+	dsA := simulateNamed(t, apprentice.Particles(), 2, 8, 32)
+	dsB := simulateNamed(t, apprentice.IOBound(), 2, 8, 32)
+	if _, err := repo.Add(dsA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.Add(dsB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.Add(dsA); err == nil {
+		t.Fatal("duplicate program accepted")
+	}
+	if got := repo.Programs(); len(got) != 2 || got[0] != "particles" {
+		t.Fatalf("programs: %v", got)
+	}
+	if repo.Graph("particles") == nil || repo.Graph("nope") != nil {
+		t.Fatal("Graph lookup")
+	}
+
+	// Analyses of the two programs must not bleed into each other even
+	// though they share the store.
+	aA, err := repo.Analyzer("particles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	aB, err := repo.Analyzer("checkpointer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	repA, err := aA.AnalyzeObject(dsA.Versions[0].Runs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	repB, err := aB.AnalyzeObject(dsB.Versions[0].Runs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range repA.Instances {
+		if strings.Contains(in.Context, "checkpoint") {
+			t.Fatalf("particles report contains checkpointer region: %s", in.Context)
+		}
+	}
+	for _, in := range repB.Instances {
+		if strings.Contains(in.Context, "forces") {
+			t.Fatalf("checkpointer report contains particles region: %s", in.Context)
+		}
+	}
+	if _, err := repo.Analyzer("missing"); err == nil {
+		t.Fatal("unknown program accepted")
+	}
+}
+
+func TestRepositorySharedDatabaseAllEngines(t *testing.T) {
+	repo := NewRepository()
+	dsA := simulateNamed(t, apprentice.Particles(), 2, 8, 32)
+	dsB := simulateNamed(t, apprentice.Stencil(), 2, 8, 32)
+	for _, ds := range []*model.Dataset{dsA, dsB} {
+		if _, err := repo.Add(ds); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db := sqldb.NewDB()
+	exec := func(q string, p *sqldb.Params) (int, error) {
+		res, err := db.Exec(q, p)
+		if err != nil {
+			return 0, err
+		}
+		return res.Affected, nil
+	}
+	if err := repo.Load(execFunc(exec)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both programs' runs with identical NoPe live in the shared database;
+	// the SQL engine and the client-side path must still agree with the
+	// object engine for each program separately.
+	for _, tc := range []struct {
+		ds *model.Dataset
+	}{{dsA}, {dsB}} {
+		a, err := repo.Analyzer(tc.ds.Program)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := tc.ds.Versions[0].Runs[2]
+		obj, err := a.AnalyzeObject(run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sqlRep, err := a.AnalyzeSQL(run, godbc.Embedded{DB: db})
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareReports(t, obj, sqlRep)
+		client, err := a.AnalyzeClientSide(run, godbc.Embedded{DB: db})
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareReports(t, obj, client)
+	}
+}
+
+type execFunc func(q string, p *sqldb.Params) (int, error)
+
+func (f execFunc) Exec(q string, p *sqldb.Params) (int, error) { return f(q, p) }
+
+func TestCompareReports(t *testing.T) {
+	g := buildGraph(t, apprentice.Amdahl(), 2, 8, 32)
+	a := New(g)
+	runs := g.Dataset.Versions[0].Runs
+	small, err := a.AnalyzeObject(runs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := a.AnalyzeObject(runs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := CompareReports(small, big)
+	if len(deltas) == 0 {
+		t.Fatal("no deltas")
+	}
+	// Amdahl: severity grows with the partition, so the top delta must be
+	// positive and the list sorted by |change|.
+	if deltas[0].Change() <= 0 {
+		t.Fatalf("top delta: %+v", deltas[0])
+	}
+	for i := 1; i < len(deltas); i++ {
+		a0 := deltas[i-1].Change()
+		a1 := deltas[i].Change()
+		abs := func(x float64) float64 {
+			if x < 0 {
+				return -x
+			}
+			return x
+		}
+		if abs(a0) < abs(a1) {
+			t.Fatalf("deltas not sorted: %v then %v", deltas[i-1], deltas[i])
+		}
+	}
+	text := RenderDeltas(deltas)
+	if !strings.Contains(text, "CHANGE") || !strings.Contains(text, "SublinearSpeedup") {
+		t.Fatalf("render:\n%s", text)
+	}
+}
+
+func TestCompareReportsDisjointInstances(t *testing.T) {
+	before := &Report{Instances: []Instance{{Property: "A", Context: "x", Outcome: Outcome{Severity: 0.4}}}}
+	after := &Report{Instances: []Instance{{Property: "B", Context: "y", Outcome: Outcome{Severity: 0.1}}}}
+	deltas := CompareReports(before, after)
+	if len(deltas) != 2 {
+		t.Fatalf("deltas: %+v", deltas)
+	}
+	if deltas[0].Property != "A" || deltas[0].Change() != -0.4 {
+		t.Fatalf("vanished instance: %+v", deltas[0])
+	}
+	if deltas[1].Property != "B" || deltas[1].Change() != 0.1 {
+		t.Fatalf("new instance: %+v", deltas[1])
+	}
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/asl/object"
+	"repro/internal/asl/sem"
+	"repro/internal/model"
+)
+
+// Hierarchy is a property refinement tree: child property -> parent
+// property. The paper introduces the idea with "The LoadImbalance property
+// is a refinement of the SyncCost property", following the proof/refinement
+// rule design of the OPAL tool it cites: a refinement hypothesis is only
+// worth evaluating where its parent is already a proven problem.
+type Hierarchy map[string]string
+
+// DefaultHierarchy reflects the refinement structure of the canonical
+// specification: everything explains a part of the sublinear speedup;
+// measured cost splits into synchronization, communication, and I/O;
+// imbalance and call granularity refine their respective parents.
+func DefaultHierarchy() Hierarchy {
+	return Hierarchy{
+		"MeasuredCost":             "SublinearSpeedup",
+		"UnmeasuredCost":           "SublinearSpeedup",
+		"SyncCost":                 "MeasuredCost",
+		"CommunicationCost":        "MeasuredCost",
+		"IOCost":                   "MeasuredCost",
+		"LoadImbalance":            "SyncCost",
+		"FrequentFineGrainedCalls": "MeasuredCost",
+	}
+}
+
+// Roots returns the properties without parents, restricted to the given
+// evaluation set, in that set's order.
+func (h Hierarchy) Roots(props []string) []string {
+	var out []string
+	for _, p := range props {
+		if _, hasParent := h[p]; !hasParent {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Children returns the direct refinements of a property, restricted to the
+// given evaluation set, in that set's order.
+func (h Hierarchy) Children(parent string, props []string) []string {
+	var out []string
+	for _, p := range props {
+		if h[p] == parent {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Validate rejects hierarchies with unknown properties or cycles.
+func (h Hierarchy) Validate(known map[string]*sem.PropertySig) error {
+	for child, parent := range h {
+		if _, ok := known[child]; !ok {
+			return fmt.Errorf("core: hierarchy refines unknown property %s", child)
+		}
+		if _, ok := known[parent]; !ok {
+			return fmt.Errorf("core: hierarchy names unknown parent %s", parent)
+		}
+	}
+	for start := range h {
+		slow, fast := start, start
+		for {
+			fast = h[fast]
+			if fast == "" {
+				break
+			}
+			fast = h[fast]
+			slow = h[slow]
+			if fast == "" {
+				break
+			}
+			if slow == fast {
+				return fmt.Errorf("core: hierarchy cycle involving %s", start)
+			}
+		}
+	}
+	return nil
+}
+
+// SearchStats reports how much work the guided search did compared to
+// exhaustive evaluation.
+type SearchStats struct {
+	// Evaluated counts property instances actually evaluated.
+	Evaluated int
+	// Exhaustive counts the instances a full evaluation would touch.
+	Exhaustive int
+}
+
+// Savings is the fraction of instance evaluations avoided.
+func (s SearchStats) Savings() float64 {
+	if s.Exhaustive == 0 {
+		return 0
+	}
+	return 1 - float64(s.Evaluated)/float64(s.Exhaustive)
+}
+
+// AnalyzeGuided performs the refinement-driven search of the OPAL design
+// the paper builds on: root properties are evaluated for every context, and
+// a refinement is evaluated only where its parent is a performance problem
+// (severity above the threshold). Refinement descends both axes, property
+// and program structure: when a property is proven at region r, its
+// refinements are evaluated throughout r's region subtree (a parent
+// region's cost is explained by overheads recorded in its descendants),
+// and call-scoped refinements at the call sites inside that subtree.
+func (a *Analyzer) AnalyzeGuided(run *model.TestRun, h Hierarchy) (*Report, *SearchStats, error) {
+	if err := h.Validate(a.world.Props); err != nil {
+		return nil, nil, err
+	}
+	sc, err := a.scopeFromGraph(run)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	stats := &SearchStats{}
+	for _, prop := range a.props {
+		ctxs, err := a.contexts(sc, prop)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats.Exhaustive += len(ctxs)
+	}
+
+	ev := a.objectEvaluator()
+	var instances []Instance
+	evaluated := make(map[string]bool)
+
+	// evalIn evaluates one property for one pre-built context, once.
+	evalIn := func(prop string, ctx instCtx) (Instance, bool) {
+		key := prop + "\x00" + ctx.label
+		if evaluated[key] {
+			return Instance{}, false
+		}
+		evaluated[key] = true
+		stats.Evaluated++
+		in := Instance{Property: prop, Context: ctx.label}
+		res, err := ev.EvalProperty(prop, ctx.args...)
+		if err != nil {
+			in.Diagnostic = err.Error()
+			return in, true
+		}
+		in.Holds = res.Holds
+		in.Confidence = res.Confidence
+		in.Severity = res.Severity
+		return in, true
+	}
+
+	// The work list pairs a property with the region subtree that scopes it.
+	type item struct {
+		prop string
+		root *object.Object // nil means "all regions" (search roots)
+	}
+	var queue []item
+	for _, root := range h.Roots(a.props) {
+		queue = append(queue, item{prop: root})
+	}
+
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		ctxs, err := a.contexts(sc, it.prop)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, ctx := range ctxs {
+			if it.root != nil && !ctxInSubtree(ctx, it.root) {
+				continue
+			}
+			in, fresh := evalIn(it.prop, ctx)
+			if !fresh {
+				continue
+			}
+			instances = append(instances, in)
+			if in.Holds && in.Severity > a.threshold {
+				region := contextRegion(ctx)
+				for _, child := range h.Children(it.prop, a.props) {
+					queue = append(queue, item{prop: child, root: region})
+				}
+			}
+		}
+	}
+
+	rep := a.finish("guided", run.NoPe, instances)
+	return rep, stats, nil
+}
+
+// contextRegion extracts the region object scoping a context: the first
+// argument for region properties, the calling region for call properties.
+func contextRegion(ctx instCtx) *object.Object {
+	first, _ := ctx.args[0].(*object.Object)
+	if first == nil {
+		return nil
+	}
+	if first.Class.Name == "Region" {
+		return first
+	}
+	if reg, ok := first.Get("CallingReg").(*object.Object); ok {
+		return reg
+	}
+	return nil
+}
+
+// ctxInSubtree reports whether a context's region lies in the subtree
+// rooted at the given region (following ParentRegion links).
+func ctxInSubtree(ctx instCtx, root *object.Object) bool {
+	for r := contextRegion(ctx); r != nil; {
+		if r == root {
+			return true
+		}
+		parent, ok := r.Get("ParentRegion").(*object.Object)
+		if !ok {
+			return false
+		}
+		r = parent
+	}
+	return false
+}
+
+// SortedBySeverity returns instances ordered as reports order them; used by
+// tests comparing guided and exhaustive results.
+func SortedBySeverity(in []Instance) []Instance {
+	out := append([]Instance(nil), in...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Severity != out[j].Severity {
+			return out[i].Severity > out[j].Severity
+		}
+		if out[i].Property != out[j].Property {
+			return out[i].Property < out[j].Property
+		}
+		return out[i].Context < out[j].Context
+	})
+	return out
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/apprentice"
+	"repro/internal/model"
+)
+
+func TestHierarchyValidation(t *testing.T) {
+	g := buildGraph(t, apprentice.Stencil())
+	a := New(g)
+	run := lastRun(g)
+
+	if _, _, err := a.AnalyzeGuided(run, Hierarchy{"Bogus": "SyncCost"}); err == nil {
+		t.Fatal("unknown child accepted")
+	}
+	if _, _, err := a.AnalyzeGuided(run, Hierarchy{"SyncCost": "Bogus"}); err == nil {
+		t.Fatal("unknown parent accepted")
+	}
+	if _, _, err := a.AnalyzeGuided(run, Hierarchy{"SyncCost": "MeasuredCost", "MeasuredCost": "SyncCost"}); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
+
+func TestHierarchyStructure(t *testing.T) {
+	h := DefaultHierarchy()
+	props := model.AllProperties
+	roots := h.Roots(props)
+	if len(roots) != 1 || roots[0] != "SublinearSpeedup" {
+		t.Fatalf("roots: %v", roots)
+	}
+	kids := h.Children("MeasuredCost", props)
+	if len(kids) != 4 {
+		t.Fatalf("MeasuredCost children: %v", kids)
+	}
+	if got := h.Children("LoadImbalance", props); len(got) != 0 {
+		t.Fatalf("leaf with children: %v", got)
+	}
+}
+
+// TestGuidedSearchMatchesExhaustiveOnProblems verifies the OPAL-style
+// search finds every performance problem the exhaustive evaluation finds
+// whose ancestors are problems too (that is the contract of refinement),
+// while evaluating fewer instances.
+func TestGuidedSearchMatchesExhaustiveOnProblems(t *testing.T) {
+	for name, w := range apprentice.Library() {
+		t.Run(name, func(t *testing.T) {
+			g := buildGraph(t, w)
+			a := New(g)
+			run := lastRun(g)
+
+			full, err := a.AnalyzeObject(run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			guided, stats, err := a.AnalyzeGuided(run, DefaultHierarchy())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if stats.Evaluated > stats.Exhaustive {
+				t.Fatalf("guided evaluated %d > exhaustive %d", stats.Evaluated, stats.Exhaustive)
+			}
+			// Everything the guided search reports must exist identically in
+			// the full report.
+			fullByKey := map[string]Instance{}
+			for _, in := range full.Instances {
+				fullByKey[in.Property+"/"+in.Context] = in
+			}
+			for _, in := range guided.Instances {
+				ref, ok := fullByKey[in.Property+"/"+in.Context]
+				if !ok {
+					t.Fatalf("guided found %s %s absent from exhaustive report", in.Property, in.Context)
+				}
+				if !closeEnough(ref.Severity, in.Severity) {
+					t.Fatalf("%s %s: guided severity %g, exhaustive %g", in.Property, in.Context, in.Severity, ref.Severity)
+				}
+			}
+			// Root-level problems must never be missed.
+			for _, in := range full.Problems() {
+				if in.Property != "SublinearSpeedup" {
+					continue
+				}
+				found := false
+				for _, gin := range guided.Instances {
+					if gin.Property == in.Property && gin.Context == in.Context {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("guided search missed root problem %s %s", in.Property, in.Context)
+				}
+			}
+		})
+	}
+}
+
+func TestGuidedSearchSavesWork(t *testing.T) {
+	// The Amdahl workload has no measured overhead to speak of, so once
+	// MeasuredCost falls below the threshold everywhere, the entire
+	// overhead-refinement subtree (SyncCost, CommunicationCost, IOCost,
+	// LoadImbalance, FrequentFineGrainedCalls) is pruned.
+	g := buildGraph(t, apprentice.Amdahl())
+	a := New(g)
+	_, stats, err := a.AnalyzeGuided(lastRun(g), DefaultHierarchy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Savings() <= 0.3 {
+		t.Fatalf("guided search saved only %.1f%% (%d of %d)", stats.Savings()*100, stats.Exhaustive-stats.Evaluated, stats.Exhaustive)
+	}
+}
+
+func TestGuidedFindsRefinement(t *testing.T) {
+	// The paper's worked chain: SyncCost at the imbalanced loop is a
+	// problem, so its LoadImbalance refinement must be evaluated and hold.
+	g := buildGraph(t, apprentice.Particles())
+	a := New(g)
+	rep, _, err := a.AnalyzeGuided(lastRun(g), DefaultHierarchy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, in := range rep.Instances {
+		if in.Property == "LoadImbalance" && in.Holds {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("LoadImbalance refinement not reached:\n%s", rep.Render())
+	}
+}
+
+func TestSearchStatsSavings(t *testing.T) {
+	if (SearchStats{}).Savings() != 0 {
+		t.Error("zero stats savings")
+	}
+	s := SearchStats{Evaluated: 25, Exhaustive: 100}
+	if s.Savings() != 0.75 {
+		t.Errorf("savings = %g", s.Savings())
+	}
+}
+
+func TestSortedBySeverity(t *testing.T) {
+	in := []Instance{
+		{Property: "B", Context: "x", Outcome: Outcome{Severity: 0.1}},
+		{Property: "A", Context: "y", Outcome: Outcome{Severity: 0.9}},
+		{Property: "A", Context: "x", Outcome: Outcome{Severity: 0.1}},
+	}
+	out := SortedBySeverity(in)
+	if out[0].Property != "A" || out[0].Severity != 0.9 {
+		t.Fatalf("order: %+v", out)
+	}
+	if out[1].Property != "A" || out[1].Context != "x" {
+		t.Fatalf("tie-break: %+v", out)
+	}
+}

@@ -1,0 +1,321 @@
+// Package earl implements the event-trace alternative the paper contrasts
+// with in Section 2: "Another approach is to define a performance
+// bottleneck as an event pattern in program traces ... EARL describes event
+// patterns in a more procedural fashion as scripts in a high-level event
+// trace analysis language."
+//
+// The package provides the EARL-like primitives — a totally ordered event
+// trace with per-processor streams, region-stack and message-queue state
+// queries — plus the two classic pattern detectors (late sender, barrier
+// wait imbalance), and a generator that derives traces from the same
+// Apprentice workload specifications the summary simulator uses, so the
+// trace-based and summary-based analyses can be compared on identical
+// program behaviour (the A4 ablation in EXPERIMENTS.md).
+package earl
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EventKind classifies trace events.
+type EventKind int
+
+// Event kinds.
+const (
+	Enter EventKind = iota
+	Exit
+	Send
+	Recv
+	BarrierEnter
+	BarrierExit
+)
+
+// String returns the record spelling of the kind.
+func (k EventKind) String() string {
+	switch k {
+	case Enter:
+		return "ENTER"
+	case Exit:
+		return "EXIT"
+	case Send:
+		return "SEND"
+	case Recv:
+		return "RECV"
+	case BarrierEnter:
+		return "BENTER"
+	case BarrierExit:
+		return "BEXIT"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one trace record.
+type Event struct {
+	// ID is the position in the global time-ordered trace.
+	ID int
+	// PE is the processor the event occurred on.
+	PE int
+	// Time is seconds from program start.
+	Time float64
+	Kind EventKind
+	// Region names the entered/exited region (Enter/Exit) or the barrier
+	// instance's region (BarrierEnter/BarrierExit).
+	Region string
+	// Partner is the peer processor for Send/Recv.
+	Partner int
+	// Tag matches a Send with its Recv, and groups the BarrierEnter/Exit
+	// events of one barrier instance.
+	Tag int
+}
+
+// Trace is a complete event trace, globally ordered by time. Ties are
+// broken by processor; equal-time events of one processor keep the order
+// they were recorded in, which is that processor's program order.
+type Trace struct {
+	events []Event
+	npe    int
+}
+
+// New assembles a trace from per-event records; the constructor sorts them
+// into canonical global order and assigns IDs.
+func New(events []Event, npe int) *Trace {
+	sorted := append([]Event(nil), events...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Time != sorted[j].Time {
+			return sorted[i].Time < sorted[j].Time
+		}
+		return sorted[i].PE < sorted[j].PE
+	})
+	for i := range sorted {
+		sorted[i].ID = i
+	}
+	return &Trace{events: sorted, npe: npe}
+}
+
+// Len returns the number of events.
+func (t *Trace) Len() int { return len(t.events) }
+
+// NumPE returns the number of processors.
+func (t *Trace) NumPE() int { return t.npe }
+
+// Event returns the i-th event of the global order (EARL's positional
+// access).
+func (t *Trace) Event(i int) Event { return t.events[i] }
+
+// Events returns the full ordered slice (read-only by convention).
+func (t *Trace) Events() []Event { return t.events }
+
+// Validate checks trace well-formedness: per-PE region stacks balance,
+// every Recv has a matching earlier-or-later Send with the same tag and
+// mirrored endpoints, and barrier instances are complete (every PE enters
+// and exits each barrier tag).
+func (t *Trace) Validate() error {
+	stacks := make(map[int][]string)
+	sends := make(map[int]Event) // tag -> send
+	recvs := make(map[int]Event)
+	benter := make(map[int]int)
+	bexit := make(map[int]int)
+	for _, e := range t.events {
+		switch e.Kind {
+		case Enter:
+			stacks[e.PE] = append(stacks[e.PE], e.Region)
+		case Exit:
+			st := stacks[e.PE]
+			if len(st) == 0 {
+				return fmt.Errorf("earl: PE %d exits %s with empty region stack", e.PE, e.Region)
+			}
+			if st[len(st)-1] != e.Region {
+				return fmt.Errorf("earl: PE %d exits %s but innermost region is %s", e.PE, e.Region, st[len(st)-1])
+			}
+			stacks[e.PE] = st[:len(st)-1]
+		case Send:
+			if _, dup := sends[e.Tag]; dup {
+				return fmt.Errorf("earl: duplicate send tag %d", e.Tag)
+			}
+			sends[e.Tag] = e
+		case Recv:
+			if _, dup := recvs[e.Tag]; dup {
+				return fmt.Errorf("earl: duplicate recv tag %d", e.Tag)
+			}
+			recvs[e.Tag] = e
+		case BarrierEnter:
+			benter[e.Tag]++
+		case BarrierExit:
+			bexit[e.Tag]++
+		}
+	}
+	for pe, st := range stacks {
+		if len(st) != 0 {
+			return fmt.Errorf("earl: PE %d ends with %d open regions", pe, len(st))
+		}
+	}
+	for tag, s := range sends {
+		r, ok := recvs[tag]
+		if !ok {
+			return fmt.Errorf("earl: send tag %d has no receive", tag)
+		}
+		if r.Partner != s.PE || s.Partner != r.PE {
+			return fmt.Errorf("earl: message tag %d endpoints do not mirror", tag)
+		}
+	}
+	for tag, r := range recvs {
+		if _, ok := sends[tag]; !ok {
+			return fmt.Errorf("earl: receive tag %d has no send", tag)
+		}
+		_ = r
+	}
+	for tag, n := range benter {
+		if n != t.npe || bexit[tag] != t.npe {
+			return fmt.Errorf("earl: barrier %d entered by %d and exited by %d of %d PEs", tag, n, bexit[tag], t.npe)
+		}
+	}
+	return nil
+}
+
+// LateSenderFinding is the classic message pattern: the receiver posted its
+// receive before the matching send happened, so WaitTime = send.Time -
+// recv.Time was lost blocking.
+type LateSenderFinding struct {
+	RecvPE   int
+	SendPE   int
+	Tag      int
+	WaitTime float64
+}
+
+// LateSenders scans the trace for the late-sender pattern, in the
+// procedural style of the EARL scripts. minWait filters noise.
+func LateSenders(t *Trace, minWait float64) []LateSenderFinding {
+	sends := make(map[int]Event)
+	var pending []Event
+	var out []LateSenderFinding
+	for _, e := range t.events {
+		switch e.Kind {
+		case Send:
+			sends[e.Tag] = e
+		case Recv:
+			pending = append(pending, e)
+		}
+	}
+	for _, r := range pending {
+		s, ok := sends[r.Tag]
+		if !ok {
+			continue
+		}
+		if wait := s.Time - r.Time; wait > minWait {
+			out = append(out, LateSenderFinding{RecvPE: r.PE, SendPE: s.PE, Tag: r.Tag, WaitTime: wait})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].WaitTime != out[j].WaitTime {
+			return out[i].WaitTime > out[j].WaitTime
+		}
+		return out[i].Tag < out[j].Tag
+	})
+	return out
+}
+
+// BarrierFinding summarizes one barrier instance: the spread between first
+// and last arrival is the waiting the imbalanced processors caused.
+type BarrierFinding struct {
+	Region string
+	Tag    int
+	// FirstPE arrived earliest (waited longest); LastPE arrived last.
+	FirstPE, LastPE int
+	// TotalWait is the summed waiting of all processors.
+	TotalWait float64
+	// Spread is lastArrival - firstArrival.
+	Spread float64
+}
+
+// BarrierWaits reconstructs per-instance barrier waiting from the
+// BarrierEnter/BarrierExit events — the trace-level view of what the
+// summary data aggregates into the Barrier TypedTiming and the barrier
+// CallTiming records.
+func BarrierWaits(t *Trace) []BarrierFinding {
+	type inst struct {
+		region          string
+		enters          map[int]float64
+		first, last     float64
+		firstPE, lastPE int
+		n               int
+	}
+	instances := make(map[int]*inst)
+	var order []int
+	for _, e := range t.events {
+		if e.Kind != BarrierEnter {
+			continue
+		}
+		in, ok := instances[e.Tag]
+		if !ok {
+			in = &inst{region: e.Region, enters: make(map[int]float64), first: e.Time, last: e.Time, firstPE: e.PE, lastPE: e.PE}
+			instances[e.Tag] = in
+			order = append(order, e.Tag)
+		}
+		in.enters[e.PE] = e.Time
+		in.n++
+		if e.Time < in.first {
+			in.first, in.firstPE = e.Time, e.PE
+		}
+		if e.Time > in.last {
+			in.last, in.lastPE = e.Time, e.PE
+		}
+	}
+	var out []BarrierFinding
+	for _, tag := range order {
+		in := instances[tag]
+		total := 0.0
+		for _, at := range in.enters {
+			total += in.last - at
+		}
+		out = append(out, BarrierFinding{
+			Region: in.region, Tag: tag,
+			FirstPE: in.firstPE, LastPE: in.lastPE,
+			TotalWait: total, Spread: in.last - in.first,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].TotalWait != out[j].TotalWait {
+			return out[i].TotalWait > out[j].TotalWait
+		}
+		return out[i].Tag < out[j].Tag
+	})
+	return out
+}
+
+// RegionTimes folds the trace back into per-region summed exclusive times —
+// the bridge from the trace world to the summary world. It returns
+// region -> summed-over-PEs exclusive seconds.
+func RegionTimes(t *Trace) (map[string]float64, error) {
+	type open struct {
+		region string
+		start  float64
+		inner  float64 // time spent in nested regions
+	}
+	stacks := make(map[int][]*open)
+	out := make(map[string]float64)
+	for _, e := range t.events {
+		switch e.Kind {
+		case Enter:
+			stacks[e.PE] = append(stacks[e.PE], &open{region: e.Region, start: e.Time})
+		case Exit:
+			st := stacks[e.PE]
+			if len(st) == 0 || st[len(st)-1].region != e.Region {
+				return nil, fmt.Errorf("earl: unbalanced exit of %s on PE %d", e.Region, e.PE)
+			}
+			top := st[len(st)-1]
+			stacks[e.PE] = st[:len(st)-1]
+			total := e.Time - top.start
+			out[e.Region] += total - top.inner
+			if len(stacks[e.PE]) > 0 {
+				stacks[e.PE][len(stacks[e.PE])-1].inner += total
+			}
+		}
+	}
+	for pe, st := range stacks {
+		if len(st) != 0 {
+			return nil, fmt.Errorf("earl: PE %d ends with open regions", pe)
+		}
+	}
+	return out, nil
+}

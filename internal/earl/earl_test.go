@@ -1,0 +1,284 @@
+package earl
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apprentice"
+	"repro/internal/model"
+)
+
+func machine(p int) apprentice.Machine { return apprentice.Machine{NoPe: p, ClockMHz: 450} }
+
+func TestGenerateValidTraces(t *testing.T) {
+	for name, w := range apprentice.Library() {
+		t.Run(name, func(t *testing.T) {
+			tr, err := Generate(w, machine(8), 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Len() == 0 || tr.NumPE() != 8 {
+				t.Fatalf("trace: %d events, %d PEs", tr.Len(), tr.NumPE())
+			}
+			// Events are globally time ordered.
+			for i := 1; i < tr.Len(); i++ {
+				if tr.Event(i).Time < tr.Event(i-1).Time {
+					t.Fatalf("event %d out of order", i)
+				}
+				if tr.Event(i).ID != i {
+					t.Fatalf("event %d has ID %d", i, tr.Event(i).ID)
+				}
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(apprentice.Particles(), machine(8), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(apprentice.Particles(), machine(8), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Events() {
+		if a.Event(i) != b.Event(i) {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestBarrierWaitsFindImbalance(t *testing.T) {
+	tr, err := Generate(apprentice.Particles(), machine(16), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := BarrierWaits(tr)
+	if len(findings) == 0 {
+		t.Fatal("no barrier instances found")
+	}
+	top := findings[0]
+	if top.Region != "forces" {
+		t.Fatalf("top barrier wait at %s, want forces", top.Region)
+	}
+	// Under the linear ramp PE 0 has the least work (arrives first and
+	// waits longest); PE 15 arrives last.
+	if top.FirstPE != 0 || top.LastPE != 15 {
+		t.Fatalf("extremal PEs: first %d last %d", top.FirstPE, top.LastPE)
+	}
+	if top.TotalWait <= 0 || top.Spread <= 0 {
+		t.Fatalf("degenerate finding: %+v", top)
+	}
+}
+
+func TestLateSendersAfterImbalancedCompute(t *testing.T) {
+	// Imbalanced work with NO barrier before the exchange: the ring
+	// neighbour of a more-loaded processor posts its receive early and
+	// blocks until the late sender is ready.
+	w := &apprentice.Workload{
+		Name: "latesender",
+		Funcs: []*apprentice.FuncSpec{{
+			Name: "main",
+			Regions: []*apprentice.RegionSpec{{
+				Name: "main", Kind: model.KindProgram,
+				Children: []*apprentice.RegionSpec{
+					{Name: "work", Kind: model.KindLoop, ParallelWork: 8, Imbalance: 0.4},
+					{Name: "exchange", Kind: model.KindBasicBlock,
+						Calls: []apprentice.CallSpec{{Callee: "mpi_send", CallsPerPe: 100, TimePerCall: 1e-5}}},
+				},
+			}},
+		}},
+	}
+	tr, err := Generate(w, machine(8), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := LateSenders(tr, 0)
+	if len(findings) == 0 {
+		t.Fatal("no late senders in an imbalanced exchange")
+	}
+	for _, f := range findings {
+		if f.WaitTime <= 0 {
+			t.Fatalf("non-positive wait: %+v", f)
+		}
+		if f.RecvPE == f.SendPE {
+			t.Fatalf("self message: %+v", f)
+		}
+	}
+}
+
+// TestTraceAgreesWithSummary is the A4 ablation: folding the event trace
+// back into per-region summed exclusive times must reproduce the summary
+// simulator's compute times for the same workload (noise disabled so both
+// paths are exactly analytic), and the trace's barrier wait must match the
+// Barrier TypedTiming.
+func TestTraceAgreesWithSummary(t *testing.T) {
+	w := apprentice.Particles()
+	w.Noise = 0 // identical analytic times on both paths
+
+	tr, err := Generate(w, machine(8), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := apprentice.Simulate(w, []apprentice.Machine{machine(8)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := ds.Versions[0]
+	run := v.Runs[0]
+
+	regionTimes, err := RegionTimes(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range v.AllRegions() {
+		tot := r.TotalFor(run)
+		if tot == nil {
+			continue
+		}
+		traceTime, ok := regionTimes[r.Name]
+		if !ok {
+			t.Errorf("region %s missing from trace", r.Name)
+			continue
+		}
+		// The trace's exclusive time includes waiting at barriers/messages
+		// (wall clock); the summary's Excl equals compute + overheads. They
+		// must agree within the barrier base latency.
+		if math.Abs(traceTime-tot.Excl) > 0.05*tot.Excl+1e-3 {
+			t.Errorf("region %s: trace %.4f vs summary excl %.4f", r.Name, traceTime, tot.Excl)
+		}
+	}
+
+	// Barrier wait comparison on the forces region.
+	var forces *model.Region
+	for _, r := range v.AllRegions() {
+		if r.Name == "forces" {
+			forces = r
+		}
+	}
+	summaryBarrier := forces.TypedFor(run, model.Barrier)
+	if summaryBarrier == nil {
+		t.Fatal("summary lacks Barrier timing for forces")
+	}
+	traceWait := 0.0
+	for _, f := range BarrierWaits(tr) {
+		if f.Region == "forces" {
+			traceWait += f.TotalWait
+		}
+	}
+	if math.Abs(traceWait-summaryBarrier.Time) > 0.02*summaryBarrier.Time+1e-3 {
+		t.Fatalf("forces barrier wait: trace %.4f vs summary %.4f", traceWait, summaryBarrier.Time)
+	}
+}
+
+// TestTraceVolume quantifies the classic trade-off the paper's design
+// avoids: event traces grow with processors and call volume, summary data
+// does not.
+func TestTraceVolume(t *testing.T) {
+	small, err := Generate(apprentice.Stencil(), machine(4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Generate(apprentice.Stencil(), machine(64), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Len() < 10*small.Len() {
+		t.Fatalf("trace volume did not scale with PEs: %d vs %d", small.Len(), big.Len())
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	mk := func(events []Event, npe int) error { return New(events, npe).Validate() }
+	if err := mk([]Event{{PE: 0, Kind: Exit, Region: "r"}}, 1); err == nil {
+		t.Error("exit without enter accepted")
+	}
+	if err := mk([]Event{
+		{PE: 0, Kind: Enter, Region: "a", Time: 0},
+		{PE: 0, Kind: Exit, Region: "b", Time: 1},
+	}, 1); err == nil {
+		t.Error("mismatched exit accepted")
+	}
+	if err := mk([]Event{
+		{PE: 0, Kind: Enter, Region: "a", Time: 0},
+	}, 1); err == nil {
+		t.Error("unclosed region accepted")
+	}
+	if err := mk([]Event{
+		{PE: 0, Kind: Send, Partner: 1, Tag: 5, Time: 0},
+	}, 2); err == nil {
+		t.Error("unmatched send accepted")
+	}
+	if err := mk([]Event{
+		{PE: 0, Kind: Recv, Partner: 1, Tag: 5, Time: 0},
+	}, 2); err == nil {
+		t.Error("unmatched recv accepted")
+	}
+	if err := mk([]Event{
+		{PE: 0, Kind: Send, Partner: 1, Tag: 5, Time: 0},
+		{PE: 0, Kind: Recv, Partner: 1, Tag: 5, Time: 1},
+	}, 2); err == nil {
+		t.Error("non-mirrored endpoints accepted")
+	}
+	if err := mk([]Event{
+		{PE: 0, Kind: BarrierEnter, Tag: 1, Time: 0},
+		{PE: 0, Kind: BarrierExit, Tag: 1, Time: 1},
+	}, 2); err == nil {
+		t.Error("partial barrier accepted")
+	}
+	// A complete well-formed fragment passes.
+	if err := mk([]Event{
+		{PE: 0, Kind: Enter, Region: "a", Time: 0},
+		{PE: 1, Kind: Enter, Region: "a", Time: 0},
+		{PE: 0, Kind: Send, Partner: 1, Tag: 1, Time: 1},
+		{PE: 1, Kind: Recv, Partner: 0, Tag: 1, Time: 0.5},
+		{PE: 0, Kind: BarrierEnter, Region: "a", Tag: 2, Time: 2},
+		{PE: 1, Kind: BarrierEnter, Region: "a", Tag: 2, Time: 2.5},
+		{PE: 0, Kind: BarrierExit, Region: "a", Tag: 2, Time: 2.5},
+		{PE: 1, Kind: BarrierExit, Region: "a", Tag: 2, Time: 2.5},
+		{PE: 0, Kind: Exit, Region: "a", Time: 3},
+		{PE: 1, Kind: Exit, Region: "a", Time: 3},
+	}, 2); err != nil {
+		t.Errorf("well-formed trace rejected: %v", err)
+	}
+}
+
+func TestRegionTimesNesting(t *testing.T) {
+	tr := New([]Event{
+		{PE: 0, Kind: Enter, Region: "outer", Time: 0},
+		{PE: 0, Kind: Enter, Region: "inner", Time: 1},
+		{PE: 0, Kind: Exit, Region: "inner", Time: 3},
+		{PE: 0, Kind: Exit, Region: "outer", Time: 10},
+	}, 1)
+	times, err := RegionTimes(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if times["inner"] != 2 {
+		t.Errorf("inner = %g", times["inner"])
+	}
+	if times["outer"] != 8 {
+		t.Errorf("outer = %g (exclusive of inner)", times["outer"])
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(apprentice.Stencil(), apprentice.Machine{NoPe: 0}, 1); err == nil {
+		t.Fatal("zero PEs accepted")
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for k := Enter; k <= BarrierExit; k++ {
+		if len(k.String()) == 0 || k.String()[0] == 'E' && k != Enter && k != Exit {
+			_ = k
+		}
+	}
+	if EventKind(99).String() == "" {
+		t.Fatal("empty stringer")
+	}
+}

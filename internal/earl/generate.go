@@ -1,0 +1,147 @@
+package earl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/apprentice"
+)
+
+// Generate derives an event trace from an Apprentice workload specification
+// for one machine configuration. The per-processor compute times follow the
+// same analytic model as the summary simulator (parallel share with a
+// linear imbalance ramp plus seeded jitter), so the trace-level patterns
+// and the summary-level properties describe the same execution.
+//
+// Every region becomes Enter/Exit events per processor; regions with
+// SyncAfter produce one barrier instance per processor; explicit call sites
+// with a message-passing callee generate ring-neighbour Send/Recv pairs.
+func Generate(w *apprentice.Workload, machine apprentice.Machine, seed int64) (*Trace, error) {
+	if machine.NoPe <= 0 {
+		return nil, fmt.Errorf("earl: machine with %d PEs", machine.NoPe)
+	}
+	g := &generator{
+		npe:   machine.NoPe,
+		clock: 450.0 / float64(machine.ClockMHz),
+		rng:   rand.New(rand.NewSource(seed)),
+		now:   make([]float64, machine.NoPe),
+		noise: w.Noise,
+	}
+	for _, f := range w.Funcs {
+		for _, r := range f.Regions {
+			g.emitRegion(r)
+		}
+	}
+	tr := New(g.events, machine.NoPe)
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("earl: generated trace invalid: %w", err)
+	}
+	return tr, nil
+}
+
+type generator struct {
+	npe    int
+	clock  float64
+	rng    *rand.Rand
+	now    []float64 // per-PE clocks
+	noise  float64
+	events []Event
+	tag    int
+}
+
+func (g *generator) jitter() float64 {
+	if g.noise <= 0 {
+		return 1
+	}
+	return 1 + g.noise*(2*g.rng.Float64()-1)
+}
+
+func ramp(pe, p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return (2*float64(pe) - float64(p-1)) / float64(p-1)
+}
+
+func (g *generator) emit(e Event) { g.events = append(g.events, e) }
+
+// emitRegion generates the events of one region on all processors.
+func (g *generator) emitRegion(rs *apprentice.RegionSpec) {
+	for pe := 0; pe < g.npe; pe++ {
+		g.emit(Event{PE: pe, Time: g.now[pe], Kind: Enter, Region: rs.Name})
+	}
+
+	// Compute phase: advance each processor by its share plus the region's
+	// typed overheads (matching the summary simulator's accounting).
+	for pe := 0; pe < g.npe; pe++ {
+		work := rs.SerialWork + rs.ParallelWork/float64(g.npe)*(1+rs.Imbalance*ramp(pe, g.npe))
+		g.now[pe] += work * g.clock * g.jitter()
+		for _, spec := range rs.Overheads {
+			g.now[pe] += spec.PerProcessor(g.npe) * g.jitter()
+		}
+	}
+
+	// Message phase: each messaging call site exchanges with the ring
+	// neighbour. The send leaves when the sender is ready; the receive is
+	// posted immediately, so imbalance shows up as the late-sender pattern.
+	for _, cs := range rs.Calls {
+		if !isMessaging(cs.Callee) || g.npe < 2 {
+			continue
+		}
+		base := g.tag
+		g.tag += g.npe
+		for pe := 0; pe < g.npe; pe++ {
+			dst := (pe + 1) % g.npe
+			g.emit(Event{PE: pe, Time: g.now[pe], Kind: Send, Partner: dst, Tag: base + pe})
+		}
+		for pe := 0; pe < g.npe; pe++ {
+			src := (pe - 1 + g.npe) % g.npe
+			g.emit(Event{PE: pe, Time: g.now[pe], Kind: Recv, Partner: src, Tag: base + src})
+		}
+		// Message completion: the receiver proceeds when the sender's data
+		// arrived.
+		transfer := cs.TimePerCall * cs.CallsPerPe * g.clock
+		newNow := make([]float64, g.npe)
+		for pe := 0; pe < g.npe; pe++ {
+			src := (pe - 1 + g.npe) % g.npe
+			arrive := g.now[src] + transfer
+			newNow[pe] = math.Max(g.now[pe], arrive)
+		}
+		copy(g.now, newNow)
+	}
+
+	// Nested regions.
+	for _, child := range rs.Children {
+		g.emitRegion(child)
+	}
+
+	// Barrier at region exit: everyone advances to the latest arrival.
+	if rs.SyncAfter && g.npe > 1 {
+		tag := g.tag
+		g.tag++
+		last := 0.0
+		for pe := 0; pe < g.npe; pe++ {
+			g.emit(Event{PE: pe, Time: g.now[pe], Kind: BarrierEnter, Region: rs.Name, Tag: tag})
+			if g.now[pe] > last {
+				last = g.now[pe]
+			}
+		}
+		for pe := 0; pe < g.npe; pe++ {
+			g.now[pe] = last
+			g.emit(Event{PE: pe, Time: g.now[pe], Kind: BarrierExit, Region: rs.Name, Tag: tag})
+		}
+	}
+
+	for pe := 0; pe < g.npe; pe++ {
+		g.emit(Event{PE: pe, Time: g.now[pe], Kind: Exit, Region: rs.Name})
+	}
+}
+
+func isMessaging(callee string) bool {
+	switch callee {
+	case "mpi_send", "mpi_recv", "send", "recv", "exchange":
+		return true
+	}
+	return false
+}

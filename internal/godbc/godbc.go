@@ -1,0 +1,339 @@
+// Package godbc is a JDBC-like database driver for the sqldb wire protocol:
+// connections, statement execution with positional and named parameters, and
+// cursor-based result iteration with a configurable fetch size.
+//
+// The paper's COSY prototype accessed its databases through JDBC and
+// measured about 1 ms per fetched record, a factor of 2–4 over C-based
+// access; the row-at-a-time default fetch size reproduces that behaviour
+// against a wire server, while Embedded provides the in-process path that
+// stands in for "C-based" access.
+package godbc
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/sqldb"
+	"repro/internal/sqldb/wire"
+)
+
+// DefaultFetchSize is the number of rows fetched per cursor round trip,
+// mirroring JDBC's row-at-a-time default.
+const DefaultFetchSize = 1
+
+// Conn is a database connection. A Conn is not safe for concurrent use, like
+// a JDBC Connection.
+type Conn struct {
+	nc        net.Conn
+	codec     *wire.Codec
+	fetchSize int
+	closed    bool
+}
+
+// Dial connects to a wire server.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("godbc: dial %s: %w", addr, err)
+	}
+	return &Conn{nc: nc, codec: wire.NewCodec(nc), fetchSize: DefaultFetchSize}, nil
+}
+
+// SetFetchSize sets the number of rows per fetch round trip (JDBC's
+// setFetchSize). Values below 1 are treated as 1.
+func (c *Conn) SetFetchSize(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.fetchSize = n
+}
+
+// FetchSize returns the current fetch size.
+func (c *Conn) FetchSize() int { return c.fetchSize }
+
+// Close terminates the connection.
+func (c *Conn) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.nc.Close()
+}
+
+// Ping performs a protocol round trip.
+func (c *Conn) Ping() error {
+	resp, err := c.roundTrip(&wire.Request{Kind: wire.ReqPing})
+	if err != nil {
+		return err
+	}
+	if resp.Err != "" {
+		return fmt.Errorf("godbc: %s", resp.Err)
+	}
+	return nil
+}
+
+func (c *Conn) roundTrip(req *wire.Request) (*wire.Response, error) {
+	if c.closed {
+		return nil, fmt.Errorf("godbc: connection closed")
+	}
+	if err := c.codec.WriteRequest(req); err != nil {
+		return nil, fmt.Errorf("godbc: send: %w", err)
+	}
+	resp, err := c.codec.ReadResponse()
+	if err != nil {
+		return nil, fmt.Errorf("godbc: receive: %w", err)
+	}
+	return resp, nil
+}
+
+func encodeParams(req *wire.Request, params *sqldb.Params) {
+	if params == nil {
+		return
+	}
+	for _, v := range params.Positional {
+		req.Pos = append(req.Pos, wire.ToWire(v))
+	}
+	if len(params.Named) > 0 {
+		req.Named = make(map[string]wire.WireValue, len(params.Named))
+		for k, v := range params.Named {
+			req.Named[k] = wire.ToWire(v)
+		}
+	}
+}
+
+// Result reports the outcome of a non-query statement.
+type Result struct {
+	Affected int
+}
+
+// Exec runs a statement and returns the affected-row count. SELECTs may also
+// be run through Exec; their rows are returned inline by ExecQuery instead.
+func (c *Conn) Exec(query string, params *sqldb.Params) (Result, error) {
+	req := &wire.Request{Kind: wire.ReqExec, SQL: query}
+	encodeParams(req, params)
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return Result{}, err
+	}
+	if resp.Err != "" {
+		return Result{}, fmt.Errorf("godbc: %s", resp.Err)
+	}
+	return Result{Affected: resp.Affected}, nil
+}
+
+// ExecQuery runs a SELECT and returns the complete result set in a single
+// round trip (the bulk path).
+func (c *Conn) ExecQuery(query string, params *sqldb.Params) (*sqldb.ResultSet, error) {
+	req := &wire.Request{Kind: wire.ReqExec, SQL: query}
+	encodeParams(req, params)
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("godbc: %s", resp.Err)
+	}
+	return decodeSet(resp), nil
+}
+
+func decodeSet(resp *wire.Response) *sqldb.ResultSet {
+	set := &sqldb.ResultSet{Columns: resp.Columns}
+	for _, wr := range resp.Rows {
+		row := make(sqldb.Row, len(wr))
+		for i, wv := range wr {
+			row[i] = wv.FromWire()
+		}
+		set.Rows = append(set.Rows, row)
+	}
+	return set
+}
+
+// Rows is a cursor over a query result, fetched in batches of the
+// connection's fetch size. Always Close a Rows that was not fully drained.
+type Rows struct {
+	conn     *Conn
+	cursorID int64
+	columns  []string
+	buf      []sqldb.Row
+	pos      int
+	done     bool
+	err      error
+	cur      sqldb.Row
+}
+
+// Query opens a cursor for a SELECT.
+func (c *Conn) Query(query string, params *sqldb.Params) (*Rows, error) {
+	req := &wire.Request{Kind: wire.ReqQueryCursor, SQL: query}
+	encodeParams(req, params)
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("godbc: %s", resp.Err)
+	}
+	return &Rows{conn: c, cursorID: resp.CursorID, columns: resp.Columns}, nil
+}
+
+// Columns returns the result column names.
+func (r *Rows) Columns() []string { return r.columns }
+
+// Next advances to the next row, fetching a new batch from the server when
+// the local buffer is exhausted. It returns false at end of data or on
+// error; check Err afterwards.
+func (r *Rows) Next() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.pos >= len(r.buf) {
+		if r.done {
+			return false
+		}
+		resp, err := r.conn.roundTrip(&wire.Request{
+			Kind:     wire.ReqFetch,
+			CursorID: r.cursorID,
+			FetchN:   r.conn.fetchSize,
+		})
+		if err != nil {
+			r.err = err
+			return false
+		}
+		if resp.Err != "" {
+			r.err = fmt.Errorf("godbc: %s", resp.Err)
+			return false
+		}
+		r.buf = r.buf[:0]
+		for _, wr := range resp.Rows {
+			row := make(sqldb.Row, len(wr))
+			for i, wv := range wr {
+				row[i] = wv.FromWire()
+			}
+			r.buf = append(r.buf, row)
+		}
+		r.pos = 0
+		r.done = resp.Done
+		if len(r.buf) == 0 {
+			return false
+		}
+	}
+	r.cur = r.buf[r.pos]
+	r.pos++
+	return true
+}
+
+// Row returns the current row.
+func (r *Rows) Row() sqldb.Row { return r.cur }
+
+// Err returns the error that terminated iteration, if any.
+func (r *Rows) Err() error { return r.err }
+
+// Close releases the server-side cursor.
+func (r *Rows) Close() error {
+	if r.done {
+		return nil
+	}
+	r.done = true
+	resp, err := r.conn.roundTrip(&wire.Request{Kind: wire.ReqCloseCursor, CursorID: r.cursorID})
+	if err != nil {
+		return err
+	}
+	if resp.Err != "" {
+		return fmt.Errorf("godbc: %s", resp.Err)
+	}
+	return nil
+}
+
+// Executor is the interface shared by networked connections and the
+// embedded engine, so analysis code is deployment-agnostic.
+type Executor interface {
+	Exec(query string, params *sqldb.Params) (Result, error)
+	ExecQuery(query string, params *sqldb.Params) (*sqldb.ResultSet, error)
+}
+
+// Embedded adapts an in-process sqldb.DB to the Executor interface — the
+// "MS Access" local configuration and the stand-in for C-based direct
+// access.
+type Embedded struct {
+	DB *sqldb.DB
+}
+
+// Exec implements Executor.
+func (e Embedded) Exec(query string, params *sqldb.Params) (Result, error) {
+	res, err := e.DB.Exec(query, params)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Affected: res.Affected}, nil
+}
+
+// ExecQuery implements Executor.
+func (e Embedded) ExecQuery(query string, params *sqldb.Params) (*sqldb.ResultSet, error) {
+	res, err := e.DB.Exec(query, params)
+	if err != nil {
+		return nil, err
+	}
+	if res.Set == nil {
+		return nil, fmt.Errorf("godbc: statement produced no result set")
+	}
+	return res.Set, nil
+}
+
+// ProfiledEmbedded is an in-process executor with a vendor profile applied
+// client side: the "MS Access through a local driver" configuration of the
+// paper's comparison. Round-trip delays do not apply (there is no network).
+type ProfiledEmbedded struct {
+	DB      *sqldb.DB
+	Profile wire.Profile
+}
+
+// Exec implements Executor.
+func (e ProfiledEmbedded) Exec(query string, params *sqldb.Params) (Result, error) {
+	res, err := e.DB.Exec(query, params)
+	if err != nil {
+		return Result{}, err
+	}
+	wire.Delay(e.Profile.PerStatement + time.Duration(res.Affected)*e.Profile.PerRowWrite)
+	return Result{Affected: res.Affected}, nil
+}
+
+// ExecQuery implements Executor.
+func (e ProfiledEmbedded) ExecQuery(query string, params *sqldb.Params) (*sqldb.ResultSet, error) {
+	res, err := e.DB.Exec(query, params)
+	if err != nil {
+		return nil, err
+	}
+	if res.Set == nil {
+		return nil, fmt.Errorf("godbc: statement produced no result set")
+	}
+	wire.Delay(e.Profile.PerStatement + time.Duration(len(res.Set.Rows))*e.Profile.PerRowRead)
+	return res.Set, nil
+}
+
+// CursorQuery adapts a connection so that every ExecQuery is served through
+// a row-at-a-time cursor — the JDBC default the paper's client-side
+// evaluation measurements are based on. Use it to reproduce the
+// "fetch the data components, evaluate in the tool" configuration.
+type CursorQuery struct {
+	Conn *Conn
+}
+
+// ExecQuery implements the query interface by draining a cursor.
+func (c CursorQuery) ExecQuery(query string, params *sqldb.Params) (*sqldb.ResultSet, error) {
+	rows, err := c.Conn.Query(query, params)
+	if err != nil {
+		return nil, err
+	}
+	set := &sqldb.ResultSet{Columns: rows.Columns()}
+	for rows.Next() {
+		set.Rows = append(set.Rows, rows.Row())
+	}
+	if err := rows.Err(); err != nil {
+		return nil, err
+	}
+	return set, rows.Close()
+}
+
+var _ Executor = (*Conn)(nil)
+var _ Executor = Embedded{}
+var _ Executor = ProfiledEmbedded{}

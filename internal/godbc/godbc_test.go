@@ -1,0 +1,42 @@
+package godbc
+
+import (
+	"testing"
+
+	"repro/internal/sqldb"
+)
+
+func TestDialRefused(t *testing.T) {
+	// Port 1 on localhost is never listening in the test environment.
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("expected connection error")
+	}
+}
+
+func TestEmbeddedExecutor(t *testing.T) {
+	db := sqldb.NewDB()
+	e := Embedded{DB: db}
+	if _, err := e.Exec("CREATE TABLE t (id INTEGER)", nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Exec("INSERT INTO t (id) VALUES (1), (2), (3)", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected != 3 {
+		t.Fatalf("affected = %d", res.Affected)
+	}
+	set, err := e.ExecQuery("SELECT COUNT(*) FROM t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Rows[0][0].Int() != 3 {
+		t.Fatalf("count: %v", set.Rows[0][0])
+	}
+	if _, err := e.ExecQuery("INSERT INTO t (id) VALUES (4)", nil); err == nil {
+		t.Fatal("ExecQuery on non-query must fail")
+	}
+	if _, err := e.Exec("NOT SQL", nil); err == nil {
+		t.Fatal("bad SQL must fail")
+	}
+}

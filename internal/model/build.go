@@ -1,0 +1,177 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/asl/object"
+	"repro/internal/asl/sem"
+)
+
+// Graph is a dataset materialized as an ASL object graph, with handles back
+// from mirror structs to their objects so analyses can be driven from either
+// representation.
+type Graph struct {
+	World   *sem.World
+	Store   *object.Store
+	Dataset *Dataset
+
+	Program  *object.Object
+	Versions map[*Version]*object.Object
+	Runs     map[*TestRun]*object.Object
+	Funcs    map[*Function]*object.Object
+	Regions  map[*Region]*object.Object
+	Calls    map[*FunctionCall]*object.Object
+
+	// OrderedRegions and OrderedCalls list this dataset's region and
+	// call-site objects in deterministic build order; analyses iterate
+	// these rather than the whole store, which may hold other programs.
+	OrderedRegions []*object.Object
+	OrderedCalls   []*object.Object
+}
+
+// Build materializes the dataset in a fresh object store using the canonical
+// specification's classes. The dataset is validated first.
+func Build(d *Dataset) (*Graph, error) {
+	return BuildInto(object.NewStore(), d)
+}
+
+// BuildInto materializes the dataset into an existing store, so several
+// applications can share one database — the paper's COSY database holds
+// "multiple applications with different versions and multiple test runs per
+// program version". Object IDs stay unique across all datasets built into
+// the same store.
+func BuildInto(store *object.Store, d *Dataset) (*Graph, error) {
+	w, err := CompileSpec()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Graph{
+		World:    w,
+		Store:    store,
+		Dataset:  d,
+		Versions: make(map[*Version]*object.Object),
+		Runs:     make(map[*TestRun]*object.Object),
+		Funcs:    make(map[*Function]*object.Object),
+		Regions:  make(map[*Region]*object.Object),
+		Calls:    make(map[*FunctionCall]*object.Object),
+	}
+	cls := func(name string) *sem.Class {
+		c, ok := w.Classes[name]
+		if !ok {
+			panic(fmt.Sprintf("model: canonical spec lacks class %s", name))
+		}
+		return c
+	}
+	enumTT := w.Enums["TimingType"]
+	if enumTT == nil {
+		return nil, fmt.Errorf("model: canonical spec lacks enum TimingType")
+	}
+
+	prog := g.Store.New(cls("Program"))
+	prog.Set("Name", object.Str(d.Program))
+	g.Program = prog
+
+	for _, v := range d.Versions {
+		vo := g.Store.New(cls("ProgVersion"))
+		g.Versions[v] = vo
+		vo.Set("Compilation", object.DateTime(v.Compilation.Unix()))
+		code := g.Store.New(cls("SourceCode"))
+		code.Set("Text", object.Str(v.Code))
+		vo.Set("Code", code)
+		prog.Append("Versions", vo)
+
+		for _, run := range v.Runs {
+			ro := g.Store.New(cls("TestRun"))
+			g.Runs[run] = ro
+			ro.Set("Start", object.DateTime(run.Start.Unix()))
+			ro.Set("NoPe", object.Int(int64(run.NoPe)))
+			ro.Set("Clockspeed", object.Int(int64(run.Clockspeed)))
+			vo.Append("Runs", ro)
+		}
+
+		// Functions first so call sites can reference caller functions.
+		for _, f := range v.Functions {
+			fo := g.Store.New(cls("Function"))
+			g.Funcs[f] = fo
+			fo.Set("Name", object.Str(f.Name))
+			vo.Append("Functions", fo)
+		}
+
+		for _, f := range v.Functions {
+			fo := g.Funcs[f]
+			for _, root := range f.Regions {
+				root.Walk(func(r *Region) {
+					ro := g.Store.New(cls("Region"))
+					g.Regions[r] = ro
+					g.OrderedRegions = append(g.OrderedRegions, ro)
+					ro.Set("Name", object.Str(r.Name))
+					ro.Set("Kind", object.Str(string(r.Kind)))
+					fo.Append("Regions", ro)
+				})
+			}
+		}
+		// Second pass: parent links and timings (regions now all exist).
+		for _, f := range v.Functions {
+			for _, root := range f.Regions {
+				root.Walk(func(r *Region) {
+					ro := g.Regions[r]
+					if r.Parent != nil {
+						ro.Set("ParentRegion", g.Regions[r.Parent])
+					}
+					for _, tt := range r.TotTimes {
+						to := g.Store.New(cls("TotalTiming"))
+						to.Set("Run", g.Runs[tt.Run])
+						to.Set("Excl", object.Float(tt.Excl))
+						to.Set("Incl", object.Float(tt.Incl))
+						to.Set("Ovhd", object.Float(tt.Ovhd))
+						ro.Append("TotTimes", to)
+					}
+					for _, tt := range r.TypTimes {
+						to := g.Store.New(cls("TypedTiming"))
+						to.Set("Run", g.Runs[tt.Run])
+						to.Set("Type", object.Enum{Type: enumTT, Member: tt.Type.String()})
+						to.Set("Time", object.Float(tt.Time))
+						ro.Append("TypTimes", to)
+					}
+				})
+			}
+		}
+		for _, f := range v.Functions {
+			fo := g.Funcs[f]
+			for _, call := range f.Calls {
+				co := g.Store.New(cls("FunctionCall"))
+				g.Calls[call] = co
+				g.OrderedCalls = append(g.OrderedCalls, co)
+				co.Set("Callee", object.Str(call.Callee))
+				if call.Caller != nil {
+					co.Set("Caller", g.Funcs[call.Caller])
+				}
+				if call.CallingReg != nil {
+					co.Set("CallingReg", g.Regions[call.CallingReg])
+				}
+				for _, ct := range call.Sums {
+					cto := g.Store.New(cls("CallTiming"))
+					cto.Set("Run", g.Runs[ct.Run])
+					cto.Set("MinCalls", object.Float(ct.MinCalls))
+					cto.Set("MaxCalls", object.Float(ct.MaxCalls))
+					cto.Set("MeanCalls", object.Float(ct.MeanCalls))
+					cto.Set("StdevCalls", object.Float(ct.StdevCalls))
+					cto.Set("PeMinCalls", object.Int(int64(ct.PeMinCalls)))
+					cto.Set("PeMaxCalls", object.Int(int64(ct.PeMaxCalls)))
+					cto.Set("MinTime", object.Float(ct.MinTime))
+					cto.Set("MaxTime", object.Float(ct.MaxTime))
+					cto.Set("MeanTime", object.Float(ct.MeanTime))
+					cto.Set("StdevTime", object.Float(ct.StdevTime))
+					cto.Set("PeMinTime", object.Int(int64(ct.PeMinTime)))
+					cto.Set("PeMaxTime", object.Int(int64(ct.PeMaxTime)))
+					co.Append("Sums", cto)
+				}
+				fo.Append("Calls", co)
+			}
+		}
+	}
+	return g, nil
+}

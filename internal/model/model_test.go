@@ -1,0 +1,283 @@
+package model
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/asl/ast"
+	"repro/internal/asl/object"
+	"repro/internal/asl/parser"
+	"repro/internal/asl/sem"
+)
+
+func TestCanonicalSpecCompiles(t *testing.T) {
+	w, err := CompileSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cls := range []string{"Program", "ProgVersion", "TestRun", "Function", "Region", "TotalTiming", "TypedTiming", "FunctionCall", "CallTiming", "SourceCode"} {
+		if _, ok := w.Classes[cls]; !ok {
+			t.Errorf("class %s missing", cls)
+		}
+	}
+	tt, ok := w.Enums["TimingType"]
+	if !ok {
+		t.Fatal("TimingType enum missing")
+	}
+	if len(tt.Members) != 25 {
+		t.Fatalf("TimingType has %d members, Apprentice knows 25", len(tt.Members))
+	}
+	for _, p := range AllProperties {
+		if _, ok := w.Props[p]; !ok {
+			t.Errorf("property %s missing", p)
+		}
+	}
+	for _, p := range PaperProperties {
+		found := false
+		for _, q := range AllProperties {
+			if p == q {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("paper property %s not in AllProperties", p)
+		}
+	}
+	for _, fn := range []string{"Summary", "Duration"} {
+		if _, ok := w.Funcs[fn]; !ok {
+			t.Errorf("function %s missing", fn)
+		}
+	}
+	if _, ok := w.Consts["ImbalanceThreshold"]; !ok {
+		t.Error("ImbalanceThreshold missing")
+	}
+}
+
+func TestTimingTypeNames(t *testing.T) {
+	w := MustCompileSpec()
+	enum := w.Enums["TimingType"]
+	for i := 0; i < NumTimingTypes; i++ {
+		tt := TimingType(i)
+		if _, ok := enum.Ordinal[tt.String()]; !ok {
+			t.Errorf("Go TimingType %s not in the ASL enum", tt)
+		}
+		parsed, err := ParseTimingType(tt.String())
+		if err != nil || parsed != tt {
+			t.Errorf("ParseTimingType(%s) = %v, %v", tt, parsed, err)
+		}
+	}
+	if _, err := ParseTimingType("Bogus"); err == nil {
+		t.Error("unknown timing type parsed")
+	}
+	if !strings.Contains(TimingType(99).String(), "99") {
+		t.Error("out-of-range stringer")
+	}
+	if len(CommTypes)+len(IOTypes) >= NumTimingTypes {
+		t.Error("type groups overlap suspiciously")
+	}
+}
+
+// tinyDataset builds a minimal valid dataset by hand.
+func tinyDataset() *Dataset {
+	run2 := &TestRun{Start: time.Unix(0, 0), NoPe: 2, Clockspeed: 450}
+	run4 := &TestRun{Start: time.Unix(1, 0), NoPe: 4, Clockspeed: 450}
+	root := &Region{Name: "main", Kind: KindProgram}
+	child := &Region{Name: "loop", Kind: KindLoop, Parent: root}
+	root.Children = []*Region{child}
+	for _, r := range []*Region{root, child} {
+		for _, run := range []*TestRun{run2, run4} {
+			r.TotTimes = append(r.TotTimes, &TotalTiming{Run: run, Excl: 1, Incl: 2, Ovhd: 0.5})
+		}
+	}
+	child.TypTimes = append(child.TypTimes, &TypedTiming{Run: run4, Type: Barrier, Time: 0.25})
+	mainFn := &Function{Name: "main", Regions: []*Region{root}}
+	barrier := &Function{Name: BarrierFunction}
+	site := &FunctionCall{Callee: BarrierFunction, Caller: mainFn, CallingReg: child}
+	site.Sums = append(site.Sums, &CallTiming{
+		Run: run4, MinCalls: 1, MaxCalls: 1, MeanCalls: 1,
+		MinTime: 0.1, MaxTime: 0.3, MeanTime: 0.2, StdevTime: 0.08,
+	})
+	barrier.Calls = append(barrier.Calls, site)
+	return &Dataset{
+		Program: "tiny",
+		Versions: []*Version{{
+			Compilation: time.Unix(100, 0),
+			Functions:   []*Function{mainFn, barrier},
+			Runs:        []*TestRun{run2, run4},
+		}},
+	}
+}
+
+func TestValidateAcceptsTiny(t *testing.T) {
+	if err := tinyDataset().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Dataset)
+		frag   string
+	}{
+		{"noName", func(d *Dataset) { d.Program = "" }, "no program name"},
+		{"dupNoPe", func(d *Dataset) { d.Versions[0].Runs[1].NoPe = 2 }, "duplicate NoPe"},
+		{"zeroPe", func(d *Dataset) { d.Versions[0].Runs[0].NoPe = 0 }, "NoPe"},
+		{"dupTotal", func(d *Dataset) {
+			r := d.Versions[0].Functions[0].Regions[0]
+			r.TotTimes = append(r.TotTimes, r.TotTimes[0])
+		}, "duplicate TotalTiming"},
+		{"inclBelowExcl", func(d *Dataset) {
+			d.Versions[0].Functions[0].Regions[0].TotTimes[0].Incl = 0.1
+		}, "inclusive"},
+		{"negativeOvhd", func(d *Dataset) {
+			d.Versions[0].Functions[0].Regions[0].TotTimes[0].Ovhd = -1
+		}, "negative overhead"},
+		{"dupTyped", func(d *Dataset) {
+			c := d.Versions[0].Functions[0].Regions[0].Children[0]
+			c.TypTimes = append(c.TypTimes, c.TypTimes[0])
+		}, "duplicate TypedTiming"},
+		{"negTyped", func(d *Dataset) {
+			d.Versions[0].Functions[0].Regions[0].Children[0].TypTimes[0].Time = -2
+		}, "negative"},
+		{"wrongParent", func(d *Dataset) {
+			d.Versions[0].Functions[0].Regions[0].Children[0].Parent = nil
+		}, "wrong parent"},
+		{"calleeMismatch", func(d *Dataset) {
+			d.Versions[0].Functions[1].Calls[0].Callee = "other"
+		}, "callee"},
+		{"statsOrder", func(d *Dataset) {
+			d.Versions[0].Functions[1].Calls[0].Sums[0].MinTime = 9
+		}, "out of order"},
+		{"negStdev", func(d *Dataset) {
+			d.Versions[0].Functions[1].Calls[0].Sums[0].StdevTime = -1
+		}, "negative standard deviation"},
+		{"dupCallTiming", func(d *Dataset) {
+			c := d.Versions[0].Functions[1].Calls[0]
+			c.Sums = append(c.Sums, c.Sums[0])
+		}, "duplicate CallTiming"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d := tinyDataset()
+			c.mutate(d)
+			err := d.Validate()
+			if err == nil {
+				t.Fatal("expected validation error")
+			}
+			if !strings.Contains(err.Error(), c.frag) {
+				t.Fatalf("error %q lacks %q", err, c.frag)
+			}
+		})
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	d := tinyDataset()
+	v := d.Versions[0]
+	if v.MinPeRun().NoPe != 2 {
+		t.Error("MinPeRun")
+	}
+	if v.RootRegion() == nil || v.RootRegion().Name != "main" {
+		t.Error("RootRegion")
+	}
+	if v.FunctionByName("barrier") == nil || v.FunctionByName("nope") != nil {
+		t.Error("FunctionByName")
+	}
+	if len(v.AllRegions()) != 2 {
+		t.Errorf("AllRegions = %d", len(v.AllRegions()))
+	}
+	root := v.RootRegion()
+	if root.TotalFor(v.Runs[0]) == nil || root.TotalFor(&TestRun{}) != nil {
+		t.Error("TotalFor")
+	}
+	child := root.Children[0]
+	if child.TypedFor(v.Runs[1], Barrier) == nil || child.TypedFor(v.Runs[0], Barrier) != nil {
+		t.Error("TypedFor")
+	}
+	st := d.Stats()
+	if st.Regions != 2 || st.TotalTimings != 4 || st.TypedTimings != 1 || st.CallSites != 1 || st.CallTimings != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestBuildGraph(t *testing.T) {
+	d := tinyDataset()
+	g, err := Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Counts: 1 program + 1 version + 1 code + 2 runs + 2 functions +
+	// 2 regions + 4 total timings + 1 typed + 1 call + 1 call timing = 16.
+	if g.Store.Len() != 16 {
+		t.Fatalf("store size %d, want 16", g.Store.Len())
+	}
+	// The program's Versions set links to the version object.
+	versions := g.Program.Get("Versions").(*object.Set)
+	if len(versions.Elems) != 1 {
+		t.Fatalf("versions: %v", versions)
+	}
+	// Parent link.
+	child := d.Versions[0].Functions[0].Regions[0].Children[0]
+	childObj := g.Regions[child]
+	parent := childObj.Get("ParentRegion").(*object.Object)
+	if parent != g.Regions[d.Versions[0].RootRegion()] {
+		t.Fatal("parent link wrong")
+	}
+	// Enum member stored for typed timings.
+	typObjs := g.Store.OfClass("TypedTiming")
+	if len(typObjs) != 1 {
+		t.Fatalf("typed timings: %d", len(typObjs))
+	}
+	if e := typObjs[0].Get("Type").(object.Enum); e.Member != "Barrier" {
+		t.Fatalf("enum member: %s", e.Member)
+	}
+	// CallTiming extremal processor attributes present.
+	ct := g.Store.OfClass("CallTiming")[0]
+	if v := ct.Get("PeMaxTime"); !object.Equal(v, object.Int(0)) {
+		t.Fatalf("PeMaxTime: %s", v)
+	}
+}
+
+func TestBuildRejectsInvalid(t *testing.T) {
+	d := tinyDataset()
+	d.Program = ""
+	if _, err := Build(d); err == nil {
+		t.Fatal("Build must validate")
+	}
+}
+
+func TestRegionWalkOrder(t *testing.T) {
+	d := tinyDataset()
+	var names []string
+	d.Versions[0].RootRegion().Walk(func(r *Region) { names = append(names, r.Name) })
+	if strings.Join(names, ",") != "main,loop" {
+		t.Fatalf("walk order: %v", names)
+	}
+}
+
+func TestCanonicalSpecRoundTripsThroughPrinter(t *testing.T) {
+	spec, err := parser.Parse(SpecSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := ast.Print(spec)
+	spec2, err := parser.Parse(printed)
+	if err != nil {
+		t.Fatalf("re-parsing printed canonical spec: %v", err)
+	}
+	if ast.Print(spec2) != printed {
+		t.Fatal("printer is not a fixed point on the canonical spec")
+	}
+	if len(spec2.Properties()) != len(spec.Properties()) ||
+		len(spec2.Classes()) != len(spec.Classes()) ||
+		len(spec2.Enums()) != len(spec.Enums()) ||
+		len(spec2.Funcs()) != len(spec.Funcs()) ||
+		len(spec2.Consts()) != len(spec.Consts()) {
+		t.Fatal("declaration counts changed through the printer")
+	}
+	if _, err := sem.Check(spec2); err != nil {
+		t.Fatalf("printed spec fails semantic analysis: %v", err)
+	}
+}

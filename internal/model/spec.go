@@ -1,0 +1,259 @@
+// Package model defines the COSY performance-data model: the canonical ASL
+// specification (Section 4 of the paper), Go mirror structures used by the
+// Apprentice simulator, and the builder that materializes a dataset as an
+// ASL object graph.
+package model
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/asl/parser"
+	"repro/internal/asl/sem"
+)
+
+// SpecSource is the canonical ASL specification shipped with COSY. It is the
+// paper's data model (Section 4.1) and properties (Section 4.2) with three
+// documented adjustments:
+//
+//   - Region carries Name and Kind attributes so reports can identify
+//     regions (the paper identifies them positionally via Apprentice).
+//   - The paper's "LET TotTimes MinPeSum" types the binding with the
+//     attribute name; the class is TotalTiming, which is what we write.
+//   - Properties beyond the paper's four (UnmeasuredCost,
+//     CommunicationCost, IOCost, FrequentFineGrainedCalls) follow the same
+//     shape and cover the remaining Apprentice overhead groups.
+const SpecSource = `
+// ------------------------------------------------------------------
+// COSY performance data model (ASL), after Gerndt & Esser 1999, 4.1.
+// ------------------------------------------------------------------
+
+class SourceCode {
+  String Text;
+}
+
+class Program {
+  String Name;
+  setof ProgVersion Versions;
+}
+
+class ProgVersion {
+  DateTime Compilation;
+  setof Function Functions;
+  setof TestRun Runs;
+  SourceCode Code;
+}
+
+class TestRun {
+  DateTime Start;
+  int NoPe;
+  int Clockspeed;
+}
+
+class Function {
+  String Name;
+  setof FunctionCall Calls;
+  setof Region Regions;
+}
+
+class Region {
+  String Name;
+  String Kind;
+  Region ParentRegion;
+  setof TotalTiming TotTimes;
+  setof TypedTiming TypTimes;
+}
+
+class TotalTiming {
+  TestRun Run;
+  float Excl;
+  float Incl;
+  float Ovhd;
+}
+
+// The 25 Apprentice overhead types.
+enum TimingType {
+  Barrier, LockWait, Send, Receive, Broadcast, Reduce, Gather, Scatter,
+  AllToAll, SharedGet, SharedPut, RemoteRead, RemoteWrite,
+  IORead, IOWrite, IOOpen, IOClose, IOWait,
+  BufferCopy, PackUnpack, Startup, Shutdown,
+  RuntimeSystem, Instrumentation, UncountedOverhead
+}
+
+class TypedTiming {
+  TestRun Run;
+  TimingType Type;
+  float Time;
+}
+
+class FunctionCall {
+  String Callee;
+  Function Caller;
+  Region CallingReg;
+  setof CallTiming Sums;
+}
+
+class CallTiming {
+  TestRun Run;
+  float MinCalls;
+  float MaxCalls;
+  float MeanCalls;
+  float StdevCalls;
+  int PeMinCalls;
+  int PeMaxCalls;
+  float MinTime;
+  float MaxTime;
+  float MeanTime;
+  float StdevTime;
+  int PeMinTime;
+  int PeMaxTime;
+}
+
+// ------------------------------------------------------------------
+// Analysis thresholds (tool defined, user overridable).
+// ------------------------------------------------------------------
+
+float ImbalanceThreshold = 0.25;
+float GranularityCallRate = 1000.0;
+float GranularityMeanTime = 0.0001;
+
+// ------------------------------------------------------------------
+// Auxiliary functions (Section 4.2).
+// ------------------------------------------------------------------
+
+TotalTiming Summary(Region r, TestRun t) = UNIQUE({s IN r.TotTimes WITH s.Run == t});
+float Duration(Region r, TestRun t) = Summary(r, t).Incl;
+
+// ------------------------------------------------------------------
+// Performance properties (Section 4.2).
+// ------------------------------------------------------------------
+
+property SublinearSpeedup(Region r, TestRun t, Region Basis) {
+  LET
+    TotalTiming MinPeSum = UNIQUE({sum IN r.TotTimes
+        WITH sum.Run.NoPe == MIN(s.Run.NoPe WHERE s IN r.TotTimes)});
+    float TotalCost = Duration(r, t) - Duration(r, MinPeSum.Run);
+  IN
+  CONDITION: TotalCost > 0;
+  CONFIDENCE: 1;
+  SEVERITY: TotalCost / Duration(Basis, t);
+}
+
+property MeasuredCost(Region r, TestRun t, Region Basis) {
+  LET
+    float Cost = Summary(r, t).Ovhd;
+  IN
+  CONDITION: Cost > 0;
+  CONFIDENCE: 1;
+  SEVERITY: Cost / Duration(Basis, t);
+}
+
+property UnmeasuredCost(Region r, TestRun t, Region Basis) {
+  LET
+    TotalTiming MinPeSum = UNIQUE({sum IN r.TotTimes
+        WITH sum.Run.NoPe == MIN(s.Run.NoPe WHERE s IN r.TotTimes)});
+    float Unmeasured = (Duration(r, t) - Duration(r, MinPeSum.Run)) - Summary(r, t).Ovhd;
+  IN
+  CONDITION: Unmeasured > 0;
+  CONFIDENCE: 1;
+  SEVERITY: Unmeasured / Duration(Basis, t);
+}
+
+property SyncCost(Region r, TestRun t, Region Basis) {
+  LET
+    float Barrier = SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run == t
+        AND tt.Type == Barrier);
+  IN
+  CONDITION: Barrier > 0;
+  CONFIDENCE: 1;
+  SEVERITY: Barrier / Duration(Basis, t);
+}
+
+property CommunicationCost(Region r, TestRun t, Region Basis) {
+  LET
+    float Comm = SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run == t
+        AND (tt.Type == Send OR tt.Type == Receive OR tt.Type == Broadcast
+          OR tt.Type == Reduce OR tt.Type == Gather OR tt.Type == Scatter
+          OR tt.Type == AllToAll OR tt.Type == SharedGet OR tt.Type == SharedPut
+          OR tt.Type == RemoteRead OR tt.Type == RemoteWrite));
+  IN
+  CONDITION: Comm > 0;
+  CONFIDENCE: 1;
+  SEVERITY: Comm / Duration(Basis, t);
+}
+
+property IOCost(Region r, TestRun t, Region Basis) {
+  LET
+    float Io = SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run == t
+        AND (tt.Type == IORead OR tt.Type == IOWrite OR tt.Type == IOOpen
+          OR tt.Type == IOClose OR tt.Type == IOWait));
+  IN
+  CONDITION: Io > 0;
+  CONFIDENCE: 1;
+  SEVERITY: Io / Duration(Basis, t);
+}
+
+property LoadImbalance(FunctionCall Call, TestRun t, Region Basis) {
+  LET
+    CallTiming ct = UNIQUE({c IN Call.Sums WITH c.Run == t});
+    float Dev = ct.StdevTime;
+    float Mean = ct.MeanTime;
+  IN
+  CONDITION: Dev > ImbalanceThreshold * Mean;
+  CONFIDENCE: 1;
+  SEVERITY: Mean / Duration(Basis, t);
+}
+
+property FrequentFineGrainedCalls(FunctionCall Call, TestRun t, Region Basis) {
+  LET
+    CallTiming ct = UNIQUE({c IN Call.Sums WITH c.Run == t});
+  IN
+  CONDITION: ct.MeanCalls > GranularityCallRate
+    AND ct.MeanTime / ct.MeanCalls < GranularityMeanTime;
+  CONFIDENCE: 1;
+  SEVERITY: ct.MeanTime / Duration(Basis, t);
+}
+`
+
+// PaperProperties lists the property names given explicitly in the paper.
+var PaperProperties = []string{"SublinearSpeedup", "MeasuredCost", "SyncCost", "LoadImbalance"}
+
+// AllProperties lists every property in the canonical specification, in
+// evaluation order.
+var AllProperties = []string{
+	"SublinearSpeedup", "MeasuredCost", "UnmeasuredCost", "SyncCost",
+	"CommunicationCost", "IOCost", "LoadImbalance", "FrequentFineGrainedCalls",
+}
+
+var (
+	specOnce  sync.Once
+	specWorld *sem.World
+	specErr   error
+)
+
+// CompileSpec parses and type-checks the canonical specification. The result
+// is cached; the returned World must be treated as read-only.
+func CompileSpec() (*sem.World, error) {
+	specOnce.Do(func() {
+		spec, err := parser.Parse(SpecSource)
+		if err != nil {
+			specErr = fmt.Errorf("model: parsing canonical spec: %w", err)
+			return
+		}
+		specWorld, specErr = sem.Check(spec)
+		if specErr != nil {
+			specErr = fmt.Errorf("model: checking canonical spec: %w", specErr)
+		}
+	})
+	return specWorld, specErr
+}
+
+// MustCompileSpec is CompileSpec for contexts where the canonical spec is
+// guaranteed valid (it is covered by tests).
+func MustCompileSpec() *sem.World {
+	w, err := CompileSpec()
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

@@ -1,0 +1,167 @@
+// Package paradyn implements the comparison baseline of the paper's related
+// work: a Paradyn-style analyzer with a fixed, hard-coded set of searched
+// bottlenecks (CPUbound, ExcessiveSyncWaitingTime, ExcessiveIOBlockingTime,
+// TooManySmallIOOps) instead of a specification-driven property set.
+//
+// The point of the baseline is architectural, not numerical: the fixed set
+// cannot be extended or retargeted without changing tool code, and it misses
+// bottleneck classes the ASL specification expresses in a few lines
+// (communication cost, replicated work, load imbalance at arbitrary call
+// sites). The tests in this package and the A2 benchmarks quantify exactly
+// that gap on the workload library.
+package paradyn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Bottleneck names the fixed hypotheses, after the Paradyn documentation
+// cited by the paper.
+type Bottleneck string
+
+// The fixed bottleneck set.
+const (
+	CPUBound                 Bottleneck = "CPUbound"
+	ExcessiveSyncWaitingTime Bottleneck = "ExcessiveSyncWaitingTime"
+	ExcessiveIOBlockingTime  Bottleneck = "ExcessiveIOBlockingTime"
+	TooManySmallIOOps        Bottleneck = "TooManySmallIOOps"
+)
+
+// Fixed is the complete searched set; it cannot be extended at runtime, by
+// design of this baseline.
+var Fixed = []Bottleneck{CPUBound, ExcessiveSyncWaitingTime, ExcessiveIOBlockingTime, TooManySmallIOOps}
+
+// Finding is one detected bottleneck instance.
+type Finding struct {
+	Bottleneck Bottleneck
+	Region     string
+	// Fraction is the share of the whole-program duration spent in the
+	// offending category.
+	Fraction float64
+}
+
+// Config carries the hard-wired thresholds of the baseline.
+type Config struct {
+	// SyncFraction triggers ExcessiveSyncWaitingTime.
+	SyncFraction float64
+	// IOFraction triggers ExcessiveIOBlockingTime.
+	IOFraction float64
+	// CPUFraction triggers CPUbound.
+	CPUFraction float64
+	// SmallIOOpsPerPe and SmallIOMeanTime trigger TooManySmallIOOps for a
+	// call site of an I/O routine.
+	SmallIOOpsPerPe float64
+	SmallIOMeanTime float64
+	// IORoutines names the call sites considered I/O operations.
+	IORoutines []string
+}
+
+// DefaultConfig mirrors the published Paradyn thresholds (20% waiting time)
+// scaled to the summary data available here.
+func DefaultConfig() Config {
+	return Config{
+		SyncFraction:    0.20,
+		IOFraction:      0.20,
+		CPUFraction:     0.80,
+		SmallIOOpsPerPe: 1000,
+		SmallIOMeanTime: 1e-4,
+		IORoutines:      []string{"write_restart", "read_restart", "fwrite", "fread"},
+	}
+}
+
+// Analyze searches the fixed bottleneck set in one test run of a version.
+func Analyze(v *model.Version, run *model.TestRun, cfg Config) ([]Finding, error) {
+	root := v.RootRegion()
+	if root == nil {
+		return nil, fmt.Errorf("paradyn: no program region")
+	}
+	rootTot := root.TotalFor(run)
+	if rootTot == nil || rootTot.Incl <= 0 {
+		return nil, fmt.Errorf("paradyn: program region has no timing for this run")
+	}
+	total := rootTot.Incl
+
+	var findings []Finding
+	for _, r := range v.AllRegions() {
+		tot := r.TotalFor(run)
+		if tot == nil {
+			continue
+		}
+		var sync, io float64
+		for _, tt := range r.TypTimes {
+			if tt.Run != run {
+				continue
+			}
+			switch tt.Type {
+			case model.Barrier, model.LockWait:
+				sync += tt.Time
+			case model.IORead, model.IOWrite, model.IOOpen, model.IOClose, model.IOWait:
+				io += tt.Time
+			}
+		}
+		if f := sync / total; f > cfg.SyncFraction {
+			findings = append(findings, Finding{ExcessiveSyncWaitingTime, r.Name, f})
+		}
+		if f := io / total; f > cfg.IOFraction {
+			findings = append(findings, Finding{ExcessiveIOBlockingTime, r.Name, f})
+		}
+		// CPUbound applies to the whole program: computation dominates.
+		if r == root {
+			if f := (tot.Incl - tot.Ovhd) / total; f > cfg.CPUFraction {
+				findings = append(findings, Finding{CPUBound, r.Name, f})
+			}
+		}
+	}
+
+	ioRoutine := make(map[string]bool, len(cfg.IORoutines))
+	for _, n := range cfg.IORoutines {
+		ioRoutine[n] = true
+	}
+	for _, f := range v.Functions {
+		if !ioRoutine[f.Name] {
+			continue
+		}
+		for _, call := range f.Calls {
+			for _, ct := range call.Sums {
+				if ct.Run != run {
+					continue
+				}
+				if ct.MeanCalls > cfg.SmallIOOpsPerPe && ct.MeanCalls > 0 &&
+					ct.MeanTime/ct.MeanCalls < cfg.SmallIOMeanTime {
+					region := ""
+					if call.CallingReg != nil {
+						region = call.CallingReg.Name
+					}
+					findings = append(findings, Finding{TooManySmallIOOps, region, ct.MeanTime / total})
+				}
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].Fraction != findings[j].Fraction {
+			return findings[i].Fraction > findings[j].Fraction
+		}
+		if findings[i].Bottleneck != findings[j].Bottleneck {
+			return findings[i].Bottleneck < findings[j].Bottleneck
+		}
+		return findings[i].Region < findings[j].Region
+	})
+	return findings, nil
+}
+
+// Render formats the findings.
+func Render(findings []Finding) string {
+	if len(findings) == 0 {
+		return "paradyn baseline: no bottleneck in the fixed set\n"
+	}
+	var b strings.Builder
+	for _, f := range findings {
+		fmt.Fprintf(&b, "paradyn: %-26s %-20s %.4f\n", f.Bottleneck, f.Region, f.Fraction)
+	}
+	return b.String()
+}

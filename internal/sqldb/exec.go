@@ -1,0 +1,1478 @@
+package sqldb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Params carries the actual parameters of a statement: positional values for
+// "?" markers and named values for "$name" markers.
+type Params struct {
+	Positional []Value
+	Named      map[string]Value
+}
+
+// ResultSet is the outcome of a SELECT.
+type ResultSet struct {
+	Columns []string
+	Rows    []Row
+}
+
+// Result is the outcome of executing any statement.
+type Result struct {
+	// Set is non-nil for SELECT statements.
+	Set *ResultSet
+	// Affected counts inserted, updated, or deleted rows.
+	Affected int
+}
+
+// Exec parses and executes one SQL statement.
+func (db *DB) Exec(query string, params *Params) (*Result, error) {
+	stmt, err := ParseSQL(query)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecStmt(stmt, params)
+}
+
+// MustExec executes a statement and panics on error; intended for schema
+// setup in tests and loaders where failure is a programming error.
+func (db *DB) MustExec(query string, params *Params) *Result {
+	res, err := db.Exec(query, params)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// ExecStmt executes a parsed statement.
+func (db *DB) ExecStmt(stmt Stmt, params *Params) (*Result, error) {
+	switch st := stmt.(type) {
+	case *CreateTableStmt:
+		if err := db.createTable(st.Name, st.Cols); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *DropTableStmt:
+		if err := db.dropTable(st.Name); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *CreateIndexStmt:
+		t := db.Table(st.Table)
+		if t == nil {
+			return nil, fmt.Errorf("sqldb: no table %s", st.Table)
+		}
+		col := t.ColumnIndex(st.Column)
+		if col < 0 {
+			return nil, fmt.Errorf("sqldb: table %s has no column %s", st.Table, st.Column)
+		}
+		db.mu.Lock()
+		t.createIndex(col)
+		db.mu.Unlock()
+		return &Result{}, nil
+	case *InsertStmt:
+		return db.execInsert(st, params)
+	case *UpdateStmt:
+		return db.execUpdate(st, params)
+	case *DeleteStmt:
+		return db.execDelete(st, params)
+	case *SelectStmt:
+		ec := &execCtx{db: db, params: params}
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		set, err := ec.execSelect(st, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Set: set}, nil
+	}
+	return nil, fmt.Errorf("sqldb: unhandled statement %T", stmt)
+}
+
+func (db *DB) execInsert(st *InsertStmt, params *Params) (*Result, error) {
+	t := db.Table(st.Table)
+	if t == nil {
+		return nil, fmt.Errorf("sqldb: no table %s", st.Table)
+	}
+	// Column mapping: listed columns or all columns in order.
+	var colPos []int
+	if len(st.Cols) > 0 {
+		colPos = make([]int, len(st.Cols))
+		for i, c := range st.Cols {
+			pos := t.ColumnIndex(c)
+			if pos < 0 {
+				return nil, fmt.Errorf("sqldb: table %s has no column %s", st.Table, c)
+			}
+			colPos[i] = pos
+		}
+	} else {
+		colPos = make([]int, len(t.Columns))
+		for i := range t.Columns {
+			colPos[i] = i
+		}
+	}
+	ec := &execCtx{db: db, params: params}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	n := 0
+	for _, exprs := range st.Rows {
+		if len(exprs) != len(colPos) {
+			return nil, fmt.Errorf("sqldb: INSERT has %d values for %d columns", len(exprs), len(colPos))
+		}
+		row := make(Row, len(t.Columns))
+		for i, e := range exprs {
+			v, err := ec.eval(e, nil)
+			if err != nil {
+				return nil, err
+			}
+			row[colPos[i]] = v
+		}
+		if err := t.insert(row); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{Affected: n}, nil
+}
+
+func (db *DB) execUpdate(st *UpdateStmt, params *Params) (*Result, error) {
+	t := db.Table(st.Table)
+	if t == nil {
+		return nil, fmt.Errorf("sqldb: no table %s", st.Table)
+	}
+	ec := &execCtx{db: db, params: params}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	fr := &frame{tables: []*boundTable{{binding: strings.ToLower(st.Table), table: t}}}
+	n := 0
+	for i := range t.rows {
+		fr.tables[0].row = t.rows[i]
+		if st.Where != nil {
+			ok, err := ec.evalBool(st.Where, fr)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		for _, set := range st.Sets {
+			pos := t.ColumnIndex(set.Column)
+			if pos < 0 {
+				return nil, fmt.Errorf("sqldb: table %s has no column %s", st.Table, set.Column)
+			}
+			v, err := ec.eval(set.Value, fr)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := coerce(v, t.Columns[pos].Type)
+			if err != nil {
+				return nil, err
+			}
+			t.rows[i][pos] = cv
+		}
+		n++
+	}
+	if n > 0 {
+		t.rebuildIndexes()
+	}
+	return &Result{Affected: n}, nil
+}
+
+func (db *DB) execDelete(st *DeleteStmt, params *Params) (*Result, error) {
+	t := db.Table(st.Table)
+	if t == nil {
+		return nil, fmt.Errorf("sqldb: no table %s", st.Table)
+	}
+	ec := &execCtx{db: db, params: params}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	fr := &frame{tables: []*boundTable{{binding: strings.ToLower(st.Table), table: t}}}
+	kept := t.rows[:0]
+	n := 0
+	for i := range t.rows {
+		fr.tables[0].row = t.rows[i]
+		del := true
+		if st.Where != nil {
+			ok, err := ec.evalBool(st.Where, fr)
+			if err != nil {
+				return nil, err
+			}
+			del = ok
+		}
+		if del {
+			n++
+		} else {
+			kept = append(kept, t.rows[i])
+		}
+	}
+	t.rows = kept
+	if n > 0 {
+		t.rebuildIndexes()
+	}
+	return &Result{Affected: n}, nil
+}
+
+// ---------------------------------------------------------------------------
+// SELECT execution
+// ---------------------------------------------------------------------------
+
+// boundTable is one table bound into the current query scope.
+type boundTable struct {
+	binding string // lower-cased alias or table name
+	table   *Table
+	row     Row // current row while iterating
+}
+
+// frame is a lexical scope of bound tables; parent scopes make correlated
+// subqueries work.
+type frame struct {
+	parent *frame
+	tables []*boundTable
+}
+
+// resolve finds the bound table and column position for a column reference.
+func (fr *frame) resolve(ref *EColumn) (*boundTable, int, error) {
+	lqual, lname := ref.keys()
+	for scope := fr; scope != nil; scope = scope.parent {
+		var foundBT *boundTable
+		foundCol := -1
+		for _, bt := range scope.tables {
+			if lqual != "" && bt.binding != lqual {
+				continue
+			}
+			col, ok := bt.table.colIdx[lname]
+			if !ok {
+				continue
+			}
+			if foundBT != nil {
+				return nil, 0, fmt.Errorf("sqldb: ambiguous column %s", ref.Name)
+			}
+			foundBT, foundCol = bt, col
+		}
+		if foundBT != nil {
+			return foundBT, foundCol, nil
+		}
+	}
+	if ref.Qual != "" {
+		return nil, 0, fmt.Errorf("sqldb: unknown column %s.%s", ref.Qual, ref.Name)
+	}
+	return nil, 0, fmt.Errorf("sqldb: unknown column %s", ref.Name)
+}
+
+// tuple is one joined row: one Row per bound table.
+type tuple []Row
+
+// execCtx carries the execution state of one statement.
+type execCtx struct {
+	db     *DB
+	params *Params
+	// group is non-nil while evaluating expressions of a grouped query; it
+	// holds the tuples of the current group.
+	group *groupCtx
+	// free memoizes the free-column analysis of subqueries and subCache
+	// holds the results of subqueries that are invariant for the whole
+	// statement (no free columns; parameters only). The ASL property
+	// compiler emits the same parameter-correlated subquery many times, so
+	// this cache is the difference between linear and multiplicative cost.
+	free     map[Expr]*freeInfo
+	subCache map[string]Value
+	keyCache map[Expr]string
+}
+
+// cacheKey returns (memoized) the canonical text of an invariant subquery,
+// so textually identical subqueries share one cache slot even when they are
+// distinct AST nodes.
+func (ec *execCtx) cacheKey(e Expr) string {
+	if k, ok := ec.keyCache[e]; ok {
+		return k
+	}
+	k := FormatExpr(e)
+	if ec.keyCache == nil {
+		ec.keyCache = make(map[Expr]string)
+	}
+	ec.keyCache[e] = k
+	return k
+}
+
+// freeInfo summarizes which outer bindings an expression may reference.
+type freeInfo struct {
+	// unqual is set when the expression contains an unqualified column (or
+	// a star), which could resolve to any binding.
+	unqual bool
+	// quals holds the lower-cased table qualifiers referenced.
+	quals []string
+}
+
+// freeOf returns (computing and memoizing) the free-column analysis of e.
+func (ec *execCtx) freeOf(e Expr) *freeInfo {
+	if fi, ok := ec.free[e]; ok {
+		return fi
+	}
+	fi := &freeInfo{}
+	seen := make(map[string]bool)
+	collectFree(e, nil, fi, seen)
+	if ec.free == nil {
+		ec.free = make(map[Expr]*freeInfo)
+	}
+	ec.free[e] = fi
+	return fi
+}
+
+func collectFree(e Expr, shadow map[string]bool, fi *freeInfo, seen map[string]bool) {
+	switch x := e.(type) {
+	case nil, *ELit, *EParam:
+	case *EColumn:
+		lq, _ := x.keys()
+		if lq == "" {
+			fi.unqual = true
+			return
+		}
+		if !shadow[lq] && !seen[lq] {
+			seen[lq] = true
+			fi.quals = append(fi.quals, lq)
+		}
+	case *EBinary:
+		collectFree(x.L, shadow, fi, seen)
+		collectFree(x.R, shadow, fi, seen)
+	case *EUnary:
+		collectFree(x.X, shadow, fi, seen)
+	case *ECall:
+		for _, a := range x.Args {
+			collectFree(a, shadow, fi, seen)
+		}
+	case *EIsNull:
+		collectFree(x.X, shadow, fi, seen)
+	case *ESubquery:
+		collectFreeSelect(x.Select, shadow, fi, seen)
+	case *EExists:
+		collectFreeSelect(x.Select, shadow, fi, seen)
+	case *EIn:
+		collectFree(x.X, shadow, fi, seen)
+		if x.Sub != nil {
+			collectFreeSelect(x.Sub, shadow, fi, seen)
+		}
+		for _, a := range x.List {
+			collectFree(a, shadow, fi, seen)
+		}
+	default:
+		fi.unqual = true // unknown node: be conservative
+	}
+}
+
+func collectFreeSelect(st *SelectStmt, shadow map[string]bool, fi *freeInfo, seen map[string]bool) {
+	inner := make(map[string]bool, len(shadow)+1+len(st.Joins))
+	for k := range shadow {
+		inner[k] = true
+	}
+	if st.From != nil {
+		inner[strings.ToLower(st.From.Binding())] = true
+	}
+	for _, j := range st.Joins {
+		inner[strings.ToLower(j.Table.Binding())] = true
+	}
+	for _, item := range st.Items {
+		if item.Star {
+			continue // expands only the subquery's own tables
+		}
+		collectFree(item.Expr, inner, fi, seen)
+	}
+	for _, j := range st.Joins {
+		collectFree(j.On, inner, fi, seen)
+	}
+	collectFree(st.Where, inner, fi, seen)
+	collectFree(st.Having, inner, fi, seen)
+	collectFree(st.Limit, inner, fi, seen)
+	for _, g := range st.GroupBy {
+		collectFree(g, inner, fi, seen)
+	}
+	for _, o := range st.OrderBy {
+		collectFree(o.Expr, inner, fi, seen)
+	}
+}
+
+// invariant reports whether e cannot observe any binding of the frame
+// chain, making its value constant for the whole statement execution.
+func (ec *execCtx) invariant(e Expr, fr *frame) bool {
+	fi := ec.freeOf(e)
+	if fi.unqual && fr != nil {
+		for scope := fr; scope != nil; scope = scope.parent {
+			if len(scope.tables) > 0 {
+				return false
+			}
+		}
+	}
+	for _, q := range fi.quals {
+		for scope := fr; scope != nil; scope = scope.parent {
+			for _, bt := range scope.tables {
+				if bt.binding == q {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+type groupCtx struct {
+	fr     *frame
+	tuples []tuple
+}
+
+func (ec *execCtx) execSelect(st *SelectStmt, parent *frame) (*ResultSet, error) {
+	fr := &frame{parent: parent}
+	var tuples []tuple
+
+	if st.From == nil {
+		tuples = []tuple{{}}
+	} else {
+		bt, err := ec.bind(*st.From)
+		if err != nil {
+			return nil, err
+		}
+		fr.tables = append(fr.tables, bt)
+		// Seed tuples from the first table, using an index if the WHERE
+		// clause pins an indexed column of this table to a constant.
+		rows, err := ec.scanRows(st.Where, fr, bt)
+		if err != nil {
+			return nil, err
+		}
+		tuples = make([]tuple, 0, len(rows))
+		for _, r := range rows {
+			tuples = append(tuples, tuple{r})
+		}
+		for _, j := range st.Joins {
+			jbt, err := ec.bind(j.Table)
+			if err != nil {
+				return nil, err
+			}
+			fr.tables = append(fr.tables, jbt)
+			tuples, err = ec.join(fr, tuples, jbt, j.On)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// WHERE filter.
+	if st.Where != nil {
+		kept := tuples[:0]
+		for _, tp := range tuples {
+			setTuple(fr, tp)
+			ok, err := ec.evalBool(st.Where, fr)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, tp)
+			}
+		}
+		tuples = kept
+	}
+
+	grouped := len(st.GroupBy) > 0 || st.Having != nil
+	if !grouped {
+		for _, item := range st.Items {
+			if !item.Star && hasAggregate(item.Expr) {
+				grouped = true
+				break
+			}
+		}
+	}
+
+	set := &ResultSet{}
+	aliases := map[string]int{} // select alias -> output column
+	var appendOutputColumns func() error
+	appendOutputColumns = func() error {
+		for _, item := range st.Items {
+			if item.Star {
+				for _, bt := range fr.tables {
+					for _, c := range bt.table.Columns {
+						set.Columns = append(set.Columns, c.Name)
+					}
+				}
+				continue
+			}
+			name := item.Alias
+			if name == "" {
+				if col, ok := item.Expr.(*EColumn); ok {
+					name = col.Name
+				} else {
+					name = fmt.Sprintf("col%d", len(set.Columns)+1)
+				}
+			}
+			if item.Alias != "" {
+				aliases[strings.ToLower(item.Alias)] = len(set.Columns)
+			}
+			set.Columns = append(set.Columns, name)
+		}
+		return nil
+	}
+	if err := appendOutputColumns(); err != nil {
+		return nil, err
+	}
+
+	project := func(tp tuple) (Row, error) {
+		setTuple(fr, tp)
+		var out Row
+		for _, item := range st.Items {
+			if item.Star {
+				for _, bt := range fr.tables {
+					if bt.row == nil {
+						out = append(out, make(Row, len(bt.table.Columns))...)
+					} else {
+						out = append(out, bt.row...)
+					}
+				}
+				continue
+			}
+			v, err := ec.eval(item.Expr, fr)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+
+	type sortableRow struct {
+		row  Row
+		keys []Value
+	}
+	var rows []sortableRow
+
+	orderKeys := func(tp tuple, out Row) ([]Value, error) {
+		if len(st.OrderBy) == 0 {
+			return nil, nil
+		}
+		setTuple(fr, tp)
+		keys := make([]Value, len(st.OrderBy))
+		for i, item := range st.OrderBy {
+			// ORDER BY may name a select alias or a 1-based column ordinal.
+			if col, ok := item.Expr.(*EColumn); ok && col.Qual == "" {
+				if idx, ok := aliases[strings.ToLower(col.Name)]; ok {
+					keys[i] = out[idx]
+					continue
+				}
+			}
+			if lit, ok := item.Expr.(*ELit); ok && lit.Value.IsInt() {
+				n := int(lit.Value.Int())
+				if n >= 1 && n <= len(out) {
+					keys[i] = out[n-1]
+					continue
+				}
+			}
+			v, err := ec.eval(item.Expr, fr)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = v
+		}
+		return keys, nil
+	}
+
+	if grouped {
+		groups, order, err := ec.groupTuples(st, fr, tuples)
+		if err != nil {
+			return nil, err
+		}
+		for _, key := range order {
+			g := groups[key]
+			saved := ec.group
+			ec.group = &groupCtx{fr: fr, tuples: g}
+			rep := tuple(nil)
+			if len(g) > 0 {
+				rep = g[0]
+			} else {
+				rep = make(tuple, len(fr.tables))
+			}
+			if st.Having != nil {
+				setTuple(fr, rep)
+				ok, err := ec.evalBool(st.Having, fr)
+				if err != nil {
+					ec.group = saved
+					return nil, err
+				}
+				if !ok {
+					ec.group = saved
+					continue
+				}
+			}
+			out, err := project(rep)
+			if err != nil {
+				ec.group = saved
+				return nil, err
+			}
+			keys, err := orderKeys(rep, out)
+			if err != nil {
+				ec.group = saved
+				return nil, err
+			}
+			rows = append(rows, sortableRow{row: out, keys: keys})
+			ec.group = saved
+		}
+	} else {
+		for _, tp := range tuples {
+			out, err := project(tp)
+			if err != nil {
+				return nil, err
+			}
+			keys, err := orderKeys(tp, out)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, sortableRow{row: out, keys: keys})
+		}
+	}
+
+	if len(st.OrderBy) > 0 {
+		var sortErr error
+		sort.SliceStable(rows, func(i, j int) bool {
+			for k, item := range st.OrderBy {
+				a, b := rows[i].keys[k], rows[j].keys[k]
+				// NULLs sort last regardless of direction.
+				if a.IsNull() || b.IsNull() {
+					if a.IsNull() && b.IsNull() {
+						continue
+					}
+					return b.IsNull()
+				}
+				cmp, err := Compare(a, b)
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				if cmp == 0 {
+					continue
+				}
+				if item.Desc {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+			return false
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+	}
+
+	if st.Limit != nil {
+		lv, err := ec.eval(st.Limit, fr)
+		if err != nil {
+			return nil, err
+		}
+		if !lv.IsNumeric() {
+			return nil, fmt.Errorf("sqldb: LIMIT is not numeric")
+		}
+		n := int(lv.Float())
+		if n < 0 {
+			n = 0
+		}
+		if n < len(rows) {
+			rows = rows[:n]
+		}
+	}
+
+	set.Rows = make([]Row, len(rows))
+	for i := range rows {
+		set.Rows[i] = rows[i].row
+	}
+	return set, nil
+}
+
+// groupTuples partitions tuples by the GROUP BY keys. Without GROUP BY all
+// tuples form one group (which exists even when empty). Returns the groups
+// and the deterministic iteration order of their keys.
+func (ec *execCtx) groupTuples(st *SelectStmt, fr *frame, tuples []tuple) (map[string][]tuple, []string, error) {
+	groups := make(map[string][]tuple)
+	var order []string
+	if len(st.GroupBy) == 0 {
+		groups[""] = tuples
+		return groups, []string{""}, nil
+	}
+	for _, tp := range tuples {
+		setTuple(fr, tp)
+		var key strings.Builder
+		for _, e := range st.GroupBy {
+			v, err := ec.eval(e, fr)
+			if err != nil {
+				return nil, nil, err
+			}
+			key.WriteString(v.Key())
+			key.WriteByte(0)
+		}
+		k := key.String()
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], tp)
+	}
+	return groups, order, nil
+}
+
+func (ec *execCtx) bind(ref TableRef) (*boundTable, error) {
+	t := ec.db.tables[strings.ToLower(ref.Table)]
+	if t == nil {
+		return nil, fmt.Errorf("sqldb: no table %s", ref.Table)
+	}
+	return &boundTable{binding: strings.ToLower(ref.Binding()), table: t}, nil
+}
+
+func setTuple(fr *frame, tp tuple) {
+	for i, bt := range fr.tables {
+		if i < len(tp) {
+			bt.row = tp[i]
+		} else {
+			bt.row = nil
+		}
+	}
+}
+
+// scanRows returns the candidate rows of the first table, using a hash index
+// when the WHERE clause contains a top-level "col = expr" conjunct on an
+// indexed column of this table whose right-hand side is independent of the
+// scanned table (literals, parameters, outer-scope correlations, and
+// uncorrelated subqueries all qualify). This turns the nested dereference
+// subqueries emitted by the ASL property compiler from full scans into O(1)
+// point lookups.
+func (ec *execCtx) scanRows(where Expr, fr *frame, bt *boundTable) ([]Row, error) {
+	if where != nil {
+		for _, conj := range conjuncts(where) {
+			bin, ok := conj.(*EBinary)
+			if !ok || bin.Op != OpEq {
+				continue
+			}
+			col, val := matchColConst(bin, bt)
+			if col < 0 {
+				continue
+			}
+			if _, indexed := bt.table.indexes[col]; !indexed {
+				continue
+			}
+			v, err := ec.eval(val, fr)
+			if err != nil {
+				continue // not evaluable up front; fall back to a full scan
+			}
+			positions, _ := bt.table.lookup(col, v)
+			rows := make([]Row, len(positions))
+			for i, pos := range positions {
+				rows[i] = bt.table.rows[pos]
+			}
+			return rows, nil
+		}
+	}
+	return bt.table.rows, nil
+}
+
+// conjuncts flattens a top-level AND tree.
+func conjuncts(e Expr) []Expr {
+	if bin, ok := e.(*EBinary); ok && bin.Op == OpAnd {
+		return append(conjuncts(bin.L), conjuncts(bin.R)...)
+	}
+	return []Expr{e}
+}
+
+// matchColConst matches "bt.col = expr" (either orientation) where expr does
+// not reference the scanned table; returns (-1, nil) if no match.
+func matchColConst(bin *EBinary, bt *boundTable) (int, Expr) {
+	try := func(colE, constE Expr) (int, Expr) {
+		col, ok := colE.(*EColumn)
+		if !ok {
+			return -1, nil
+		}
+		if col.Qual != "" && strings.ToLower(col.Qual) != bt.binding {
+			return -1, nil
+		}
+		pos := bt.table.ColumnIndex(col.Name)
+		if pos < 0 || exprRefsBinding(constE, bt.binding) {
+			return -1, nil
+		}
+		return pos, constE
+	}
+	if col, c := try(bin.L, bin.R); col >= 0 {
+		return col, c
+	}
+	return try(bin.R, bin.L)
+}
+
+// exprRefsBinding reports whether the expression might reference columns of
+// the table bound under the given (lower-cased) name. Unqualified columns
+// are treated as possible references. Subqueries are analyzed recursively;
+// a subquery that rebinds the same name shadows the outer table, so its
+// interior cannot reference it.
+func exprRefsBinding(e Expr, binding string) bool {
+	switch x := e.(type) {
+	case nil:
+		return false
+	case *ELit, *EParam:
+		return false
+	case *EColumn:
+		return x.Qual == "" || strings.ToLower(x.Qual) == binding
+	case *EBinary:
+		return exprRefsBinding(x.L, binding) || exprRefsBinding(x.R, binding)
+	case *EUnary:
+		return exprRefsBinding(x.X, binding)
+	case *ECall:
+		for _, a := range x.Args {
+			if exprRefsBinding(a, binding) {
+				return true
+			}
+		}
+		return false
+	case *EIsNull:
+		return exprRefsBinding(x.X, binding)
+	case *ESubquery:
+		return selectRefsBinding(x.Select, binding)
+	case *EExists:
+		return selectRefsBinding(x.Select, binding)
+	case *EIn:
+		if exprRefsBinding(x.X, binding) {
+			return true
+		}
+		if x.Sub != nil && selectRefsBinding(x.Sub, binding) {
+			return true
+		}
+		for _, a := range x.List {
+			if exprRefsBinding(a, binding) {
+				return true
+			}
+		}
+		return false
+	}
+	return true // unknown node: be conservative
+}
+
+func selectRefsBinding(st *SelectStmt, binding string) bool {
+	// If the subquery rebinds the name, outer references are shadowed.
+	if st.From != nil && strings.ToLower(st.From.Binding()) == binding {
+		return false
+	}
+	for _, j := range st.Joins {
+		if strings.ToLower(j.Table.Binding()) == binding {
+			return false
+		}
+	}
+	for _, item := range st.Items {
+		if item.Star {
+			return true // star could expand the outer binding's columns
+		}
+		if exprRefsBinding(item.Expr, binding) {
+			return true
+		}
+	}
+	for _, j := range st.Joins {
+		if exprRefsBinding(j.On, binding) {
+			return true
+		}
+	}
+	if exprRefsBinding(st.Where, binding) || exprRefsBinding(st.Having, binding) || exprRefsBinding(st.Limit, binding) {
+		return true
+	}
+	for _, g := range st.GroupBy {
+		if exprRefsBinding(g, binding) {
+			return true
+		}
+	}
+	for _, o := range st.OrderBy {
+		if exprRefsBinding(o.Expr, binding) {
+			return true
+		}
+	}
+	return false
+}
+
+// join extends each tuple with matching rows of the newly bound table,
+// using a hash join for equi-join conditions and a nested loop otherwise.
+func (ec *execCtx) join(fr *frame, tuples []tuple, jbt *boundTable, on Expr) ([]tuple, error) {
+	// Detect "jbt.col = outerExpr" among the ON conjuncts.
+	var eqCol = -1
+	var outerExpr Expr
+	var rest []Expr
+	for _, conj := range conjuncts(on) {
+		if eqCol < 0 {
+			if bin, ok := conj.(*EBinary); ok && bin.Op == OpEq {
+				if col, other := matchJoinCol(bin, jbt, fr); col >= 0 {
+					eqCol, outerExpr = col, other
+					continue
+				}
+			}
+		}
+		rest = append(rest, conj)
+	}
+
+	var out []tuple
+	if eqCol >= 0 {
+		jbt.table.createIndex(eqCol)
+		for _, tp := range tuples {
+			setTuple(fr, tp)
+			jbt.row = nil
+			key, err := ec.eval(outerExpr, fr)
+			if err != nil {
+				return nil, err
+			}
+			if key.IsNull() {
+				continue
+			}
+			positions, _ := jbt.table.lookup(eqCol, key)
+			for _, pos := range positions {
+				r := jbt.table.rows[pos]
+				ok, err := ec.checkConjuncts(rest, fr, tp, jbt, r)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					out = append(out, append(append(tuple{}, tp...), r))
+				}
+			}
+		}
+		return out, nil
+	}
+
+	for _, tp := range tuples {
+		for _, r := range jbt.table.rows {
+			ok, err := ec.checkConjuncts(conjuncts(on), fr, tp, jbt, r)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, append(append(tuple{}, tp...), r))
+			}
+		}
+	}
+	return out, nil
+}
+
+func (ec *execCtx) checkConjuncts(conds []Expr, fr *frame, tp tuple, jbt *boundTable, r Row) (bool, error) {
+	setTuple(fr, tp)
+	jbt.row = r
+	for _, c := range conds {
+		ok, err := ec.evalBool(c, fr)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// matchJoinCol matches "jbt.col = expr" where expr does not reference jbt.
+func matchJoinCol(bin *EBinary, jbt *boundTable, fr *frame) (int, Expr) {
+	try := func(colE, otherE Expr) (int, Expr) {
+		col, ok := colE.(*EColumn)
+		if !ok {
+			return -1, nil
+		}
+		if strings.ToLower(col.Qual) != jbt.binding {
+			return -1, nil
+		}
+		pos := jbt.table.ColumnIndex(col.Name)
+		if pos < 0 || exprRefsBinding(otherE, jbt.binding) {
+			return -1, nil
+		}
+		return pos, otherE
+	}
+	if col, other := try(bin.L, bin.R); col >= 0 {
+		return col, other
+	}
+	return try(bin.R, bin.L)
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation
+// ---------------------------------------------------------------------------
+
+// evalBool evaluates a predicate under three-valued logic; NULL counts as
+// false for filtering.
+func (ec *execCtx) evalBool(e Expr, fr *frame) (bool, error) {
+	v, err := ec.eval(e, fr)
+	if err != nil {
+		return false, err
+	}
+	if v.IsNull() {
+		return false, nil
+	}
+	if !v.IsBool() {
+		return false, fmt.Errorf("sqldb: predicate evaluated to %s, want boolean", v)
+	}
+	return v.Bool(), nil
+}
+
+func (ec *execCtx) eval(e Expr, fr *frame) (Value, error) {
+	switch x := e.(type) {
+	case *ELit:
+		return x.Value, nil
+	case *EParam:
+		if ec.params == nil {
+			return Null, fmt.Errorf("sqldb: statement has parameters but none were supplied")
+		}
+		if x.Name != "" {
+			v, ok := ec.params.Named[x.Name]
+			if !ok {
+				return Null, fmt.Errorf("sqldb: missing named parameter $%s", x.Name)
+			}
+			return v, nil
+		}
+		if x.Ordinal >= len(ec.params.Positional) {
+			return Null, fmt.Errorf("sqldb: missing positional parameter %d", x.Ordinal+1)
+		}
+		return ec.params.Positional[x.Ordinal], nil
+	case *EColumn:
+		bt, col, err := fr.resolve(x)
+		if err != nil {
+			return Null, err
+		}
+		if bt.row == nil {
+			return Null, nil
+		}
+		return bt.row[col], nil
+	case *EUnary:
+		v, err := ec.eval(x.X, fr)
+		if err != nil {
+			return Null, err
+		}
+		if v.IsNull() {
+			return Null, nil
+		}
+		if x.Neg {
+			switch {
+			case v.IsInt():
+				return NewInt(-v.Int()), nil
+			case v.IsNumeric():
+				return NewFloat(-v.Float()), nil
+			}
+			return Null, fmt.Errorf("sqldb: unary - on %s", v)
+		}
+		if !v.IsBool() {
+			return Null, fmt.Errorf("sqldb: NOT on %s", v)
+		}
+		return NewBool(!v.Bool()), nil
+	case *EBinary:
+		return ec.evalBinary(x, fr)
+	case *ECall:
+		return ec.evalCall(x, fr)
+	case *EIsNull:
+		v, err := ec.eval(x.X, fr)
+		if err != nil {
+			return Null, err
+		}
+		return NewBool(v.IsNull() != x.Not), nil
+	case *ESubquery:
+		cacheable := ec.invariant(x, fr)
+		var key string
+		if cacheable {
+			key = ec.cacheKey(x)
+			if v, ok := ec.subCache[key]; ok {
+				return v, nil
+			}
+		}
+		set, err := ec.execSelect(x.Select, fr)
+		if err != nil {
+			return Null, err
+		}
+		if len(set.Columns) != 1 {
+			return Null, fmt.Errorf("sqldb: scalar subquery returns %d columns", len(set.Columns))
+		}
+		var v Value
+		switch len(set.Rows) {
+		case 0:
+			v = Null
+		case 1:
+			v = set.Rows[0][0]
+		default:
+			return Null, fmt.Errorf("sqldb: scalar subquery returned %d rows", len(set.Rows))
+		}
+		if cacheable {
+			if ec.subCache == nil {
+				ec.subCache = make(map[string]Value)
+			}
+			ec.subCache[key] = v
+		}
+		return v, nil
+	case *EExists:
+		cacheable := ec.invariant(x, fr)
+		var key string
+		if cacheable {
+			key = ec.cacheKey(x)
+			if v, ok := ec.subCache[key]; ok {
+				return v, nil
+			}
+		}
+		set, err := ec.execSelect(x.Select, fr)
+		if err != nil {
+			return Null, err
+		}
+		v := NewBool(len(set.Rows) > 0)
+		if cacheable {
+			if ec.subCache == nil {
+				ec.subCache = make(map[string]Value)
+			}
+			ec.subCache[key] = v
+		}
+		return v, nil
+	case *EIn:
+		return ec.evalIn(x, fr)
+	}
+	return Null, fmt.Errorf("sqldb: unhandled expression %T", e)
+}
+
+func (ec *execCtx) evalIn(x *EIn, fr *frame) (Value, error) {
+	lv, err := ec.eval(x.X, fr)
+	if err != nil {
+		return Null, err
+	}
+	var candidates []Value
+	if x.Sub != nil {
+		set, err := ec.execSelect(x.Sub, fr)
+		if err != nil {
+			return Null, err
+		}
+		if len(set.Columns) != 1 {
+			return Null, fmt.Errorf("sqldb: IN subquery returns %d columns", len(set.Columns))
+		}
+		for _, r := range set.Rows {
+			candidates = append(candidates, r[0])
+		}
+	} else {
+		for _, e := range x.List {
+			v, err := ec.eval(e, fr)
+			if err != nil {
+				return Null, err
+			}
+			candidates = append(candidates, v)
+		}
+	}
+	if lv.IsNull() {
+		return Null, nil
+	}
+	sawNull := false
+	for _, c := range candidates {
+		if c.IsNull() {
+			sawNull = true
+			continue
+		}
+		cmp, err := Compare(lv, c)
+		if err != nil {
+			continue // incomparable values never match
+		}
+		if cmp == 0 {
+			return NewBool(!x.Not), nil
+		}
+	}
+	if sawNull {
+		return Null, nil
+	}
+	return NewBool(x.Not), nil
+}
+
+func (ec *execCtx) evalBinary(x *EBinary, fr *frame) (Value, error) {
+	if x.Op == OpAnd || x.Op == OpOr {
+		lv, err := ec.eval(x.L, fr)
+		if err != nil {
+			return Null, err
+		}
+		// Kleene three-valued logic with short-circuiting.
+		if !lv.IsNull() && lv.IsBool() {
+			if x.Op == OpAnd && !lv.Bool() {
+				return NewBool(false), nil
+			}
+			if x.Op == OpOr && lv.Bool() {
+				return NewBool(true), nil
+			}
+		}
+		rv, err := ec.eval(x.R, fr)
+		if err != nil {
+			return Null, err
+		}
+		lb, lok := boolOrNull(lv)
+		rb, rok := boolOrNull(rv)
+		if (lv.IsNull() || lok) && (rv.IsNull() || rok) {
+			switch x.Op {
+			case OpAnd:
+				if lok && rok {
+					return NewBool(lb && rb), nil
+				}
+				if (lok && !lb) || (rok && !rb) {
+					return NewBool(false), nil
+				}
+				return Null, nil
+			case OpOr:
+				if lok && rok {
+					return NewBool(lb || rb), nil
+				}
+				if (lok && lb) || (rok && rb) {
+					return NewBool(true), nil
+				}
+				return Null, nil
+			}
+		}
+		return Null, fmt.Errorf("sqldb: %s on non-boolean operands", x.Op)
+	}
+
+	lv, err := ec.eval(x.L, fr)
+	if err != nil {
+		return Null, err
+	}
+	rv, err := ec.eval(x.R, fr)
+	if err != nil {
+		return Null, err
+	}
+	if lv.IsNull() || rv.IsNull() {
+		return Null, nil
+	}
+
+	switch x.Op {
+	case OpEq, OpNeq, OpLt, OpLeq, OpGt, OpGeq:
+		cmp, err := Compare(lv, rv)
+		if err != nil {
+			return Null, err
+		}
+		var b bool
+		switch x.Op {
+		case OpEq:
+			b = cmp == 0
+		case OpNeq:
+			b = cmp != 0
+		case OpLt:
+			b = cmp < 0
+		case OpLeq:
+			b = cmp <= 0
+		case OpGt:
+			b = cmp > 0
+		case OpGeq:
+			b = cmp >= 0
+		}
+		return NewBool(b), nil
+	case OpConcat:
+		if !lv.IsText() || !rv.IsText() {
+			return Null, fmt.Errorf("sqldb: || on %s and %s", lv, rv)
+		}
+		return NewText(lv.Text() + rv.Text()), nil
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+		if !lv.IsNumeric() || !rv.IsNumeric() {
+			return Null, fmt.Errorf("sqldb: %s on %s and %s", x.Op, lv, rv)
+		}
+		if x.Op == OpMod {
+			if !lv.IsInt() || !rv.IsInt() {
+				return Null, fmt.Errorf("sqldb: %% on non-integers")
+			}
+			if rv.Int() == 0 {
+				return Null, fmt.Errorf("sqldb: modulo by zero")
+			}
+			return NewInt(lv.Int() % rv.Int()), nil
+		}
+		if x.Op == OpDiv {
+			if rv.Float() == 0 {
+				return Null, fmt.Errorf("sqldb: division by zero")
+			}
+			return NewFloat(lv.Float() / rv.Float()), nil
+		}
+		if lv.IsInt() && rv.IsInt() {
+			switch x.Op {
+			case OpAdd:
+				return NewInt(lv.Int() + rv.Int()), nil
+			case OpSub:
+				return NewInt(lv.Int() - rv.Int()), nil
+			case OpMul:
+				return NewInt(lv.Int() * rv.Int()), nil
+			}
+		}
+		var f float64
+		switch x.Op {
+		case OpAdd:
+			f = lv.Float() + rv.Float()
+		case OpSub:
+			f = lv.Float() - rv.Float()
+		case OpMul:
+			f = lv.Float() * rv.Float()
+		}
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return Null, fmt.Errorf("sqldb: arithmetic overflow")
+		}
+		return NewFloat(f), nil
+	}
+	return Null, fmt.Errorf("sqldb: unhandled operator %s", x.Op)
+}
+
+func boolOrNull(v Value) (bool, bool) {
+	if v.IsBool() {
+		return v.Bool(), true
+	}
+	return false, false
+}
+
+func (ec *execCtx) evalCall(x *ECall, fr *frame) (Value, error) {
+	if x.IsAggregate() {
+		return ec.evalAggregate(x, fr)
+	}
+	args := make([]Value, len(x.Args))
+	for i, a := range x.Args {
+		v, err := ec.eval(a, fr)
+		if err != nil {
+			return Null, err
+		}
+		args[i] = v
+	}
+	name := strings.ToUpper(x.Name)
+	switch name {
+	case "ABS":
+		if len(args) != 1 {
+			return Null, fmt.Errorf("sqldb: ABS takes 1 argument")
+		}
+		v := args[0]
+		if v.IsNull() {
+			return Null, nil
+		}
+		if v.IsInt() {
+			if v.Int() < 0 {
+				return NewInt(-v.Int()), nil
+			}
+			return v, nil
+		}
+		if v.IsNumeric() {
+			return NewFloat(math.Abs(v.Float())), nil
+		}
+		return Null, fmt.Errorf("sqldb: ABS on %s", v)
+	case "SQRT":
+		if len(args) != 1 {
+			return Null, fmt.Errorf("sqldb: SQRT takes 1 argument")
+		}
+		v := args[0]
+		if v.IsNull() {
+			return Null, nil
+		}
+		if !v.IsNumeric() || v.Float() < 0 {
+			return Null, fmt.Errorf("sqldb: SQRT on %s", v)
+		}
+		return NewFloat(math.Sqrt(v.Float())), nil
+	case "COALESCE":
+		for _, v := range args {
+			if !v.IsNull() {
+				return v, nil
+			}
+		}
+		return Null, nil
+	case "NULLIF":
+		if len(args) != 2 {
+			return Null, fmt.Errorf("sqldb: NULLIF takes 2 arguments")
+		}
+		if args[0].IsNull() || args[1].IsNull() {
+			return args[0], nil
+		}
+		if cmp, err := Compare(args[0], args[1]); err == nil && cmp == 0 {
+			return Null, nil
+		}
+		return args[0], nil
+	case "LENGTH":
+		if len(args) != 1 {
+			return Null, fmt.Errorf("sqldb: LENGTH takes 1 argument")
+		}
+		if args[0].IsNull() {
+			return Null, nil
+		}
+		if !args[0].IsText() {
+			return Null, fmt.Errorf("sqldb: LENGTH on %s", args[0])
+		}
+		return NewInt(int64(len(args[0].Text()))), nil
+	case "UPPER", "LOWER":
+		if len(args) != 1 {
+			return Null, fmt.Errorf("sqldb: %s takes 1 argument", name)
+		}
+		if args[0].IsNull() {
+			return Null, nil
+		}
+		if !args[0].IsText() {
+			return Null, fmt.Errorf("sqldb: %s on %s", name, args[0])
+		}
+		if name == "UPPER" {
+			return NewText(strings.ToUpper(args[0].Text())), nil
+		}
+		return NewText(strings.ToLower(args[0].Text())), nil
+	}
+	return Null, fmt.Errorf("sqldb: unknown function %s", x.Name)
+}
+
+func (ec *execCtx) evalAggregate(x *ECall, fr *frame) (Value, error) {
+	if ec.group == nil {
+		return Null, fmt.Errorf("sqldb: aggregate %s outside grouped query", x.Name)
+	}
+	g := ec.group
+	// Disable aggregate context while evaluating the argument per tuple so
+	// that nested aggregates are rejected.
+	ec.group = nil
+	defer func() { ec.group = g }()
+
+	name := strings.ToUpper(x.Name)
+	if x.Star {
+		if name != "COUNT" {
+			return Null, fmt.Errorf("sqldb: %s(*) is not valid", x.Name)
+		}
+		return NewInt(int64(len(g.tuples))), nil
+	}
+	if len(x.Args) != 1 {
+		return Null, fmt.Errorf("sqldb: aggregate %s takes 1 argument", x.Name)
+	}
+
+	count := int64(0)
+	sum := 0.0
+	allInt := true
+	var best Value
+	for _, tp := range g.tuples {
+		setTuple(g.fr, tp)
+		v, err := ec.eval(x.Args[0], g.fr)
+		if err != nil {
+			return Null, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		count++
+		switch name {
+		case "SUM", "AVG":
+			if !v.IsNumeric() {
+				return Null, fmt.Errorf("sqldb: %s over non-numeric %s", name, v)
+			}
+			if !v.IsInt() {
+				allInt = false
+			}
+			sum += v.Float()
+		case "MIN", "MAX":
+			if best.IsNull() {
+				best = v
+				continue
+			}
+			cmp, err := Compare(v, best)
+			if err != nil {
+				return Null, err
+			}
+			if (name == "MIN" && cmp < 0) || (name == "MAX" && cmp > 0) {
+				best = v
+			}
+		}
+	}
+	switch name {
+	case "COUNT":
+		return NewInt(count), nil
+	case "SUM":
+		if count == 0 {
+			return Null, nil
+		}
+		if allInt {
+			return NewInt(int64(sum)), nil
+		}
+		return NewFloat(sum), nil
+	case "AVG":
+		if count == 0 {
+			return Null, nil
+		}
+		return NewFloat(sum / float64(count)), nil
+	case "MIN", "MAX":
+		return best, nil
+	}
+	return Null, fmt.Errorf("sqldb: unhandled aggregate %s", x.Name)
+}

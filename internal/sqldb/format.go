@@ -1,0 +1,171 @@
+package sqldb
+
+import (
+	"strings"
+)
+
+// FormatExpr renders an expression back to canonical SQL text. The renderer
+// is used for diagnostics and as the structural cache key for invariant
+// subqueries: the ASL property compiler expands LET bindings textually, so
+// identical subqueries appear as distinct AST nodes that render identically.
+func FormatExpr(e Expr) string {
+	var b strings.Builder
+	formatExpr(&b, e)
+	return b.String()
+}
+
+func formatExpr(b *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case nil:
+		b.WriteString("NULL")
+	case *ELit:
+		b.WriteString(x.Value.String())
+	case *EParam:
+		if x.Name != "" {
+			b.WriteByte('$')
+			b.WriteString(x.Name)
+		} else {
+			b.WriteByte('?')
+		}
+	case *EColumn:
+		if x.Qual != "" {
+			b.WriteString(x.Qual)
+			b.WriteByte('.')
+		}
+		b.WriteString(x.Name)
+	case *EBinary:
+		b.WriteByte('(')
+		formatExpr(b, x.L)
+		b.WriteByte(' ')
+		b.WriteString(x.Op.String())
+		b.WriteByte(' ')
+		formatExpr(b, x.R)
+		b.WriteByte(')')
+	case *EUnary:
+		if x.Neg {
+			b.WriteString("(-")
+		} else {
+			b.WriteString("(NOT ")
+		}
+		formatExpr(b, x.X)
+		b.WriteByte(')')
+	case *ECall:
+		b.WriteString(strings.ToUpper(x.Name))
+		b.WriteByte('(')
+		if x.Star {
+			b.WriteByte('*')
+		}
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			formatExpr(b, a)
+		}
+		b.WriteByte(')')
+	case *EIsNull:
+		b.WriteByte('(')
+		formatExpr(b, x.X)
+		if x.Not {
+			b.WriteString(" IS NOT NULL)")
+		} else {
+			b.WriteString(" IS NULL)")
+		}
+	case *ESubquery:
+		b.WriteByte('(')
+		formatSelect(b, x.Select)
+		b.WriteByte(')')
+	case *EExists:
+		b.WriteString("EXISTS (")
+		formatSelect(b, x.Select)
+		b.WriteByte(')')
+	case *EIn:
+		b.WriteByte('(')
+		formatExpr(b, x.X)
+		if x.Not {
+			b.WriteString(" NOT IN (")
+		} else {
+			b.WriteString(" IN (")
+		}
+		if x.Sub != nil {
+			formatSelect(b, x.Sub)
+		}
+		for i, a := range x.List {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			formatExpr(b, a)
+		}
+		b.WriteString("))")
+	default:
+		b.WriteString("<?expr>")
+	}
+}
+
+func formatSelect(b *strings.Builder, st *SelectStmt) {
+	b.WriteString("SELECT ")
+	for i, item := range st.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if item.Star {
+			b.WriteByte('*')
+			continue
+		}
+		formatExpr(b, item.Expr)
+		if item.Alias != "" {
+			b.WriteString(" AS ")
+			b.WriteString(item.Alias)
+		}
+	}
+	if st.From != nil {
+		b.WriteString(" FROM ")
+		b.WriteString(st.From.Table)
+		if st.From.Alias != "" {
+			b.WriteByte(' ')
+			b.WriteString(st.From.Alias)
+		}
+		for _, j := range st.Joins {
+			b.WriteString(" JOIN ")
+			b.WriteString(j.Table.Table)
+			if j.Table.Alias != "" {
+				b.WriteByte(' ')
+				b.WriteString(j.Table.Alias)
+			}
+			b.WriteString(" ON ")
+			formatExpr(b, j.On)
+		}
+	}
+	if st.Where != nil {
+		b.WriteString(" WHERE ")
+		formatExpr(b, st.Where)
+	}
+	if len(st.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range st.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			formatExpr(b, g)
+		}
+	}
+	if st.Having != nil {
+		b.WriteString(" HAVING ")
+		formatExpr(b, st.Having)
+	}
+	if len(st.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range st.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			formatExpr(b, o.Expr)
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if st.Limit != nil {
+		b.WriteString(" LIMIT ")
+		formatExpr(b, st.Limit)
+	}
+}

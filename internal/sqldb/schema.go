@@ -1,0 +1,198 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name    string
+	Type    ColType
+	NotNull bool
+	Primary bool
+}
+
+// Row is a tuple of values, one per column.
+type Row []Value
+
+// clone returns a copy of the row.
+func (r Row) clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Table is the storage for one relation.
+type Table struct {
+	Name    string
+	Columns []Column
+	colIdx  map[string]int // lower-cased column name -> position
+	rows    []Row
+	// indexes maps column position to a hash index from value key to row
+	// positions. Indexes are maintained incrementally on insert and rebuilt
+	// on update/delete.
+	indexes map[int]map[string][]int
+	// primary is the position of the primary-key column, or -1.
+	primary int
+}
+
+func newTable(name string, cols []Column) (*Table, error) {
+	t := &Table{
+		Name:    name,
+		Columns: cols,
+		colIdx:  make(map[string]int, len(cols)),
+		indexes: make(map[int]map[string][]int),
+		primary: -1,
+	}
+	for i, c := range cols {
+		key := strings.ToLower(c.Name)
+		if _, dup := t.colIdx[key]; dup {
+			return nil, fmt.Errorf("sqldb: table %s: duplicate column %s", name, c.Name)
+		}
+		t.colIdx[key] = i
+		if c.Primary {
+			if t.primary >= 0 {
+				return nil, fmt.Errorf("sqldb: table %s: multiple primary keys", name)
+			}
+			t.primary = i
+		}
+	}
+	if t.primary >= 0 {
+		t.indexes[t.primary] = make(map[string][]int)
+	}
+	return t, nil
+}
+
+// ColumnIndex returns the position of a column (case-insensitive), or -1.
+func (t *Table) ColumnIndex(name string) int {
+	if i, ok := t.colIdx[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// NumRows returns the number of stored rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+func (t *Table) insert(r Row) error {
+	if len(r) != len(t.Columns) {
+		return fmt.Errorf("sqldb: table %s: row has %d values, want %d", t.Name, len(r), len(t.Columns))
+	}
+	for i := range r {
+		v, err := coerce(r[i], t.Columns[i].Type)
+		if err != nil {
+			return fmt.Errorf("sqldb: table %s, column %s: %v", t.Name, t.Columns[i].Name, err)
+		}
+		if v.IsNull() && (t.Columns[i].NotNull || t.Columns[i].Primary) {
+			return fmt.Errorf("sqldb: table %s: NULL in NOT NULL column %s", t.Name, t.Columns[i].Name)
+		}
+		r[i] = v
+	}
+	if t.primary >= 0 {
+		key := r[t.primary].Key()
+		if len(t.indexes[t.primary][key]) > 0 {
+			return fmt.Errorf("sqldb: table %s: duplicate primary key %s", t.Name, r[t.primary])
+		}
+	}
+	pos := len(t.rows)
+	t.rows = append(t.rows, r)
+	for col, idx := range t.indexes {
+		key := r[col].Key()
+		idx[key] = append(idx[key], pos)
+	}
+	return nil
+}
+
+func (t *Table) createIndex(col int) {
+	if _, ok := t.indexes[col]; ok {
+		return
+	}
+	idx := make(map[string][]int)
+	for pos, r := range t.rows {
+		key := r[col].Key()
+		idx[key] = append(idx[key], pos)
+	}
+	t.indexes[col] = idx
+}
+
+// rebuildIndexes recomputes all indexes after bulk mutation.
+func (t *Table) rebuildIndexes() {
+	for col := range t.indexes {
+		idx := make(map[string][]int)
+		for pos, r := range t.rows {
+			key := r[col].Key()
+			idx[key] = append(idx[key], pos)
+		}
+		t.indexes[col] = idx
+	}
+}
+
+// lookup returns the positions of rows whose indexed column equals v, or
+// (nil, false) if the column is not indexed.
+func (t *Table) lookup(col int, v Value) ([]int, bool) {
+	idx, ok := t.indexes[col]
+	if !ok {
+		return nil, false
+	}
+	return idx[v.Key()], true
+}
+
+// DB is a database: a set of named tables. All public methods are safe for
+// concurrent use.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// Table returns the named table (case-insensitive), or nil.
+func (db *DB) Table(name string) *Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tables[strings.ToLower(name)]
+}
+
+// TableNames returns the table names in sorted order.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		names = append(names, t.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (db *DB) createTable(name string, cols []Column) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, dup := db.tables[key]; dup {
+		return fmt.Errorf("sqldb: table %s already exists", name)
+	}
+	t, err := newTable(name, cols)
+	if err != nil {
+		return err
+	}
+	db.tables[key] = t
+	return nil
+}
+
+func (db *DB) dropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := db.tables[key]; !ok {
+		return fmt.Errorf("sqldb: no table %s", name)
+	}
+	delete(db.tables, key)
+	return nil
+}

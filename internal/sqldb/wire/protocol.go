@@ -1,0 +1,194 @@
+// Package wire implements a client/server protocol for the sqldb engine:
+// length-prefixed gob messages over TCP, server-side cursors with
+// configurable fetch granularity, and per-vendor performance profiles that
+// model the database configurations of the paper's Section 5 (local MS
+// Access versus networked Oracle 7, MS SQL Server, and Postgres).
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/sqldb"
+)
+
+// RequestKind selects the operation of a request.
+type RequestKind int
+
+// Request kinds.
+const (
+	ReqExec        RequestKind = iota // execute statement, inline result
+	ReqQueryCursor                    // execute SELECT, open a cursor
+	ReqFetch                          // fetch next batch from a cursor
+	ReqCloseCursor                    // discard a cursor
+	ReqPing                           // round-trip probe
+)
+
+// WireValue is the on-wire representation of a sqldb.Value.
+type WireValue struct {
+	Kind byte // 0 null, 1 int, 2 float, 3 text, 4 bool
+	I    int64
+	F    float64
+	S    string
+}
+
+// ToWire converts an engine value.
+func ToWire(v sqldb.Value) WireValue {
+	switch {
+	case v.IsNull():
+		return WireValue{Kind: 0}
+	case v.IsInt():
+		return WireValue{Kind: 1, I: v.Int()}
+	case v.IsNumeric():
+		return WireValue{Kind: 2, F: v.Float()}
+	case v.IsText():
+		return WireValue{Kind: 3, S: v.Text()}
+	default:
+		b := int64(0)
+		if v.Bool() {
+			b = 1
+		}
+		return WireValue{Kind: 4, I: b}
+	}
+}
+
+// FromWire converts back to an engine value.
+func (w WireValue) FromWire() sqldb.Value {
+	switch w.Kind {
+	case 1:
+		return sqldb.NewInt(w.I)
+	case 2:
+		return sqldb.NewFloat(w.F)
+	case 3:
+		return sqldb.NewText(w.S)
+	case 4:
+		return sqldb.NewBool(w.I != 0)
+	}
+	return sqldb.Null
+}
+
+// Request is a client message.
+type Request struct {
+	Kind     RequestKind
+	SQL      string
+	Pos      []WireValue
+	Named    map[string]WireValue
+	CursorID int64
+	FetchN   int
+}
+
+// Response is a server message.
+type Response struct {
+	Err      string
+	Columns  []string
+	Rows     [][]WireValue
+	Affected int
+	CursorID int64
+	// Done marks cursor exhaustion.
+	Done bool
+}
+
+// Codec frames gob messages on a stream.
+type Codec struct {
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+// NewCodec wraps a bidirectional stream.
+func NewCodec(rw io.ReadWriter) *Codec {
+	return &Codec{enc: gob.NewEncoder(rw), dec: gob.NewDecoder(rw)}
+}
+
+// WriteRequest sends a request.
+func (c *Codec) WriteRequest(r *Request) error { return c.enc.Encode(r) }
+
+// ReadRequest receives a request.
+func (c *Codec) ReadRequest() (*Request, error) {
+	var r Request
+	if err := c.dec.Decode(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// WriteResponse sends a response.
+func (c *Codec) WriteResponse(r *Response) error { return c.enc.Encode(r) }
+
+// ReadResponse receives a response.
+func (c *Codec) ReadResponse() (*Response, error) {
+	var r Response
+	if err := c.dec.Decode(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Profile models the performance character of a database deployment. The
+// engine is identical in all configurations; what differed between the
+// paper's four DBMS setups was deployment (local file database versus
+// networked server) and per-statement server cost. The delays below are
+// injected server side, on top of the real cost of TCP transport and gob
+// marshalling.
+type Profile struct {
+	// Name identifies the vendor configuration in reports.
+	Name string
+	// RoundTrip is network and request-dispatch latency charged once per
+	// protocol request (the distributed setups of the paper transferred
+	// data over the network to the database server).
+	RoundTrip time.Duration
+	// PerStatement is fixed statement-processing overhead (parsing,
+	// logging, transaction bookkeeping).
+	PerStatement time.Duration
+	// PerRowWrite is added per inserted/updated/deleted row; it models
+	// per-row commit cost, the dominant term of the paper's insertion
+	// comparison.
+	PerRowWrite time.Duration
+	// PerRowRead is added per row shipped to the client.
+	PerRowRead time.Duration
+}
+
+// The vendor profiles. The constants are calibrated so that the *ratios*
+// reproduce Section 5: Oracle insertion ≈ 20× slower than the local
+// embedded engine ("MS Access"), MS SQL Server / Postgres ≈ 2× faster than
+// Oracle, and row-at-a-time cursor fetch ≈ 2–4× slower than bulk ("C-based")
+// access. Absolute values are scaled down roughly 5–15× from the 1999
+// hardware so the benchmark suite stays fast; EXPERIMENTS.md records the
+// mapping.
+var (
+	// ProfileAccess models the local MS Access configuration: in-process,
+	// no network, only driver dispatch overhead. Apply it with
+	// godbc.ProfiledEmbedded.
+	ProfileAccess = Profile{Name: "access", PerStatement: 12 * time.Microsecond}
+	// ProfileOracle models the networked Oracle 7 server of the paper.
+	ProfileOracle = Profile{Name: "oracle7", RoundTrip: 150 * time.Microsecond, PerStatement: 20 * time.Microsecond, PerRowWrite: 130 * time.Microsecond, PerRowRead: 60 * time.Microsecond}
+	// ProfileMSSQL models the MS SQL Server configuration.
+	ProfileMSSQL = Profile{Name: "mssql", RoundTrip: 100 * time.Microsecond, PerStatement: 10 * time.Microsecond, PerRowWrite: 40 * time.Microsecond, PerRowRead: 30 * time.Microsecond}
+	// ProfilePostgres models the Postgres configuration.
+	ProfilePostgres = Profile{Name: "postgres", RoundTrip: 100 * time.Microsecond, PerStatement: 12 * time.Microsecond, PerRowWrite: 42 * time.Microsecond, PerRowRead: 30 * time.Microsecond}
+	// ProfileFast is a zero-overhead server profile used to isolate pure
+	// protocol cost in tests and benchmarks.
+	ProfileFast = Profile{Name: "fast"}
+)
+
+// String renders the profile name.
+func (p Profile) String() string { return p.Name }
+
+// Validate rejects nonsensical profiles.
+func (p Profile) Validate() error {
+	if p.RoundTrip < 0 || p.PerStatement < 0 || p.PerRowWrite < 0 || p.PerRowRead < 0 {
+		return fmt.Errorf("wire: profile %s has negative delays", p.Name)
+	}
+	return nil
+}
+
+// ByName returns the named built-in profile.
+func ByName(name string) (Profile, bool) {
+	for _, p := range []Profile{ProfileAccess, ProfileOracle, ProfileMSSQL, ProfilePostgres, ProfileFast} {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

@@ -1,0 +1,257 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sqldb"
+)
+
+// Server serves a sqldb.DB over TCP.
+type Server struct {
+	db      *sqldb.DB
+	profile Profile
+	lis     net.Listener
+	logger  *log.Logger
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+
+	nextCursor int64
+}
+
+// NewServer returns a server for db with the given vendor profile. If logger
+// is nil, logging is disabled.
+func NewServer(db *sqldb.DB, profile Profile, logger *log.Logger) (*Server, error) {
+	if err := profile.Validate(); err != nil {
+		return nil, err
+	}
+	return &Server{db: db, profile: profile, logger: logger, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// Listen binds the server to addr ("127.0.0.1:0" picks a free port) and
+// starts accepting connections in the background.
+func (s *Server) Listen(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.lis = lis
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound address; valid after Listen.
+func (s *Server) Addr() string {
+	if s.lis == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+// Close stops the listener and all connections and waits for the handler
+// goroutines to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if s.lis != nil {
+		err = s.lis.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// cursor is a server-side materialized result with a read offset.
+type cursor struct {
+	set *sqldb.ResultSet
+	off int
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	codec := NewCodec(conn)
+	cursors := make(map[int64]*cursor)
+	for {
+		req, err := codec.ReadRequest()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("wire: read: %v", err)
+			}
+			return
+		}
+		resp := s.serve(req, cursors)
+		if err := codec.WriteResponse(resp); err != nil {
+			s.logf("wire: write: %v", err)
+			return
+		}
+	}
+}
+
+func (s *Server) serve(req *Request, cursors map[int64]*cursor) *Response {
+	s.sleep(s.profile.RoundTrip)
+	switch req.Kind {
+	case ReqPing:
+		s.sleep(s.profile.PerStatement)
+		return &Response{}
+	case ReqExec:
+		return s.serveExec(req)
+	case ReqQueryCursor:
+		return s.serveQueryCursor(req, cursors)
+	case ReqFetch:
+		return s.serveFetch(req, cursors)
+	case ReqCloseCursor:
+		delete(cursors, req.CursorID)
+		return &Response{}
+	}
+	return &Response{Err: fmt.Sprintf("wire: unknown request kind %d", req.Kind)}
+}
+
+func toParams(req *Request) *sqldb.Params {
+	if len(req.Pos) == 0 && len(req.Named) == 0 {
+		return nil
+	}
+	p := &sqldb.Params{Named: make(map[string]sqldb.Value, len(req.Named))}
+	for _, v := range req.Pos {
+		p.Positional = append(p.Positional, v.FromWire())
+	}
+	for k, v := range req.Named {
+		p.Named[k] = v.FromWire()
+	}
+	return p
+}
+
+func (s *Server) serveExec(req *Request) *Response {
+	res, err := s.db.Exec(req.SQL, toParams(req))
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+	s.sleep(s.profile.PerStatement + time.Duration(res.Affected)*s.profile.PerRowWrite)
+	resp := &Response{Affected: res.Affected, Done: true}
+	if res.Set != nil {
+		resp.Columns = res.Set.Columns
+		resp.Rows = encodeRows(res.Set.Rows)
+		s.sleep(time.Duration(len(resp.Rows)) * s.profile.PerRowRead)
+	}
+	return resp
+}
+
+func (s *Server) serveQueryCursor(req *Request, cursors map[int64]*cursor) *Response {
+	res, err := s.db.Exec(req.SQL, toParams(req))
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+	if res.Set == nil {
+		return &Response{Err: "wire: statement produced no result set"}
+	}
+	s.sleep(s.profile.PerStatement)
+	id := atomic.AddInt64(&s.nextCursor, 1)
+	cursors[id] = &cursor{set: res.Set}
+	return &Response{CursorID: id, Columns: res.Set.Columns}
+}
+
+func (s *Server) serveFetch(req *Request, cursors map[int64]*cursor) *Response {
+	cur, ok := cursors[req.CursorID]
+	if !ok {
+		return &Response{Err: fmt.Sprintf("wire: no cursor %d", req.CursorID)}
+	}
+	n := req.FetchN
+	if n <= 0 {
+		n = 1
+	}
+	end := cur.off + n
+	if end > len(cur.set.Rows) {
+		end = len(cur.set.Rows)
+	}
+	rows := cur.set.Rows[cur.off:end]
+	cur.off = end
+	s.sleep(time.Duration(len(rows)) * s.profile.PerRowRead)
+	resp := &Response{Rows: encodeRows(rows), Done: cur.off >= len(cur.set.Rows)}
+	if resp.Done {
+		delete(cursors, req.CursorID)
+	}
+	return resp
+}
+
+func encodeRows(rows []sqldb.Row) [][]WireValue {
+	out := make([][]WireValue, len(rows))
+	for i, r := range rows {
+		wr := make([]WireValue, len(r))
+		for j, v := range r {
+			wr[j] = ToWire(v)
+		}
+		out[i] = wr
+	}
+	return out
+}
+
+// sleep injects the profile's simulated processing delay. Sub-millisecond
+// delays are spun rather than slept: the OS timer granularity (≈1 ms) would
+// otherwise flatten the differences between vendor profiles that the
+// insertion benchmarks measure.
+func (s *Server) sleep(d time.Duration) {
+	Delay(d)
+}
+
+// Delay blocks for d with microsecond precision.
+func Delay(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if d >= 2*time.Millisecond {
+		time.Sleep(d)
+		return
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+	}
+}

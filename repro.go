@@ -1,0 +1,70 @@
+// Package repro reproduces "Specification Techniques for Automatic
+// Performance Analysis Tools" (Gerndt & Eßer, 1999): the APART
+// Specification Language (ASL) toolchain, the KOJAK Cost Analyzer (COSY),
+// and the substrates they need — a relational database engine with a wire
+// protocol and vendor performance profiles, a JDBC-like driver, and a Cray
+// T3E / MPP Apprentice performance-data simulator.
+//
+// This top-level package is a convenience facade over the implementation
+// packages:
+//
+//	internal/asl/...    ASL lexer, parser, type checker, object model,
+//	                    interpreter, and the SQL generator (schema +
+//	                    property compilation)
+//	internal/sqldb      the relational engine; sqldb/wire the TCP protocol
+//	internal/godbc      the JDBC-like client driver
+//	internal/apprentice the simulated performance-data supply tool
+//	internal/model      the COSY data model and canonical specification
+//	internal/core       the analyzer (property evaluation and ranking)
+//	internal/paradyn    the fixed-bottleneck comparison baseline
+//
+// See README.md for a walkthrough, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-versus-measured record.
+package repro
+
+import (
+	"repro/internal/apprentice"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Analyze simulates a library workload on the given partition sizes and
+// returns the COSY report for the largest run — the quickest route from
+// nothing to a ranked bottleneck list.
+func Analyze(workload string, pes ...int) (*core.Report, error) {
+	w, ok := apprentice.Library()[workload]
+	if !ok {
+		return nil, &UnknownWorkloadError{Name: workload}
+	}
+	if len(pes) == 0 {
+		pes = []int{2, 8, 32}
+	}
+	ds, err := apprentice.Simulate(w, apprentice.PartitionSweep(pes...), 42)
+	if err != nil {
+		return nil, err
+	}
+	g, err := model.Build(ds)
+	if err != nil {
+		return nil, err
+	}
+	runs := ds.Versions[0].Runs
+	return core.New(g).AnalyzeObject(runs[len(runs)-1])
+}
+
+// UnknownWorkloadError reports a workload name missing from the library.
+type UnknownWorkloadError struct{ Name string }
+
+// Error implements the error interface.
+func (e *UnknownWorkloadError) Error() string {
+	return "repro: unknown workload " + e.Name
+}
+
+// Workloads returns the names of the built-in workload library.
+func Workloads() []string {
+	lib := apprentice.Library()
+	names := make([]string, 0, len(lib))
+	for n := range lib {
+		names = append(names, n)
+	}
+	return names
+}
