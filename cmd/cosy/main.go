@@ -8,6 +8,7 @@
 //	cosy -in particles.apr -nope 32
 //	cosy -workload particles -nope 32 -engine sql
 //	cosy -workload particles -nope 32 -baseline      (Paradyn-style fixed set)
+//	cosy -workload particles -nope 32 -workers 4     (parallel evaluation)
 package main
 
 import (
@@ -33,6 +34,7 @@ func main() {
 	imbalance := flag.Float64("imbalance-threshold", 0, "override ImbalanceThreshold (0 keeps the spec value)")
 	baseline := flag.Bool("baseline", false, "run the Paradyn-style fixed bottleneck baseline instead")
 	guided := flag.Bool("guided", false, "use the refinement-driven search instead of exhaustive evaluation")
+	workers := flag.Int("workers", 0, "property-evaluation workers; 1 is fully serial, 0 uses GOMAXPROCS")
 	flag.Parse()
 
 	ds, err := loadDataset(*in, *workload)
@@ -58,7 +60,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := []core.Option{core.WithThreshold(*threshold)}
+	opts := []core.Option{core.WithThreshold(*threshold), core.WithWorkers(*workers)}
 	if *imbalance > 0 {
 		opts = append(opts, core.WithConst("ImbalanceThreshold", *imbalance))
 	}

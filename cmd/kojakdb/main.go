@@ -22,22 +22,13 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
-	profileName := flag.String("profile", "fast", "vendor profile: fast, oracle7, mssql, postgres")
+	profileName := flag.String("profile", "fast", "vendor profile: fast, access, oracle7, mssql, postgres, oracle-remote")
 	schema := flag.Bool("schema", false, "pre-create the COSY schema")
 	verbose := flag.Bool("v", false, "log connection errors")
 	flag.Parse()
 
-	var profile wire.Profile
-	switch *profileName {
-	case "fast":
-		profile = wire.ProfileFast
-	case "oracle7":
-		profile = wire.ProfileOracle
-	case "mssql":
-		profile = wire.ProfileMSSQL
-	case "postgres":
-		profile = wire.ProfilePostgres
-	default:
+	profile, ok := wire.ByName(*profileName)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "kojakdb: unknown profile %q\n", *profileName)
 		os.Exit(2)
 	}

@@ -1,0 +1,141 @@
+package ast_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asl/ast"
+	"repro/internal/asl/parser"
+	"repro/internal/asl/token"
+	"repro/internal/model"
+)
+
+// TestPrintRoundTripsCanonicalSpec is the printer's core contract: Print
+// renders re-lexable, re-parsable source, and printing the re-parse
+// reproduces the first rendering exactly (a fixed point after one pass).
+func TestPrintRoundTripsCanonicalSpec(t *testing.T) {
+	spec, err := parser.Parse(model.SpecSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := ast.Print(spec)
+	respec, err := parser.Parse(first)
+	if err != nil {
+		t.Fatalf("printed canonical spec does not re-parse: %v\n%s", err, first)
+	}
+	second := ast.Print(respec)
+	if first != second {
+		t.Errorf("Print is not a fixed point:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+	if len(respec.Decls) != len(spec.Decls) {
+		t.Errorf("re-parse has %d decls, want %d", len(respec.Decls), len(spec.Decls))
+	}
+}
+
+func TestPrintRendersEveryDeclKind(t *testing.T) {
+	const src = `
+class Region extends Node {
+  String Name;
+  setof Timing TotTimes;
+}
+enum RegionKind { PROGRAM, LOOP, SUBROUTINE }
+float half(float x) = x / 2;
+float ImbalanceThreshold = 0.25;
+property SyncCost(Region r, TestRun t, Region Basis) {
+  LET
+    float cost = half(r.Duration);
+  IN
+  CONDITION: (hasSync) cost > 0;
+  CONFIDENCE: 1;
+  SEVERITY: (hasSync) -> cost / Basis.Duration;
+}
+`
+	spec, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ast.Print(spec)
+	for _, want := range []string{
+		"class Region extends Node {",
+		"setof Timing TotTimes;",
+		"enum RegionKind { PROGRAM, LOOP, SUBROUTINE }",
+		"float half(float x) = (x / 2);",
+		"float ImbalanceThreshold = 0.25;",
+		"property SyncCost(Region r, TestRun t, Region Basis) {",
+		"LET",
+		"CONDITION: (hasSync) (cost > 0);",
+		"SEVERITY: (hasSync) -> (cost / Basis.Duration);",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed spec missing %q:\n%s", want, out)
+		}
+	}
+	reparsed, err := parser.Parse(out)
+	if err != nil {
+		t.Fatalf("printed spec does not re-parse: %v\n%s", err, out)
+	}
+	if ast.Print(reparsed) != out {
+		t.Error("Print is not a fixed point for the mixed-decl spec")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	cases := []struct {
+		expr ast.Expr
+		want string
+	}{
+		{&ast.Ident{Name: "r"}, "r"},
+		{&ast.IntLit{Value: 42}, "42"},
+		{&ast.FloatLit{Value: 3.14}, "3.14"},
+		{&ast.StringLit{Value: "sweep3d"}, `"sweep3d"`},
+		{&ast.BoolLit{Value: true}, "true"},
+		{&ast.BoolLit{}, "false"},
+		{&ast.NullLit{}, "null"},
+		{
+			&ast.Binary{Op: token.PLUS, L: &ast.Ident{Name: "a"}, R: &ast.IntLit{Value: 1}},
+			"(a + 1)",
+		},
+		{
+			&ast.Binary{Op: token.AND, L: &ast.BoolLit{Value: true}, R: &ast.BoolLit{}},
+			"(true AND false)",
+		},
+		{&ast.Unary{Op: token.MINUS, X: &ast.Ident{Name: "x"}}, "(-x)"},
+		{&ast.Unary{Op: token.NOTKW, X: &ast.Ident{Name: "b"}}, "(NOT b)"},
+		{&ast.Member{X: &ast.Ident{Name: "r"}, Name: "Duration"}, "r.Duration"},
+		{
+			&ast.Call{Name: "half", Args: []ast.Expr{&ast.Ident{Name: "x"}}},
+			"half(x)",
+		},
+		{nil, "<nil>"},
+	}
+	for _, tc := range cases {
+		if got := ast.ExprString(tc.expr); got != tc.want {
+			t.Errorf("ExprString = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+// Expressions printed by ExprString must parse back to the same rendering.
+func TestExprStringReparses(t *testing.T) {
+	exprs := []string{
+		"((r.Duration + 1) * 2)",
+		"(NOT (a AND (b OR c)))",
+		"(AVG(p.Excl WHERE p IN r.TotTimes) / Basis.Duration)",
+		"UNIQUE({v IN t.Values WITH (v > 0)})",
+	}
+	for _, src := range exprs {
+		spec, err := parser.Parse("float f(Region r, TestRun t, Region Basis) = " + src + ";")
+		if err != nil {
+			t.Errorf("%s: %v", src, err)
+			continue
+		}
+		fd, ok := spec.Decls[0].(*ast.FuncDecl)
+		if !ok {
+			t.Errorf("%s: parsed to %T", src, spec.Decls[0])
+			continue
+		}
+		if got := ast.ExprString(fd.Body); got != src {
+			t.Errorf("round trip changed %q to %q", src, got)
+		}
+	}
+}

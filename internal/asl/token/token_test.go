@@ -1,0 +1,151 @@
+package token
+
+import "testing"
+
+func TestLookupKeywords(t *testing.T) {
+	cases := []struct {
+		ident string
+		want  Kind
+	}{
+		// Structural keywords match case-insensitively: the paper itself
+		// mixes "Property" and "PROPERTY".
+		{"class", CLASS},
+		{"CLASS", CLASS},
+		{"Class", CLASS},
+		{"property", PROPERTY},
+		{"PROPERTY", PROPERTY},
+		{"Property", PROPERTY},
+		{"extends", EXTENDS},
+		{"setof", SETOF},
+		{"enum", ENUM},
+		{"let", LET},
+		{"LET", LET},
+		{"in", IN},
+		{"condition", CONDITION},
+		{"confidence", CONFIDENCE},
+		{"severity", SEVERITY},
+		{"with", WITH},
+		{"where", WHERE},
+		{"and", AND},
+		{"or", OR},
+		{"not", NOTKW},
+		{"true", TRUE},
+		{"false", FALSE},
+		{"null", NULLKW},
+		// Aggregates are uppercase-only; the paper uses "sum" as an ordinary
+		// set-comprehension variable.
+		{"MAX", MAX},
+		{"MIN", MIN},
+		{"SUM", SUM},
+		{"AVG", AVG},
+		{"COUNT", COUNT},
+		{"UNIQUE", UNIQUE},
+		{"sum", IDENT},
+		{"max", IDENT},
+		{"Avg", IDENT},
+		{"Count", IDENT},
+		// Plain identifiers.
+		{"Duration", IDENT},
+		{"r", IDENT},
+		{"TotTimes", IDENT},
+		{"classes", IDENT},
+	}
+	for _, tc := range cases {
+		if got := Lookup(tc.ident); got != tc.want {
+			t.Errorf("Lookup(%q) = %v, want %v", tc.ident, got, tc.want)
+		}
+	}
+}
+
+func TestKeywordRangeIsClassified(t *testing.T) {
+	for k := keywordBegin + 1; k < keywordEnd; k++ {
+		if !k.IsKeyword() {
+			t.Errorf("kind %d inside the keyword range is not IsKeyword", int(k))
+		}
+		if len(k.String()) >= 5 && k.String()[:5] == "Kind(" {
+			t.Errorf("keyword kind %d has no spelling in kindNames", int(k))
+		}
+	}
+	for _, k := range []Kind{ILLEGAL, EOF, IDENT, INT, FLOAT, STRING, DATETIME, PLUS, DOT, NOT} {
+		if k.IsKeyword() {
+			t.Errorf("%v must not be a keyword", k)
+		}
+	}
+}
+
+func TestEveryKeywordHasALookupSpelling(t *testing.T) {
+	// Every kind in the keyword range must be reachable through Lookup with
+	// its canonical String spelling — the printer relies on this to emit
+	// re-lexable source.
+	for k := keywordBegin + 1; k < keywordEnd; k++ {
+		spelling := k.String()
+		if got := Lookup(spelling); got != k {
+			t.Errorf("Lookup(%q) = %v, want %v", spelling, got, k)
+		}
+	}
+}
+
+func TestKindStringFallback(t *testing.T) {
+	if got := Kind(9999).String(); got != "Kind(9999)" {
+		t.Errorf("unknown kind renders as %q", got)
+	}
+}
+
+func TestPos(t *testing.T) {
+	if (Pos{}).Valid() {
+		t.Error("zero Pos must be invalid")
+	}
+	p := Pos{Line: 3, Col: 14}
+	if !p.Valid() || p.String() != "3:14" {
+		t.Errorf("Pos = %q, valid %v", p.String(), p.Valid())
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	cases := []struct {
+		tok  Token
+		want string
+	}{
+		{Token{Kind: IDENT, Text: "Duration"}, `IDENT("Duration")`},
+		{Token{Kind: INT, Text: "42"}, `INT("42")`},
+		{Token{Kind: STRING, Text: "sweep3d"}, `STRING("sweep3d")`},
+		{Token{Kind: ARROW, Text: "->"}, "->"},
+		{Token{Kind: CLASS, Text: "class"}, "class"},
+	}
+	for _, tc := range cases {
+		if got := tc.tok.String(); got != tc.want {
+			t.Errorf("Token.String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestPrecedenceOrdering(t *testing.T) {
+	// OR < AND < comparison < additive < multiplicative, all > 0; everything
+	// else is not a binary operator.
+	if !(OR.Precedence() < AND.Precedence() &&
+		AND.Precedence() < EQ.Precedence() &&
+		EQ.Precedence() < PLUS.Precedence() &&
+		PLUS.Precedence() < STAR.Precedence()) {
+		t.Error("operator precedence ordering violated")
+	}
+	for _, k := range []Kind{EQ, NEQ, LT, LEQ, GT, GEQ} {
+		if k.Precedence() != EQ.Precedence() {
+			t.Errorf("%v precedence %d, want %d", k, k.Precedence(), EQ.Precedence())
+		}
+	}
+	for _, k := range []Kind{PLUS, MINUS} {
+		if k.Precedence() != PLUS.Precedence() {
+			t.Errorf("%v precedence mismatch", k)
+		}
+	}
+	for _, k := range []Kind{STAR, SLASH, PERCENT} {
+		if k.Precedence() != STAR.Precedence() {
+			t.Errorf("%v precedence mismatch", k)
+		}
+	}
+	for _, k := range []Kind{IDENT, LPAREN, ASSIGN, NOT, ARROW, EOF} {
+		if k.Precedence() != 0 {
+			t.Errorf("%v must not have binary precedence", k)
+		}
+	}
+}

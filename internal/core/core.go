@@ -135,6 +135,9 @@ func WithConst(name string, value float64) Option {
 }
 
 // Analyzer evaluates the canonical property set over a materialized graph.
+// Property instances are evaluated on a bounded worker pool (see WithWorkers
+// and parallel.go); results are merged deterministically, so reports do not
+// depend on the worker count.
 type Analyzer struct {
 	world      *sem.World
 	graph      *model.Graph
@@ -142,6 +145,8 @@ type Analyzer struct {
 	props      []string
 	callFilter map[string]string
 	consts     map[string]float64
+	// workers is the evaluation worker count; <= 0 means GOMAXPROCS.
+	workers int
 }
 
 // New returns an analyzer over the graph.
@@ -403,28 +408,77 @@ func (a *Analyzer) objectEvaluator() *eval.Evaluator {
 	return ev
 }
 
-// evalScope runs the object engine over a scope.
-func (a *Analyzer) evalScope(sc *scope) ([]Instance, error) {
-	ev := a.objectEvaluator()
-	var instances []Instance
+// evalItem is one (property × context) unit of work; items carry everything
+// a worker needs so evaluation is free of shared mutable state.
+type evalItem struct {
+	prop string
+	ctx  instCtx
+	// sql and cp are set on the SQL engine path only.
+	sql string
+	cp  *sqlgen.CompiledProperty
+}
+
+// enumerate lists every property instance of a scope in the canonical
+// (property order × context order) sequence. This sequence is the merge
+// order of the parallel pipeline: instance i of the work list is written to
+// slot i of the result, so the output is identical for any worker count —
+// every engine must build its work list here. perProp, when non-nil, runs
+// once per property to supply engine-specific item state (the compiled SQL);
+// its result seeds every item of that property.
+func (a *Analyzer) enumerate(sc *scope, perProp func(prop string) (evalItem, error)) ([]evalItem, error) {
+	var items []evalItem
 	for _, prop := range a.props {
+		seed := evalItem{}
+		if perProp != nil {
+			var err error
+			if seed, err = perProp(prop); err != nil {
+				return nil, err
+			}
+		}
+		seed.prop = prop
 		ctxs, err := a.contexts(sc, prop)
 		if err != nil {
 			return nil, err
 		}
 		for _, ctx := range ctxs {
-			in := Instance{Property: prop, Context: ctx.label}
-			res, err := ev.EvalProperty(prop, ctx.args...)
-			if err != nil {
-				in.Diagnostic = err.Error()
-			} else {
-				in.Holds = res.Holds
-				in.Confidence = res.Confidence
-				in.Severity = res.Severity
-			}
-			instances = append(instances, in)
+			it := seed
+			it.ctx = ctx
+			items = append(items, it)
 		}
 	}
+	return items, nil
+}
+
+// evalScope runs the object engine over a scope, fanning the instances out
+// across the worker pool. The ASL evaluator caches constants and tracks call
+// depth, so each worker interprets with its own Evaluator; the object graph
+// itself is read-only during evaluation.
+func (a *Analyzer) evalScope(sc *scope) ([]Instance, error) {
+	items, err := a.enumerate(sc, nil)
+	if err != nil {
+		return nil, err
+	}
+	workers := a.Workers()
+	evs := make([]*eval.Evaluator, min(workers, max(len(items), 1)))
+	instances := make([]Instance, len(items))
+	runPool(workers, len(items), func(worker, i int) {
+		ev := evs[worker]
+		if ev == nil {
+			ev = a.objectEvaluator()
+			evs[worker] = ev
+		}
+		it := items[i]
+		in := Instance{Property: it.prop, Context: it.ctx.label}
+		res, err := ev.EvalProperty(it.prop, it.ctx.args...)
+		if err != nil {
+			in.Diagnostic = err.Error()
+		} else {
+			in.Holds = res.Holds
+			in.Confidence = res.Confidence
+			in.Severity = res.Severity
+		}
+		instances[i] = in
+	})
 	return instances, nil
 }
 
@@ -436,36 +490,42 @@ type QueryExec = sqlgen.QueryExecutor
 // SQL queries against a database that holds the dataset (see sqlgen.Load).
 // This is the paper's preferred configuration: conditions and severity
 // expressions run entirely inside the database.
+//
+// Queries are issued from the worker pool when q is safe for concurrent use
+// (godbc.Pool keeps one connection per in-flight query; godbc.Embedded
+// queries the in-process engine, whose readers run concurrently). With a
+// plain godbc.Conn the evaluation stays serial on the one socket.
 func (a *Analyzer) AnalyzeSQL(run *model.TestRun, q QueryExec) (*Report, error) {
 	sc, err := a.scopeFromGraph(run)
 	if err != nil {
 		return nil, err
 	}
-	var instances []Instance
-	for _, prop := range a.props {
+	items, err := a.enumerate(sc, func(prop string) (evalItem, error) {
 		cp, err := sqlgen.CompileProperty(a.world, prop)
 		if err != nil {
-			return nil, fmt.Errorf("core: compiling %s: %w", prop, err)
+			return evalItem{}, fmt.Errorf("core: compiling %s: %w", prop, err)
 		}
 		sql, err := a.overrideConsts(cp, prop)
 		if err != nil {
-			return nil, err
+			return evalItem{}, err
 		}
-		ctxs, err := a.contexts(sc, prop)
-		if err != nil {
-			return nil, err
-		}
-		for _, ctx := range ctxs {
-			in := Instance{Property: prop, Context: ctx.label}
-			set, err := q.ExecQuery(sql, ctx.params)
-			if err != nil {
-				in.Diagnostic = err.Error()
-			} else {
-				in.Outcome = interpretRow(cp, set)
-			}
-			instances = append(instances, in)
-		}
+		return evalItem{sql: sql, cp: cp}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	instances := make([]Instance, len(items))
+	runPool(a.queryWorkers(q), len(items), func(_, i int) {
+		it := items[i]
+		in := Instance{Property: it.prop, Context: it.ctx.label}
+		set, err := q.ExecQuery(it.sql, it.ctx.params)
+		if err != nil {
+			in.Diagnostic = err.Error()
+		} else {
+			in.Outcome = interpretRow(it.cp, set)
+		}
+		instances[i] = in
+	})
 	return a.finish("sql", run.NoPe, instances), nil
 }
 

@@ -23,12 +23,15 @@ import (
 const DefaultFetchSize = 1
 
 // Conn is a database connection. A Conn is not safe for concurrent use, like
-// a JDBC Connection.
+// a JDBC Connection; use a Pool to serve concurrent callers.
 type Conn struct {
 	nc        net.Conn
 	codec     *wire.Codec
 	fetchSize int
 	closed    bool
+	// broken is set when a transport-level failure leaves the connection in
+	// an undefined protocol state; a Pool discards such connections.
+	broken bool
 }
 
 // Dial connects to a wire server.
@@ -78,10 +81,12 @@ func (c *Conn) roundTrip(req *wire.Request) (*wire.Response, error) {
 		return nil, fmt.Errorf("godbc: connection closed")
 	}
 	if err := c.codec.WriteRequest(req); err != nil {
+		c.broken = true
 		return nil, fmt.Errorf("godbc: send: %w", err)
 	}
 	resp, err := c.codec.ReadResponse()
 	if err != nil {
+		c.broken = true
 		return nil, fmt.Errorf("godbc: receive: %w", err)
 	}
 	return resp, nil
@@ -279,6 +284,10 @@ func (e Embedded) ExecQuery(query string, params *sqldb.Params) (*sqldb.ResultSe
 	return res.Set, nil
 }
 
+// ConcurrentQuery marks the embedded engine as safe for concurrent querying
+// (sqldb serializes writers against readers internally).
+func (e Embedded) ConcurrentQuery() bool { return true }
+
 // ProfiledEmbedded is an in-process executor with a vendor profile applied
 // client side: the "MS Access through a local driver" configuration of the
 // paper's comparison. Round-trip delays do not apply (there is no network).
@@ -309,6 +318,11 @@ func (e ProfiledEmbedded) ExecQuery(query string, params *sqldb.Params) (*sqldb.
 	wire.Delay(e.Profile.PerStatement + time.Duration(len(res.Set.Rows))*e.Profile.PerRowRead)
 	return res.Set, nil
 }
+
+// ProfiledEmbedded deliberately does not implement ConcurrentQuery: it
+// emulates a single serial local driver, and letting workers overlap (and
+// concurrently spin) its simulated delays would divide the very cost the
+// profile exists to model.
 
 // CursorQuery adapts a connection so that every ExecQuery is served through
 // a row-at-a-time cursor — the JDBC default the paper's client-side

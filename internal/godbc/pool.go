@@ -1,0 +1,161 @@
+package godbc
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sqldb"
+)
+
+// Pool is a fixed-capacity pool of connections to one wire server. Unlike a
+// single Conn, a Pool is safe for concurrent use: every statement checks out
+// its own connection for the duration of the round trip, so N in-flight
+// queries hold N distinct connections — the JDBC "connection pool" the COSY
+// analyzer's parallel evaluation pipeline needs to keep its workers from
+// sharing a socket.
+//
+// Connections are dialed lazily up to the capacity and reused afterwards;
+// connections that suffered a transport-level failure are discarded instead
+// of being returned to the pool.
+type Pool struct {
+	addr      string
+	fetchSize int
+
+	// slots bounds the number of checked-out plus idle connections.
+	slots chan struct{}
+
+	mu     sync.Mutex
+	idle   []*Conn
+	closed bool
+}
+
+// NewPool connects to a wire server and returns a pool of at most size
+// connections (values below 1 are treated as 1). The address is validated
+// eagerly by dialing the first connection.
+func NewPool(addr string, size int) (*Pool, error) {
+	if size < 1 {
+		size = 1
+	}
+	p := &Pool{addr: addr, fetchSize: DefaultFetchSize, slots: make(chan struct{}, size)}
+	for i := 0; i < size; i++ {
+		p.slots <- struct{}{}
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c.SetFetchSize(p.fetchSize)
+	p.idle = append(p.idle, c)
+	return p, nil
+}
+
+// Size returns the pool capacity.
+func (p *Pool) Size() int { return cap(p.slots) }
+
+// SetFetchSize sets the cursor fetch size applied to pooled connections.
+func (p *Pool) SetFetchSize(n int) {
+	if n < 1 {
+		n = 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fetchSize = n
+	for _, c := range p.idle {
+		c.SetFetchSize(n)
+	}
+}
+
+// Get checks a connection out of the pool, dialing a new one if no idle
+// connection is available and the capacity is not exhausted; otherwise it
+// blocks until a connection is returned. Return the connection with Put.
+func (p *Pool) Get() (*Conn, error) {
+	<-p.slots
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.slots <- struct{}{}
+		return nil, fmt.Errorf("godbc: pool is closed")
+	}
+	var c *Conn
+	if n := len(p.idle); n > 0 {
+		c = p.idle[n-1]
+		p.idle = p.idle[:n-1]
+	}
+	fetch := p.fetchSize
+	p.mu.Unlock()
+	if c != nil {
+		// Re-apply the pool's current fetch size: the connection may have
+		// been checked out across a SetFetchSize call.
+		c.SetFetchSize(fetch)
+		return c, nil
+	}
+	c, err := Dial(p.addr)
+	if err != nil {
+		p.slots <- struct{}{}
+		return nil, err
+	}
+	c.SetFetchSize(fetch)
+	return c, nil
+}
+
+// Put returns a connection obtained from Get. Broken or closed connections
+// are discarded; their capacity slot is freed either way.
+func (p *Pool) Put(c *Conn) {
+	if c == nil {
+		return
+	}
+	p.mu.Lock()
+	if c.broken || c.closed || p.closed {
+		p.mu.Unlock()
+		c.Close()
+		p.slots <- struct{}{}
+		return
+	}
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+	p.slots <- struct{}{}
+}
+
+// Close closes the idle connections and marks the pool closed. Connections
+// currently checked out are closed as they are returned.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	var first error
+	for _, c := range p.idle {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	p.idle = nil
+	return first
+}
+
+// Exec runs a statement on a pooled connection.
+func (p *Pool) Exec(query string, params *sqldb.Params) (Result, error) {
+	c, err := p.Get()
+	if err != nil {
+		return Result{}, err
+	}
+	defer p.Put(c)
+	return c.Exec(query, params)
+}
+
+// ExecQuery runs a SELECT on a pooled connection.
+func (p *Pool) ExecQuery(query string, params *sqldb.Params) (*sqldb.ResultSet, error) {
+	c, err := p.Get()
+	if err != nil {
+		return nil, err
+	}
+	defer p.Put(c)
+	return c.ExecQuery(query, params)
+}
+
+// ConcurrentQuery marks the pool as safe for concurrent querying.
+func (p *Pool) ConcurrentQuery() bool { return true }
+
+var _ Executor = (*Pool)(nil)

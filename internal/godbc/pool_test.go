@@ -1,0 +1,142 @@
+package godbc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/sqldb"
+	"repro/internal/sqldb/wire"
+)
+
+// startPoolServer launches a wire server over a small populated database.
+func startPoolServer(t *testing.T) *wire.Server {
+	t.Helper()
+	db := sqldb.NewDB()
+	db.MustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)", nil)
+	for i := 0; i < 16; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO t (id, v) VALUES (%d, %d)", i, i*i), nil)
+	}
+	srv, err := wire.NewServer(db, wire.Profile{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func TestPoolConcurrentQueries(t *testing.T) {
+	srv := startPoolServer(t)
+	pool, err := NewPool(srv.Addr(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if !pool.ConcurrentQuery() {
+		t.Fatal("pool must advertise concurrent querying")
+	}
+	if pool.Size() != 4 {
+		t.Fatalf("Size() = %d, want 4", pool.Size())
+	}
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				set, err := pool.ExecQuery("SELECT v FROM t WHERE id = ?",
+					&sqldb.Params{Positional: []sqldb.Value{sqldb.NewInt(int64(id % 16))}})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(set.Rows) != 1 || set.Rows[0][0].Int() != int64((id%16)*(id%16)) {
+					errs <- fmt.Errorf("goroutine %d: bad result %v", id, set.Rows)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestPoolReusesConnections(t *testing.T) {
+	srv := startPoolServer(t)
+	pool, err := NewPool(srv.Addr(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	c1, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(c1)
+	c2, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Error("idle connection was not reused")
+	}
+	pool.Put(c2)
+}
+
+func TestPoolDiscardsBrokenConnections(t *testing.T) {
+	srv := startPoolServer(t)
+	pool, err := NewPool(srv.Addr(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	c, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.broken = true
+	pool.Put(c)
+	c2, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 == c {
+		t.Error("broken connection was returned to the pool")
+	}
+	if _, err := c2.ExecQuery("SELECT COUNT(*) FROM t", nil); err != nil {
+		t.Errorf("replacement connection unusable: %v", err)
+	}
+	pool.Put(c2)
+}
+
+func TestPoolClosed(t *testing.T) {
+	srv := startPoolServer(t)
+	pool, err := NewPool(srv.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Get(); err == nil {
+		t.Error("Get on a closed pool must fail")
+	}
+	if err := pool.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestPoolDialError(t *testing.T) {
+	if _, err := NewPool("127.0.0.1:1", 2); err == nil {
+		t.Fatal("expected dial error")
+	}
+}

@@ -146,10 +146,25 @@ func (db *DB) execUpdate(st *UpdateStmt, params *Params) (*Result, error) {
 	ec := &execCtx{db: db, params: params}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	// Phase 1 (read): evaluate WHERE and the SET expressions against the
+	// pre-update state, without holding the table write lock, so that
+	// subqueries over the updated table itself can take read locks freely.
 	fr := &frame{tables: []*boundTable{{binding: strings.ToLower(st.Table), table: t}}}
-	n := 0
-	for i := range t.rows {
-		fr.tables[0].row = t.rows[i]
+	rows := t.scan()
+	type patch struct {
+		pos    int
+		values Row // one value per SET, in declaration order
+	}
+	cols := make([]int, len(st.Sets))
+	for i, set := range st.Sets {
+		cols[i] = t.ColumnIndex(set.Column)
+		if cols[i] < 0 {
+			return nil, fmt.Errorf("sqldb: table %s has no column %s", st.Table, set.Column)
+		}
+	}
+	var patches []patch
+	for i := range rows {
+		fr.tables[0].row = rows[i]
 		if st.Where != nil {
 			ok, err := ec.evalBool(st.Where, fr)
 			if err != nil {
@@ -159,27 +174,32 @@ func (db *DB) execUpdate(st *UpdateStmt, params *Params) (*Result, error) {
 				continue
 			}
 		}
-		for _, set := range st.Sets {
-			pos := t.ColumnIndex(set.Column)
-			if pos < 0 {
-				return nil, fmt.Errorf("sqldb: table %s has no column %s", st.Table, set.Column)
-			}
+		p := patch{pos: i, values: make(Row, len(st.Sets))}
+		for j, set := range st.Sets {
 			v, err := ec.eval(set.Value, fr)
 			if err != nil {
 				return nil, err
 			}
-			cv, err := coerce(v, t.Columns[pos].Type)
+			cv, err := coerce(v, t.Columns[cols[j]].Type)
 			if err != nil {
 				return nil, err
 			}
-			t.rows[i][pos] = cv
+			p.values[j] = cv
 		}
-		n++
+		patches = append(patches, p)
 	}
-	if n > 0 {
+	// Phase 2 (write): apply the patches under the table write lock.
+	if len(patches) > 0 {
+		t.mu.Lock()
+		for _, p := range patches {
+			for j, cv := range p.values {
+				t.rows[p.pos][cols[j]] = cv
+			}
+		}
+		t.mu.Unlock()
 		t.rebuildIndexes()
 	}
-	return &Result{Affected: n}, nil
+	return &Result{Affected: len(patches)}, nil
 }
 
 func (db *DB) execDelete(st *DeleteStmt, params *Params) (*Result, error) {
@@ -190,11 +210,13 @@ func (db *DB) execDelete(st *DeleteStmt, params *Params) (*Result, error) {
 	ec := &execCtx{db: db, params: params}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	// Phase 1 (read): decide which rows survive without the write lock held.
 	fr := &frame{tables: []*boundTable{{binding: strings.ToLower(st.Table), table: t}}}
-	kept := t.rows[:0]
+	rows := t.scan()
+	keep := make([]bool, len(rows))
 	n := 0
-	for i := range t.rows {
-		fr.tables[0].row = t.rows[i]
+	for i := range rows {
+		fr.tables[0].row = rows[i]
 		del := true
 		if st.Where != nil {
 			ok, err := ec.evalBool(st.Where, fr)
@@ -206,11 +228,20 @@ func (db *DB) execDelete(st *DeleteStmt, params *Params) (*Result, error) {
 		if del {
 			n++
 		} else {
-			kept = append(kept, t.rows[i])
+			keep[i] = true
 		}
 	}
-	t.rows = kept
+	// Phase 2 (write): compact the row storage under the table write lock.
 	if n > 0 {
+		t.mu.Lock()
+		kept := t.rows[:0]
+		for i := range t.rows {
+			if keep[i] {
+				kept = append(kept, t.rows[i])
+			}
+		}
+		t.rows = kept
+		t.mu.Unlock()
 		t.rebuildIndexes()
 	}
 	return &Result{Affected: n}, nil
@@ -750,7 +781,7 @@ func (ec *execCtx) scanRows(where Expr, fr *frame, bt *boundTable) ([]Row, error
 			if col < 0 {
 				continue
 			}
-			if _, indexed := bt.table.indexes[col]; !indexed {
+			if !bt.table.hasIndex(col) {
 				continue
 			}
 			v, err := ec.eval(val, fr)
@@ -758,14 +789,15 @@ func (ec *execCtx) scanRows(where Expr, fr *frame, bt *boundTable) ([]Row, error
 				continue // not evaluable up front; fall back to a full scan
 			}
 			positions, _ := bt.table.lookup(col, v)
+			all := bt.table.scan()
 			rows := make([]Row, len(positions))
 			for i, pos := range positions {
-				rows[i] = bt.table.rows[pos]
+				rows[i] = all[pos]
 			}
 			return rows, nil
 		}
 	}
-	return bt.table.rows, nil
+	return bt.table.scan(), nil
 }
 
 // conjuncts flattens a top-level AND tree.
@@ -907,6 +939,7 @@ func (ec *execCtx) join(fr *frame, tuples []tuple, jbt *boundTable, on Expr) ([]
 	var out []tuple
 	if eqCol >= 0 {
 		jbt.table.createIndex(eqCol)
+		jrows := jbt.table.scan()
 		for _, tp := range tuples {
 			setTuple(fr, tp)
 			jbt.row = nil
@@ -919,7 +952,7 @@ func (ec *execCtx) join(fr *frame, tuples []tuple, jbt *boundTable, on Expr) ([]
 			}
 			positions, _ := jbt.table.lookup(eqCol, key)
 			for _, pos := range positions {
-				r := jbt.table.rows[pos]
+				r := jrows[pos]
 				ok, err := ec.checkConjuncts(rest, fr, tp, jbt, r)
 				if err != nil {
 					return nil, err
@@ -933,7 +966,7 @@ func (ec *execCtx) join(fr *frame, tuples []tuple, jbt *boundTable, on Expr) ([]
 	}
 
 	for _, tp := range tuples {
-		for _, r := range jbt.table.rows {
+		for _, r := range jbt.table.scan() {
 			ok, err := ec.checkConjuncts(conjuncts(on), fr, tp, jbt, r)
 			if err != nil {
 				return nil, err

@@ -26,11 +26,22 @@ func (r Row) clone() Row {
 }
 
 // Table is the storage for one relation.
+//
+// Every table carries its own RWMutex so that readers of different tables
+// never contend and concurrent readers of the same table only serialize
+// against writers. Lock ordering: the DB statement lock (DB.mu) is always
+// acquired before any table lock; table locks are never held while acquiring
+// another table's lock.
 type Table struct {
 	Name    string
 	Columns []Column
 	colIdx  map[string]int // lower-cased column name -> position
-	rows    []Row
+	// mu guards rows and indexes. Writers (insert, update, delete, index
+	// builds) take the write lock; row scans and index lookups take the read
+	// lock, which makes the lazily built join indexes safe under concurrent
+	// SELECTs.
+	mu   sync.RWMutex
+	rows []Row
 	// indexes maps column position to a hash index from value key to row
 	// positions. Indexes are maintained incrementally on insert and rebuilt
 	// on update/delete.
@@ -75,9 +86,25 @@ func (t *Table) ColumnIndex(name string) int {
 }
 
 // NumRows returns the number of stored rows.
-func (t *Table) NumRows() int { return len(t.rows) }
+func (t *Table) NumRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// scan returns the current row storage for a full scan. The returned slice
+// header is a snapshot: inserts append (never reallocating under a reader's
+// feet in a way that changes visible elements), and updates and deletes hold
+// the write lock while they mutate.
+func (t *Table) scan() []Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows
+}
 
 func (t *Table) insert(r Row) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if len(r) != len(t.Columns) {
 		return fmt.Errorf("sqldb: table %s: row has %d values, want %d", t.Name, len(r), len(t.Columns))
 	}
@@ -106,7 +133,18 @@ func (t *Table) insert(r Row) error {
 	return nil
 }
 
+// createIndex builds a hash index over a column if one does not exist yet.
+// It is called lazily from the join planner, so it must be safe under
+// concurrent SELECTs: the double-checked write lock serializes builders.
 func (t *Table) createIndex(col int) {
+	t.mu.RLock()
+	_, ok := t.indexes[col]
+	t.mu.RUnlock()
+	if ok {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if _, ok := t.indexes[col]; ok {
 		return
 	}
@@ -120,6 +158,8 @@ func (t *Table) createIndex(col int) {
 
 // rebuildIndexes recomputes all indexes after bulk mutation.
 func (t *Table) rebuildIndexes() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for col := range t.indexes {
 		idx := make(map[string][]int)
 		for pos, r := range t.rows {
@@ -130,9 +170,22 @@ func (t *Table) rebuildIndexes() {
 	}
 }
 
+// hasIndex reports whether the column is indexed.
+func (t *Table) hasIndex(col int) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.indexes[col]
+	return ok
+}
+
 // lookup returns the positions of rows whose indexed column equals v, or
-// (nil, false) if the column is not indexed.
+// (nil, false) if the column is not indexed. The returned slice aliases the
+// index; it is safe to read because index mutations happen only under the
+// exclusive DB statement lock, which excludes all SELECT readers. Positions
+// index into the snapshot returned by scan.
 func (t *Table) lookup(col int, v Value) ([]int, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	idx, ok := t.indexes[col]
 	if !ok {
 		return nil, false
