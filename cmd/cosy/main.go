@@ -3,10 +3,16 @@
 // performance properties for a selected test run, and prints the severity
 // ranking, the performance problems, and the bottleneck.
 //
+// The SQL engines run against the in-process database by default; -db
+// points them at a running kojakdb wire server instead, through a connection
+// pool sized to the worker count. Property queries are prepared once and
+// executed per context when the backend supports it.
+//
 // Usage:
 //
 //	cosy -in particles.apr -nope 32
 //	cosy -workload particles -nope 32 -engine sql
+//	cosy -workload particles -nope 32 -engine sql -db 127.0.0.1:7070
 //	cosy -workload particles -nope 32 -baseline      (Paradyn-style fixed set)
 //	cosy -workload particles -nope 32 -workers 4     (parallel evaluation)
 package main
@@ -15,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/apprentice"
 	"repro/internal/asl/sqlgen"
@@ -35,6 +42,8 @@ func main() {
 	baseline := flag.Bool("baseline", false, "run the Paradyn-style fixed bottleneck baseline instead")
 	guided := flag.Bool("guided", false, "use the refinement-driven search instead of exhaustive evaluation")
 	workers := flag.Int("workers", 0, "property-evaluation workers; 1 is fully serial, 0 uses GOMAXPROCS")
+	dbAddr := flag.String("db", "", "kojakdb wire server address for the sql/client engines; empty runs in process")
+	fetchSize := flag.Int("fetchsize", 0, "rows per cursor fetch on pooled connections (the JDBC row-at-a-time default is 1); 0 keeps the default")
 	flag.Parse()
 
 	ds, err := loadDataset(*in, *workload)
@@ -66,8 +75,69 @@ func main() {
 	}
 	analyzer := core.New(g, opts...)
 
+	switch *engine {
+	case "object", "sql", "client":
+	default:
+		fatal(fmt.Errorf("cosy: unknown engine %q", *engine))
+	}
+	if *guided && *engine == "client" {
+		fatal(fmt.Errorf("cosy: -guided supports -engine object or sql, not client"))
+	}
+	if *dbAddr != "" && *engine == "object" {
+		fatal(fmt.Errorf("cosy: -db requires -engine sql or client (the object engine runs in process)"))
+	}
+
+	// The SQL engines need a loaded database: in process by default, or a
+	// kojakdb server reached through a connection pool.
+	sqlEngine := *engine == "sql" || *engine == "client"
+	var q core.QueryExec
+	if sqlEngine {
+		var exec sqlgen.Executor
+		if *dbAddr != "" {
+			size := *workers
+			if size <= 0 {
+				size = runtime.GOMAXPROCS(0)
+			}
+			pool, err := godbc.NewPool(*dbAddr, size)
+			if err != nil {
+				fatal(err)
+			}
+			defer pool.Close()
+			if *fetchSize > 0 {
+				pool.SetFetchSize(*fetchSize)
+			}
+			exec = sqlgen.ExecutorFunc(func(s string, p *sqldb.Params) (int, error) {
+				res, err := pool.Exec(s, p)
+				return res.Affected, err
+			})
+			q = pool
+		} else {
+			db := sqldb.NewDB()
+			exec = sqlgen.ExecutorFunc(func(s string, p *sqldb.Params) (int, error) {
+				res, err := db.Exec(s, p)
+				if err != nil {
+					return 0, err
+				}
+				return res.Affected, nil
+			})
+			q = godbc.Embedded{DB: db}
+		}
+		if err := sqlgen.CreateSchema(g.World, exec); err != nil {
+			fatal(err)
+		}
+		if _, err := sqlgen.Load(g.Store, exec); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *guided {
-		report, stats, err := analyzer.AnalyzeGuided(run, core.DefaultHierarchy())
+		var report *core.Report
+		var stats *core.SearchStats
+		if *engine == "sql" {
+			report, stats, err = analyzer.AnalyzeGuidedSQL(run, core.DefaultHierarchy(), q)
+		} else {
+			report, stats, err = analyzer.AnalyzeGuided(run, core.DefaultHierarchy())
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -81,28 +151,10 @@ func main() {
 	switch *engine {
 	case "object":
 		report, err = analyzer.AnalyzeObject(run)
-	case "sql", "client":
-		db := sqldb.NewDB()
-		exec := sqlgen.ExecutorFunc(func(q string, p *sqldb.Params) (int, error) {
-			res, err := db.Exec(q, p)
-			if err != nil {
-				return 0, err
-			}
-			return res.Affected, nil
-		})
-		if err = sqlgen.CreateSchema(g.World, exec); err != nil {
-			fatal(err)
-		}
-		if _, err = sqlgen.Load(g.Store, exec); err != nil {
-			fatal(err)
-		}
-		if *engine == "sql" {
-			report, err = analyzer.AnalyzeSQL(run, godbc.Embedded{DB: db})
-		} else {
-			report, err = analyzer.AnalyzeClientSide(run, godbc.Embedded{DB: db})
-		}
-	default:
-		fatal(fmt.Errorf("cosy: unknown engine %q", *engine))
+	case "sql":
+		report, err = analyzer.AnalyzeSQL(run, q)
+	case "client":
+		report, err = analyzer.AnalyzeClientSide(run, q)
 	}
 	if err != nil {
 		fatal(err)

@@ -68,4 +68,9 @@ func main() {
 	if err := srv.Close(); err != nil {
 		log.Fatal(err)
 	}
+	st := db.Stats()
+	fmt.Printf("kojakdb: plan cache: %d hits, %d misses, %d evictions (%d cached plans)\n",
+		st.PlanCacheHits, st.PlanCacheMisses, st.PlanCacheEvictions, st.PlanCacheEntries)
+	fmt.Printf("kojakdb: prepared statements: %d live handles, %d replans after DDL\n",
+		st.PreparedLive, st.Replans)
 }

@@ -16,6 +16,21 @@ type QueryExecutor interface {
 	ExecQuery(query string, params *sqldb.Params) (*sqldb.ResultSet, error)
 }
 
+// PreparedQuery is a reusable handle for one query: parsed and planned once,
+// executed many times with fresh parameters — the JDBC PreparedStatement
+// shape the paper's property evaluation is built on.
+type PreparedQuery interface {
+	ExecQuery(params *sqldb.Params) (*sqldb.ResultSet, error)
+	Close() error
+}
+
+// QueryPreparer is implemented by executors that support prepared queries
+// (godbc connections, pools, and the embedded engine). Analysis code probes
+// for it and falls back to per-call text execution when absent.
+type QueryPreparer interface {
+	PrepareQuery(query string) (PreparedQuery, error)
+}
+
 // ReadStore reconstructs a complete object store from its relational
 // representation by fetching every table — the "client-side evaluation"
 // setup of the paper's Section 5, where the analysis tool pulls the data

@@ -134,6 +134,16 @@ func WithConst(name string, value float64) Option {
 	return func(a *Analyzer) { a.consts[name] = value }
 }
 
+// WithPreparedStatements controls whether the SQL engines use prepared
+// statements when the executor supports them (on by default). Each
+// property's compiled query is then parsed and planned once per analysis and
+// executed once per context with fresh parameters; disabling it forces the
+// per-call text protocol, the configuration the prepared benchmarks compare
+// against.
+func WithPreparedStatements(on bool) Option {
+	return func(a *Analyzer) { a.noPrepare = !on }
+}
+
 // Analyzer evaluates the canonical property set over a materialized graph.
 // Property instances are evaluated on a bounded worker pool (see WithWorkers
 // and parallel.go); results are merged deterministically, so reports do not
@@ -147,6 +157,8 @@ type Analyzer struct {
 	consts     map[string]float64
 	// workers is the evaluation worker count; <= 0 means GOMAXPROCS.
 	workers int
+	// noPrepare forces per-call text execution on the SQL engines.
+	noPrepare bool
 }
 
 // New returns an analyzer over the graph.
@@ -413,9 +425,55 @@ func (a *Analyzer) objectEvaluator() *eval.Evaluator {
 type evalItem struct {
 	prop string
 	ctx  instCtx
-	// sql and cp are set on the SQL engine path only.
+	// sqlProp is set on the SQL engine paths only; it is shared by every
+	// context of the property.
+	sqlProp *compiledProp
+}
+
+// compiledProp is one property's compiled query: the SQL text (with constant
+// overrides applied), the compiler's column layout, and — when the executor
+// supports it — a prepared handle shared by every context of the property.
+type compiledProp struct {
 	sql string
 	cp  *sqlgen.CompiledProperty
+	pq  sqlgen.PreparedQuery // nil on the text-protocol path
+}
+
+// compileProp compiles a property for the SQL engines and prepares its query
+// when a preparer is available. A failed prepare falls back to per-call text
+// execution so instance-level diagnostics match the text path — errors never
+// abort a run.
+func (a *Analyzer) compileProp(prop string, preparer sqlgen.QueryPreparer) (*compiledProp, error) {
+	cp, err := sqlgen.CompileProperty(a.world, prop)
+	if err != nil {
+		return nil, fmt.Errorf("core: compiling %s: %w", prop, err)
+	}
+	sql, err := a.overrideConsts(cp, prop)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiledProp{sql: sql, cp: cp}
+	if preparer != nil {
+		if pq, err := preparer.PrepareQuery(sql); err == nil {
+			c.pq = pq
+		}
+	}
+	return c, nil
+}
+
+// exec runs the property query for one context's parameters.
+func (c *compiledProp) exec(q QueryExec, params *sqldb.Params) (*sqldb.ResultSet, error) {
+	if c.pq != nil {
+		return c.pq.ExecQuery(params)
+	}
+	return q.ExecQuery(c.sql, params)
+}
+
+// close releases the prepared handle, if any.
+func (c *compiledProp) close() {
+	if c.pq != nil {
+		c.pq.Close()
+	}
 }
 
 // enumerate lists every property instance of a scope in the canonical
@@ -491,6 +549,12 @@ type QueryExec = sqlgen.QueryExecutor
 // This is the paper's preferred configuration: conditions and severity
 // expressions run entirely inside the database.
 //
+// When the executor supports prepared statements (godbc connections, pools,
+// and the embedded engine), each property's query is prepared once and
+// executed once per context with only the parameters changing — the
+// PreparedStatement usage of the measured JDBC deployments. Otherwise (or
+// with WithPreparedStatements(false)) every instance ships the query text.
+//
 // Queries are issued from the worker pool when q is safe for concurrent use
 // (godbc.Pool keeps one connection per in-flight query; godbc.Embedded
 // queries the in-process engine, whose readers run concurrently). With a
@@ -500,16 +564,20 @@ func (a *Analyzer) AnalyzeSQL(run *model.TestRun, q QueryExec) (*Report, error) 
 	if err != nil {
 		return nil, err
 	}
-	items, err := a.enumerate(sc, func(prop string) (evalItem, error) {
-		cp, err := sqlgen.CompileProperty(a.world, prop)
-		if err != nil {
-			return evalItem{}, fmt.Errorf("core: compiling %s: %w", prop, err)
+	preparer := a.preparer(q)
+	var props []*compiledProp
+	defer func() {
+		for _, c := range props {
+			c.close()
 		}
-		sql, err := a.overrideConsts(cp, prop)
+	}()
+	items, err := a.enumerate(sc, func(prop string) (evalItem, error) {
+		c, err := a.compileProp(prop, preparer)
 		if err != nil {
 			return evalItem{}, err
 		}
-		return evalItem{sql: sql, cp: cp}, nil
+		props = append(props, c)
+		return evalItem{sqlProp: c}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -518,15 +586,25 @@ func (a *Analyzer) AnalyzeSQL(run *model.TestRun, q QueryExec) (*Report, error) 
 	runPool(a.queryWorkers(q), len(items), func(_, i int) {
 		it := items[i]
 		in := Instance{Property: it.prop, Context: it.ctx.label}
-		set, err := q.ExecQuery(it.sql, it.ctx.params)
+		set, err := it.sqlProp.exec(q, it.ctx.params)
 		if err != nil {
 			in.Diagnostic = err.Error()
 		} else {
-			in.Outcome = interpretRow(it.cp, set)
+			in.Outcome = interpretRow(it.sqlProp.cp, set)
 		}
 		instances[i] = in
 	})
 	return a.finish("sql", run.NoPe, instances), nil
+}
+
+// preparer returns the executor's prepared-statement interface, or nil when
+// unsupported or disabled.
+func (a *Analyzer) preparer(q QueryExec) sqlgen.QueryPreparer {
+	if a.noPrepare {
+		return nil
+	}
+	p, _ := q.(sqlgen.QueryPreparer)
+	return p
 }
 
 // overrideConsts applies constant overrides to a compiled property. The

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/apprentice"
+	"repro/internal/asl/sqlgen"
+	"repro/internal/godbc"
+	"repro/internal/sqldb"
+	"repro/internal/sqldb/wire"
+)
+
+// The prepared-statement pipeline must be invisible in the output: for every
+// executor and worker count, the report produced with prepared statements is
+// byte-identical to the per-call text-protocol one. Run with -race to
+// exercise concurrent executions of the shared prepared handles.
+
+// TestPreparedMatchesTextEmbedded compares prepared and text execution on
+// the embedded engine for every library workload.
+func TestPreparedMatchesTextEmbedded(t *testing.T) {
+	for name, w := range apprentice.Library() {
+		t.Run(name, func(t *testing.T) {
+			g := buildGraph(t, w)
+			db := loadDB(t, g)
+			run := lastRun(g)
+			q := godbc.Embedded{DB: db}
+
+			text := New(g, WithPreparedStatements(false))
+			prepared := New(g)
+			want := renderWith(t, text, 1, func() (*Report, error) { return text.AnalyzeSQL(run, q) })
+			for _, workers := range []int{1, 8} {
+				got := renderWith(t, prepared, workers, func() (*Report, error) { return prepared.AnalyzeSQL(run, q) })
+				if got != want {
+					t.Errorf("workers=%d prepared report differs from text:\n--- text ---\n%s--- prepared ---\n%s", workers, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestPreparedMatchesTextOverPool drives the full networked stack: the
+// pool's prepared statements at workers=8 must reproduce the serial
+// text-protocol report byte for byte.
+func TestPreparedMatchesTextOverPool(t *testing.T) {
+	g := buildGraph(t, apprentice.Particles())
+	db := loadDB(t, g)
+	srv, err := wire.NewServer(db, wire.ProfileFast, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	pool, err := godbc.NewPool(srv.Addr(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	run := lastRun(g)
+	text := New(g, WithPreparedStatements(false))
+	want := renderWith(t, text, 1, func() (*Report, error) { return text.AnalyzeSQL(run, pool) })
+	prepared := New(g)
+	for _, workers := range []int{1, 8} {
+		got := renderWith(t, prepared, workers, func() (*Report, error) { return prepared.AnalyzeSQL(run, pool) })
+		if got != want {
+			t.Errorf("workers=%d pooled prepared report differs from serial text:\n--- text ---\n%s--- prepared ---\n%s", workers, want, got)
+		}
+	}
+	// The 8 properties were prepared lazily on at most pool-size
+	// connections; the database must not have accumulated more handles.
+	if live := db.Stats().PreparedLive; live > int64(8*pool.Size()) {
+		t.Errorf("server holds %d prepared handles", live)
+	}
+}
+
+// TestPreparedHandlesReleasedEmbedded: an analysis must close every handle
+// it prepared.
+func TestPreparedHandlesReleasedEmbedded(t *testing.T) {
+	g := buildGraph(t, apprentice.Stencil())
+	db := loadDB(t, g)
+	a := New(g)
+	if _, err := a.AnalyzeSQL(lastRun(g), godbc.Embedded{DB: db}); err != nil {
+		t.Fatal(err)
+	}
+	if live := db.Stats().PreparedLive; live != 0 {
+		t.Fatalf("%d prepared handles leaked", live)
+	}
+}
+
+// TestGuidedSQLMatchesGuidedObject: the SQL-engine refinement search must
+// visit the same instances with the same outcomes as the object-engine one.
+func TestGuidedSQLMatchesGuidedObject(t *testing.T) {
+	for name, w := range apprentice.Library() {
+		t.Run(name, func(t *testing.T) {
+			g := buildGraph(t, w)
+			db := loadDB(t, g)
+			run := lastRun(g)
+			a := New(g)
+			obj, objStats, err := a.AnalyzeGuided(run, DefaultHierarchy())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sql, sqlStats, err := a.AnalyzeGuidedSQL(run, DefaultHierarchy(), godbc.Embedded{DB: db})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if objStats.Evaluated != sqlStats.Evaluated || objStats.Exhaustive != sqlStats.Exhaustive {
+				t.Fatalf("search stats differ: object %+v, sql %+v", objStats, sqlStats)
+			}
+			compareReports(t, obj, sql)
+		})
+	}
+}
+
+// countingPreparer wraps an executor and counts prepare and text-execution
+// traffic.
+type countingPreparer struct {
+	godbc.Embedded
+	prepares  int
+	textExecs int
+}
+
+func (c *countingPreparer) PrepareQuery(sql string) (sqlgen.PreparedQuery, error) {
+	c.prepares++
+	return c.Embedded.PrepareQuery(sql)
+}
+
+func (c *countingPreparer) ExecQuery(sql string, params *sqldb.Params) (*sqldb.ResultSet, error) {
+	c.textExecs++
+	return c.Embedded.ExecQuery(sql, params)
+}
+
+// TestGuidedSQLPreparesOncePerProperty: the refinement search prepares each
+// property's query at most once regardless of how many contexts it
+// evaluates, and ships no query text per instance.
+func TestGuidedSQLPreparesOncePerProperty(t *testing.T) {
+	g := buildGraph(t, apprentice.Particles())
+	db := loadDB(t, g)
+	a := New(g)
+	q := &countingPreparer{Embedded: godbc.Embedded{DB: db}}
+	rep, stats, err := a.AnalyzeGuidedSQL(lastRun(g), DefaultHierarchy(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bottleneck() == nil {
+		t.Fatal("no bottleneck")
+	}
+	if stats.Evaluated == 0 {
+		t.Fatal("search evaluated nothing")
+	}
+	if q.prepares == 0 || q.prepares > len(a.props) {
+		t.Fatalf("prepared %d times for %d properties", q.prepares, len(a.props))
+	}
+	if q.textExecs != 0 {
+		t.Fatalf("%d text executions on the prepared path", q.textExecs)
+	}
+	if live := db.Stats().PreparedLive; live != 0 {
+		t.Fatalf("%d prepared handles leaked", live)
+	}
+}
+
+// TestAnalyzeSQLPreparesOncePerProperty: the exhaustive analysis prepares
+// exactly one handle per property and executes it per context.
+func TestAnalyzeSQLPreparesOncePerProperty(t *testing.T) {
+	g := buildGraph(t, apprentice.Stencil())
+	db := loadDB(t, g)
+	a := New(g)
+	q := &countingPreparer{Embedded: godbc.Embedded{DB: db}}
+	if _, err := a.AnalyzeSQL(lastRun(g), q); err != nil {
+		t.Fatal(err)
+	}
+	if q.prepares != len(a.props) {
+		t.Fatalf("prepared %d times for %d properties", q.prepares, len(a.props))
+	}
+	if q.textExecs != 0 {
+		t.Fatalf("%d text executions on the prepared path", q.textExecs)
+	}
+}

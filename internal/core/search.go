@@ -112,6 +112,72 @@ func (s SearchStats) Savings() float64 {
 // region's cost is explained by overheads recorded in its descendants),
 // and call-scoped refinements at the call sites inside that subtree.
 func (a *Analyzer) AnalyzeGuided(run *model.TestRun, h Hierarchy) (*Report, *SearchStats, error) {
+	ev := a.objectEvaluator()
+	evalIn := func(prop string, ctx instCtx) Instance {
+		in := Instance{Property: prop, Context: ctx.label}
+		res, err := ev.EvalProperty(prop, ctx.args...)
+		if err != nil {
+			in.Diagnostic = err.Error()
+			return in
+		}
+		in.Holds = res.Holds
+		in.Confidence = res.Confidence
+		in.Severity = res.Severity
+		return in
+	}
+	return a.analyzeGuided(run, h, "guided", evalIn)
+}
+
+// AnalyzeGuidedSQL runs the same refinement-driven search with the compiled
+// SQL queries executed inside the database. The search revisits each
+// property across many contexts as it descends the region tree, so each
+// property's query is prepared once, on first use, and executed per context
+// when the executor supports prepared statements.
+func (a *Analyzer) AnalyzeGuidedSQL(run *model.TestRun, h Hierarchy, q QueryExec) (*Report, *SearchStats, error) {
+	preparer := a.preparer(q)
+	// The memo caches failures too, so a property that does not compile
+	// produces its diagnostic once per context without recompiling.
+	type compileResult struct {
+		c   *compiledProp
+		err error
+	}
+	compiled := make(map[string]compileResult)
+	defer func() {
+		for _, r := range compiled {
+			if r.c != nil {
+				r.c.close()
+			}
+		}
+	}()
+	compile := func(prop string) (*compiledProp, error) {
+		if r, ok := compiled[prop]; ok {
+			return r.c, r.err
+		}
+		c, err := a.compileProp(prop, preparer)
+		compiled[prop] = compileResult{c: c, err: err}
+		return c, err
+	}
+	evalIn := func(prop string, ctx instCtx) Instance {
+		in := Instance{Property: prop, Context: ctx.label}
+		c, err := compile(prop)
+		if err != nil {
+			in.Diagnostic = err.Error()
+			return in
+		}
+		set, err := c.exec(q, ctx.params)
+		if err != nil {
+			in.Diagnostic = err.Error()
+			return in
+		}
+		in.Outcome = interpretRow(c.cp, set)
+		return in
+	}
+	return a.analyzeGuided(run, h, "guided-sql", evalIn)
+}
+
+// analyzeGuided is the engine-agnostic refinement search; evalIn evaluates
+// one property instance.
+func (a *Analyzer) analyzeGuided(run *model.TestRun, h Hierarchy, engine string, evalIn func(prop string, ctx instCtx) Instance) (*Report, *SearchStats, error) {
 	if err := h.Validate(a.world.Props); err != nil {
 		return nil, nil, err
 	}
@@ -129,29 +195,8 @@ func (a *Analyzer) AnalyzeGuided(run *model.TestRun, h Hierarchy) (*Report, *Sea
 		stats.Exhaustive += len(ctxs)
 	}
 
-	ev := a.objectEvaluator()
 	var instances []Instance
 	evaluated := make(map[string]bool)
-
-	// evalIn evaluates one property for one pre-built context, once.
-	evalIn := func(prop string, ctx instCtx) (Instance, bool) {
-		key := prop + "\x00" + ctx.label
-		if evaluated[key] {
-			return Instance{}, false
-		}
-		evaluated[key] = true
-		stats.Evaluated++
-		in := Instance{Property: prop, Context: ctx.label}
-		res, err := ev.EvalProperty(prop, ctx.args...)
-		if err != nil {
-			in.Diagnostic = err.Error()
-			return in, true
-		}
-		in.Holds = res.Holds
-		in.Confidence = res.Confidence
-		in.Severity = res.Severity
-		return in, true
-	}
 
 	// The work list pairs a property with the region subtree that scopes it.
 	type item struct {
@@ -174,10 +219,13 @@ func (a *Analyzer) AnalyzeGuided(run *model.TestRun, h Hierarchy) (*Report, *Sea
 			if it.root != nil && !ctxInSubtree(ctx, it.root) {
 				continue
 			}
-			in, fresh := evalIn(it.prop, ctx)
-			if !fresh {
+			key := it.prop + "\x00" + ctx.label
+			if evaluated[key] {
 				continue
 			}
+			evaluated[key] = true
+			stats.Evaluated++
+			in := evalIn(it.prop, ctx)
 			instances = append(instances, in)
 			if in.Holds && in.Severity > a.threshold {
 				region := contextRegion(ctx)
@@ -188,7 +236,7 @@ func (a *Analyzer) AnalyzeGuided(run *model.TestRun, h Hierarchy) (*Report, *Sea
 		}
 	}
 
-	rep := a.finish("guided", run.NoPe, instances)
+	rep := a.finish(engine, run.NoPe, instances)
 	return rep, stats, nil
 }
 

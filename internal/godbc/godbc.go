@@ -32,6 +32,9 @@ type Conn struct {
 	// broken is set when a transport-level failure leaves the connection in
 	// an undefined protocol state; a Pool discards such connections.
 	broken bool
+	// stmts caches prepared statements by SQL text so pooled prepared
+	// statements plan at most once per connection (see prepared.go).
+	stmts map[string]*Stmt
 }
 
 // Dial connects to a wire server.
@@ -296,13 +299,15 @@ type ProfiledEmbedded struct {
 	Profile wire.Profile
 }
 
-// Exec implements Executor.
+// Exec implements Executor. Text execution compiles the statement anew, so
+// the profile's prepare cost is charged on every call (use PrepareQuery to
+// pay it once).
 func (e ProfiledEmbedded) Exec(query string, params *sqldb.Params) (Result, error) {
 	res, err := e.DB.Exec(query, params)
 	if err != nil {
 		return Result{}, err
 	}
-	wire.Delay(e.Profile.PerStatement + time.Duration(res.Affected)*e.Profile.PerRowWrite)
+	wire.Delay(e.Profile.PerPrepare + e.Profile.PerStatement + time.Duration(res.Affected)*e.Profile.PerRowWrite)
 	return Result{Affected: res.Affected}, nil
 }
 
@@ -315,7 +320,7 @@ func (e ProfiledEmbedded) ExecQuery(query string, params *sqldb.Params) (*sqldb.
 	if res.Set == nil {
 		return nil, fmt.Errorf("godbc: statement produced no result set")
 	}
-	wire.Delay(e.Profile.PerStatement + time.Duration(len(res.Set.Rows))*e.Profile.PerRowRead)
+	wire.Delay(e.Profile.PerPrepare + e.Profile.PerStatement + time.Duration(len(res.Set.Rows))*e.Profile.PerRowRead)
 	return res.Set, nil
 }
 

@@ -1,0 +1,253 @@
+package godbc
+
+// This file implements prepared statements: the JDBC PreparedStatement
+// analogue for the wire protocol and the embedded engine. A statement is
+// parsed and planned once — on the server for networked connections,
+// in-process for the embedded configurations — and then executed repeatedly
+// with fresh parameters, paying only the execution cost per call.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/asl/sqlgen"
+	"repro/internal/sqldb"
+	"repro/internal/sqldb/wire"
+)
+
+// Stmt is a prepared statement bound to one connection, like a JDBC
+// PreparedStatement. It is not safe for concurrent use (its connection is
+// not); use Pool.PrepareQuery for concurrent callers.
+type Stmt struct {
+	conn   *Conn
+	id     int64
+	sql    string
+	closed bool
+}
+
+// Prepare parses and plans a statement on the server, returning a reusable
+// handle.
+func (c *Conn) Prepare(query string) (*Stmt, error) {
+	resp, err := c.roundTrip(&wire.Request{Kind: wire.ReqPrepare, SQL: query})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("godbc: %s", resp.Err)
+	}
+	return &Stmt{conn: c, id: resp.StmtID, sql: query}, nil
+}
+
+// SQL returns the statement text the handle was prepared from.
+func (st *Stmt) SQL() string { return st.sql }
+
+// Exec runs the prepared statement and returns the affected-row count.
+func (st *Stmt) Exec(params *sqldb.Params) (Result, error) {
+	resp, err := st.execRaw(params)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Affected: resp.Affected}, nil
+}
+
+// ExecQuery runs the prepared SELECT and returns the complete result set in
+// a single round trip.
+func (st *Stmt) ExecQuery(params *sqldb.Params) (*sqldb.ResultSet, error) {
+	resp, err := st.execRaw(params)
+	if err != nil {
+		return nil, err
+	}
+	return decodeSet(resp), nil
+}
+
+func (st *Stmt) execRaw(params *sqldb.Params) (*wire.Response, error) {
+	if st.closed {
+		return nil, fmt.Errorf("godbc: prepared statement is closed")
+	}
+	req := &wire.Request{Kind: wire.ReqExecPrepared, StmtID: st.id}
+	encodeParams(req, params)
+	resp, err := st.conn.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("godbc: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Close releases the server-side handle. Closing is idempotent.
+func (st *Stmt) Close() error {
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	if st.conn.closed || st.conn.broken {
+		return nil // the server released the handle with the connection
+	}
+	resp, err := st.conn.roundTrip(&wire.Request{Kind: wire.ReqClosePrepared, StmtID: st.id})
+	if err != nil {
+		return err
+	}
+	if resp.Err != "" {
+		return fmt.Errorf("godbc: %s", resp.Err)
+	}
+	return nil
+}
+
+// PrepareQuery implements sqlgen.QueryPreparer.
+func (c *Conn) PrepareQuery(query string) (sqlgen.PreparedQuery, error) {
+	return c.Prepare(query)
+}
+
+// prepared returns the connection's cached handle for the query, preparing
+// it on first use. This is how pooled prepared statements attach to
+// whichever connection serves the call: each underlying connection prepares
+// a given statement at most once for its lifetime.
+func (c *Conn) prepared(query string) (*Stmt, error) {
+	if st, ok := c.stmts[query]; ok {
+		return st, nil
+	}
+	st, err := c.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	if c.stmts == nil {
+		c.stmts = make(map[string]*Stmt)
+	}
+	c.stmts[query] = st
+	return st, nil
+}
+
+// PooledStmt is a prepared statement over a connection pool: safe for
+// concurrent use, it lazily prepares the query once per underlying
+// connection and executes on whichever connection the pool hands out.
+type PooledStmt struct {
+	pool *Pool
+	sql  string
+
+	mu     sync.Mutex
+	closed bool
+	// textOnly is set after a server-side prepare rejects the statement
+	// (not a transport failure): later executions go straight to the text
+	// protocol instead of paying a doomed prepare round trip per call.
+	textOnly bool
+}
+
+// PrepareQuery implements sqlgen.QueryPreparer. Preparation is lazy: the
+// query is planned on each underlying connection the first time that
+// connection serves an execution.
+func (p *Pool) PrepareQuery(query string) (sqlgen.PreparedQuery, error) {
+	return &PooledStmt{pool: p, sql: query}, nil
+}
+
+// ExecQuery checks a connection out of the pool, ensures the statement is
+// prepared on it, and executes.
+func (ps *PooledStmt) ExecQuery(params *sqldb.Params) (*sqldb.ResultSet, error) {
+	ps.mu.Lock()
+	closed, textOnly := ps.closed, ps.textOnly
+	ps.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("godbc: prepared statement is closed")
+	}
+	c, err := ps.pool.Get()
+	if err != nil {
+		return nil, err
+	}
+	defer ps.pool.Put(c)
+	if !textOnly {
+		st, err := c.prepared(ps.sql)
+		if err == nil {
+			return st.ExecQuery(params)
+		}
+		if c.broken {
+			return nil, err
+		}
+		// Server-side prepare rejected the statement (e.g. eager table
+		// validation refused what the lazy text path accepts): fall back to
+		// text execution so results match the other executors, and stop
+		// re-attempting the prepare on future calls.
+		ps.mu.Lock()
+		ps.textOnly = true
+		ps.mu.Unlock()
+	}
+	return c.ExecQuery(ps.sql, params)
+}
+
+// Close marks the pooled statement closed. The per-connection handles stay
+// cached on their connections (other pooled statements for the same SQL
+// share them) and are released by the server when the connections close.
+func (ps *PooledStmt) Close() error {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.closed = true
+	return nil
+}
+
+// embeddedStmt adapts a sqldb prepared statement to sqlgen.PreparedQuery.
+type embeddedStmt struct {
+	ps *sqldb.PreparedStmt
+}
+
+// PrepareQuery implements sqlgen.QueryPreparer for the in-process engine;
+// the returned handle is safe for concurrent use (sqldb plans are
+// immutable).
+func (e Embedded) PrepareQuery(query string) (sqlgen.PreparedQuery, error) {
+	ps, err := e.DB.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return embeddedStmt{ps: ps}, nil
+}
+
+func (s embeddedStmt) ExecQuery(params *sqldb.Params) (*sqldb.ResultSet, error) {
+	res, err := s.ps.Execute(params)
+	if err != nil {
+		return nil, err
+	}
+	if res.Set == nil {
+		return nil, fmt.Errorf("godbc: statement produced no result set")
+	}
+	return res.Set, nil
+}
+
+func (s embeddedStmt) Close() error { return s.ps.Close() }
+
+// profiledStmt is the prepared handle of ProfiledEmbedded: the vendor's
+// compile cost was paid at prepare time, so executions are charged only the
+// per-statement and per-row delays.
+type profiledStmt struct {
+	ps      *sqldb.PreparedStmt
+	profile wire.Profile
+}
+
+// PrepareQuery implements sqlgen.QueryPreparer, charging the one-time
+// statement-compilation delay up front.
+func (e ProfiledEmbedded) PrepareQuery(query string) (sqlgen.PreparedQuery, error) {
+	ps, err := e.DB.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	wire.Delay(e.Profile.PerPrepare + e.Profile.PerStatement)
+	return profiledStmt{ps: ps, profile: e.Profile}, nil
+}
+
+func (s profiledStmt) ExecQuery(params *sqldb.Params) (*sqldb.ResultSet, error) {
+	res, err := s.ps.Execute(params)
+	if err != nil {
+		return nil, err
+	}
+	if res.Set == nil {
+		return nil, fmt.Errorf("godbc: statement produced no result set")
+	}
+	wire.Delay(s.profile.PerStatement + time.Duration(len(res.Set.Rows))*s.profile.PerRowRead)
+	return res.Set, nil
+}
+
+func (s profiledStmt) Close() error { return s.ps.Close() }
+
+var _ sqlgen.QueryPreparer = (*Conn)(nil)
+var _ sqlgen.QueryPreparer = (*Pool)(nil)
+var _ sqlgen.QueryPreparer = Embedded{}
+var _ sqlgen.QueryPreparer = ProfiledEmbedded{}

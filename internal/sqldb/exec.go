@@ -28,11 +28,26 @@ type Result struct {
 	Affected int
 }
 
-// Exec parses and executes one SQL statement.
+// Exec executes one SQL statement. Statement plans are cached by query text
+// (see prepare.go), so repeated ad-hoc executions of the same SQL skip the
+// parse and plan phases; with the cache disabled every call parses from
+// scratch. A statement that cannot be planned (planning validates every
+// referenced table eagerly, which explicit Prepare is meant to surface) is
+// executed on the dynamic path instead, preserving lazy-evaluation
+// semantics for ad-hoc SQL — a subquery over a missing table only errors if
+// it is actually evaluated.
 func (db *DB) Exec(query string, params *Params) (*Result, error) {
-	stmt, err := ParseSQL(query)
+	ps, stmt, err := db.cachedStmt(query)
 	if err != nil {
 		return nil, err
+	}
+	if ps != nil {
+		return ps.Execute(params)
+	}
+	if stmt == nil { // caching disabled
+		if stmt, err = ParseSQL(query); err != nil {
+			return nil, err
+		}
 	}
 	return db.ExecStmt(stmt, params)
 }
@@ -47,8 +62,14 @@ func (db *DB) MustExec(query string, params *Params) *Result {
 	return res
 }
 
-// ExecStmt executes a parsed statement.
+// ExecStmt executes a parsed statement without a precomputed plan.
 func (db *DB) ExecStmt(stmt Stmt, params *Params) (*Result, error) {
+	return db.execStmt(stmt, params, nil)
+}
+
+// execStmt executes a statement, consulting the plan (when non-nil) for
+// precomputed table resolutions and strategies.
+func (db *DB) execStmt(stmt Stmt, params *Params, plan *stmtPlan) (*Result, error) {
 	switch st := stmt.(type) {
 	case *CreateTableStmt:
 		if err := db.createTable(st.Name, st.Cols); err != nil {
@@ -71,18 +92,23 @@ func (db *DB) ExecStmt(stmt Stmt, params *Params) (*Result, error) {
 		}
 		db.mu.Lock()
 		t.createIndex(col)
+		db.ddl.Add(1)
 		db.mu.Unlock()
+		db.clearPlanCache()
 		return &Result{}, nil
 	case *InsertStmt:
-		return db.execInsert(st, params)
+		return db.execInsert(st, params, plan)
 	case *UpdateStmt:
-		return db.execUpdate(st, params)
+		return db.execUpdate(st, params, plan)
 	case *DeleteStmt:
-		return db.execDelete(st, params)
+		return db.execDelete(st, params, plan)
 	case *SelectStmt:
-		ec := &execCtx{db: db, params: params}
+		ec := &execCtx{db: db, params: params, plan: plan}
 		db.mu.RLock()
 		defer db.mu.RUnlock()
+		if err := db.planFresh(plan); err != nil {
+			return nil, err
+		}
 		set, err := ec.execSelect(st, nil)
 		if err != nil {
 			return nil, err
@@ -92,7 +118,7 @@ func (db *DB) ExecStmt(stmt Stmt, params *Params) (*Result, error) {
 	return nil, fmt.Errorf("sqldb: unhandled statement %T", stmt)
 }
 
-func (db *DB) execInsert(st *InsertStmt, params *Params) (*Result, error) {
+func (db *DB) execInsert(st *InsertStmt, params *Params, plan *stmtPlan) (*Result, error) {
 	t := db.Table(st.Table)
 	if t == nil {
 		return nil, fmt.Errorf("sqldb: no table %s", st.Table)
@@ -114,9 +140,12 @@ func (db *DB) execInsert(st *InsertStmt, params *Params) (*Result, error) {
 			colPos[i] = i
 		}
 	}
-	ec := &execCtx{db: db, params: params}
+	ec := &execCtx{db: db, params: params, plan: plan}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.planFresh(plan); err != nil {
+		return nil, err
+	}
 	n := 0
 	for _, exprs := range st.Rows {
 		if len(exprs) != len(colPos) {
@@ -138,14 +167,17 @@ func (db *DB) execInsert(st *InsertStmt, params *Params) (*Result, error) {
 	return &Result{Affected: n}, nil
 }
 
-func (db *DB) execUpdate(st *UpdateStmt, params *Params) (*Result, error) {
+func (db *DB) execUpdate(st *UpdateStmt, params *Params, plan *stmtPlan) (*Result, error) {
 	t := db.Table(st.Table)
 	if t == nil {
 		return nil, fmt.Errorf("sqldb: no table %s", st.Table)
 	}
-	ec := &execCtx{db: db, params: params}
+	ec := &execCtx{db: db, params: params, plan: plan}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.planFresh(plan); err != nil {
+		return nil, err
+	}
 	// Phase 1 (read): evaluate WHERE and the SET expressions against the
 	// pre-update state, without holding the table write lock, so that
 	// subqueries over the updated table itself can take read locks freely.
@@ -202,14 +234,17 @@ func (db *DB) execUpdate(st *UpdateStmt, params *Params) (*Result, error) {
 	return &Result{Affected: len(patches)}, nil
 }
 
-func (db *DB) execDelete(st *DeleteStmt, params *Params) (*Result, error) {
+func (db *DB) execDelete(st *DeleteStmt, params *Params, plan *stmtPlan) (*Result, error) {
 	t := db.Table(st.Table)
 	if t == nil {
 		return nil, fmt.Errorf("sqldb: no table %s", st.Table)
 	}
-	ec := &execCtx{db: db, params: params}
+	ec := &execCtx{db: db, params: params, plan: plan}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.planFresh(plan); err != nil {
+		return nil, err
+	}
 	// Phase 1 (read): decide which rows survive without the write lock held.
 	fr := &frame{tables: []*boundTable{{binding: strings.ToLower(st.Table), table: t}}}
 	rows := t.scan()
@@ -301,6 +336,10 @@ type tuple []Row
 type execCtx struct {
 	db     *DB
 	params *Params
+	// plan, when non-nil, is the immutable prepared plan of the statement:
+	// resolved tables, access paths, join strategies, and the memoized
+	// subquery analyses. Shared across concurrent executions, never written.
+	plan *stmtPlan
 	// group is non-nil while evaluating expressions of a grouped query; it
 	// holds the tuples of the current group.
 	group *groupCtx
@@ -318,6 +357,11 @@ type execCtx struct {
 // so textually identical subqueries share one cache slot even when they are
 // distinct AST nodes.
 func (ec *execCtx) cacheKey(e Expr) string {
+	if ec.plan != nil {
+		if k, ok := ec.plan.keys[e]; ok {
+			return k
+		}
+	}
 	if k, ok := ec.keyCache[e]; ok {
 		return k
 	}
@@ -340,6 +384,11 @@ type freeInfo struct {
 
 // freeOf returns (computing and memoizing) the free-column analysis of e.
 func (ec *execCtx) freeOf(e Expr) *freeInfo {
+	if ec.plan != nil {
+		if fi, ok := ec.plan.free[e]; ok {
+			return fi
+		}
+	}
 	if fi, ok := ec.free[e]; ok {
 		return fi
 	}
@@ -454,20 +503,31 @@ type groupCtx struct {
 }
 
 func (ec *execCtx) execSelect(st *SelectStmt, parent *frame) (*ResultSet, error) {
+	// sp is the precomputed strategy of this SELECT node, nil on the
+	// unprepared path.
+	var sp *selectPlan
+	if ec.plan != nil {
+		sp = ec.plan.selects[st]
+	}
 	fr := &frame{parent: parent}
 	var tuples []tuple
 
 	if st.From == nil {
 		tuples = []tuple{{}}
 	} else {
-		bt, err := ec.bind(*st.From)
-		if err != nil {
-			return nil, err
+		var bt *boundTable
+		if sp != nil {
+			bt = &boundTable{binding: sp.fromBinding, table: sp.from}
+		} else {
+			var err error
+			if bt, err = ec.bind(*st.From); err != nil {
+				return nil, err
+			}
 		}
 		fr.tables = append(fr.tables, bt)
 		// Seed tuples from the first table, using an index if the WHERE
 		// clause pins an indexed column of this table to a constant.
-		rows, err := ec.scanRows(st.Where, fr, bt)
+		rows, err := ec.seedRows(st, sp, fr, bt)
 		if err != nil {
 			return nil, err
 		}
@@ -475,13 +535,17 @@ func (ec *execCtx) execSelect(st *SelectStmt, parent *frame) (*ResultSet, error)
 		for _, r := range rows {
 			tuples = append(tuples, tuple{r})
 		}
-		for _, j := range st.Joins {
-			jbt, err := ec.bind(j.Table)
-			if err != nil {
+		for ji, j := range st.Joins {
+			var jbt *boundTable
+			var jp *joinPlan
+			if sp != nil {
+				jp = &sp.joins[ji]
+				jbt = &boundTable{binding: jp.binding, table: jp.table}
+			} else if jbt, err = ec.bind(j.Table); err != nil {
 				return nil, err
 			}
 			fr.tables = append(fr.tables, jbt)
-			tuples, err = ec.join(fr, tuples, jbt, j.On)
+			tuples, err = ec.join(fr, tuples, jbt, j.On, jp)
 			if err != nil {
 				return nil, err
 			}
@@ -504,46 +568,38 @@ func (ec *execCtx) execSelect(st *SelectStmt, parent *frame) (*ResultSet, error)
 		tuples = kept
 	}
 
-	grouped := len(st.GroupBy) > 0 || st.Having != nil
-	if !grouped {
-		for _, item := range st.Items {
-			if !item.Star && hasAggregate(item.Expr) {
-				grouped = true
-				break
-			}
+	var grouped bool
+	var aliases map[string]int // select alias -> output column
+	if sp != nil {
+		grouped = sp.grouped
+		aliases = sp.aliases // read-only: shared across concurrent executions
+	} else {
+		tables := make([]*Table, len(fr.tables))
+		for i, bt := range fr.tables {
+			tables[i] = bt.table
 		}
+		grouped, aliases = selectShape(st, tables)
 	}
 
 	set := &ResultSet{}
-	aliases := map[string]int{} // select alias -> output column
-	var appendOutputColumns func() error
-	appendOutputColumns = func() error {
-		for _, item := range st.Items {
-			if item.Star {
-				for _, bt := range fr.tables {
-					for _, c := range bt.table.Columns {
-						set.Columns = append(set.Columns, c.Name)
-					}
-				}
-				continue
-			}
-			name := item.Alias
-			if name == "" {
-				if col, ok := item.Expr.(*EColumn); ok {
-					name = col.Name
-				} else {
-					name = fmt.Sprintf("col%d", len(set.Columns)+1)
+	for _, item := range st.Items {
+		if item.Star {
+			for _, bt := range fr.tables {
+				for _, c := range bt.table.Columns {
+					set.Columns = append(set.Columns, c.Name)
 				}
 			}
-			if item.Alias != "" {
-				aliases[strings.ToLower(item.Alias)] = len(set.Columns)
-			}
-			set.Columns = append(set.Columns, name)
+			continue
 		}
-		return nil
-	}
-	if err := appendOutputColumns(); err != nil {
-		return nil, err
+		name := item.Alias
+		if name == "" {
+			if col, ok := item.Expr.(*EColumn); ok {
+				name = col.Name
+			} else {
+				name = fmt.Sprintf("col%d", len(set.Columns)+1)
+			}
+		}
+		set.Columns = append(set.Columns, name)
 	}
 
 	project := func(tp tuple) (Row, error) {
@@ -763,16 +819,42 @@ func setTuple(fr *frame, tp tuple) {
 	}
 }
 
-// scanRows returns the candidate rows of the first table, using a hash index
+// seedRows returns the candidate rows of the first table, using a hash index
 // when the WHERE clause contains a top-level "col = expr" conjunct on an
 // indexed column of this table whose right-hand side is independent of the
 // scanned table (literals, parameters, outer-scope correlations, and
 // uncorrelated subqueries all qualify). This turns the nested dereference
 // subqueries emitted by the ASL property compiler from full scans into O(1)
-// point lookups.
-func (ec *execCtx) scanRows(where Expr, fr *frame, bt *boundTable) ([]Row, error) {
-	if where != nil {
-		for _, conj := range conjuncts(where) {
+// point lookups. With a plan the candidate conjuncts were matched at prepare
+// time; whether a column is indexed is still checked here so lazily built
+// join indexes are picked up.
+func (ec *execCtx) seedRows(st *SelectStmt, sp *selectPlan, fr *frame, bt *boundTable) ([]Row, error) {
+	tryLookup := func(col int, val Expr) ([]Row, bool) {
+		if !bt.table.hasIndex(col) {
+			return nil, false
+		}
+		v, err := ec.eval(val, fr)
+		if err != nil {
+			return nil, false // not evaluable up front; fall back to a scan
+		}
+		positions, _ := bt.table.lookup(col, v)
+		all := bt.table.scan()
+		rows := make([]Row, len(positions))
+		for i, pos := range positions {
+			rows[i] = all[pos]
+		}
+		return rows, true
+	}
+	if sp != nil {
+		for _, ap := range sp.access {
+			if rows, ok := tryLookup(ap.col, ap.val); ok {
+				return rows, nil
+			}
+		}
+		return bt.table.scan(), nil
+	}
+	if st.Where != nil {
+		for _, conj := range conjuncts(st.Where) {
 			bin, ok := conj.(*EBinary)
 			if !ok || bin.Op != OpEq {
 				continue
@@ -781,20 +863,9 @@ func (ec *execCtx) scanRows(where Expr, fr *frame, bt *boundTable) ([]Row, error
 			if col < 0 {
 				continue
 			}
-			if !bt.table.hasIndex(col) {
-				continue
+			if rows, ok := tryLookup(col, val); ok {
+				return rows, nil
 			}
-			v, err := ec.eval(val, fr)
-			if err != nil {
-				continue // not evaluable up front; fall back to a full scan
-			}
-			positions, _ := bt.table.lookup(col, v)
-			all := bt.table.scan()
-			rows := make([]Row, len(positions))
-			for i, pos := range positions {
-				rows[i] = all[pos]
-			}
-			return rows, nil
 		}
 	}
 	return bt.table.scan(), nil
@@ -919,21 +990,17 @@ func selectRefsBinding(st *SelectStmt, binding string) bool {
 
 // join extends each tuple with matching rows of the newly bound table,
 // using a hash join for equi-join conditions and a nested loop otherwise.
-func (ec *execCtx) join(fr *frame, tuples []tuple, jbt *boundTable, on Expr) ([]tuple, error) {
+// With a plan the strategy (equi-join column, residual conjuncts) was chosen
+// at prepare time.
+func (ec *execCtx) join(fr *frame, tuples []tuple, jbt *boundTable, on Expr, jp *joinPlan) ([]tuple, error) {
 	// Detect "jbt.col = outerExpr" among the ON conjuncts.
 	var eqCol = -1
 	var outerExpr Expr
 	var rest []Expr
-	for _, conj := range conjuncts(on) {
-		if eqCol < 0 {
-			if bin, ok := conj.(*EBinary); ok && bin.Op == OpEq {
-				if col, other := matchJoinCol(bin, jbt, fr); col >= 0 {
-					eqCol, outerExpr = col, other
-					continue
-				}
-			}
-		}
-		rest = append(rest, conj)
+	if jp != nil {
+		eqCol, outerExpr, rest = jp.eqCol, jp.outer, jp.rest
+	} else {
+		eqCol, outerExpr, rest = joinStrategy(on, jbt)
 	}
 
 	var out []tuple
@@ -965,9 +1032,11 @@ func (ec *execCtx) join(fr *frame, tuples []tuple, jbt *boundTable, on Expr) ([]
 		return out, nil
 	}
 
+	// Nested-loop fallback: eqCol < 0 here, so rest holds every conjunct on
+	// both the planned and the dynamic path.
 	for _, tp := range tuples {
 		for _, r := range jbt.table.scan() {
-			ok, err := ec.checkConjuncts(conjuncts(on), fr, tp, jbt, r)
+			ok, err := ec.checkConjuncts(rest, fr, tp, jbt, r)
 			if err != nil {
 				return nil, err
 			}
@@ -994,8 +1063,54 @@ func (ec *execCtx) checkConjuncts(conds []Expr, fr *frame, tp tuple, jbt *boundT
 	return true, nil
 }
 
+// joinStrategy chooses how to execute one JOIN: it scans the ON conjuncts
+// for a "jbt.col = outerExpr" condition usable as a hash join. eqCol is -1
+// when none exists; rest holds the conjuncts still checked per candidate row
+// (all of them in the nested-loop case). Shared by the planner and the
+// dynamic execution path, so both choose identically.
+func joinStrategy(on Expr, jbt *boundTable) (eqCol int, outer Expr, rest []Expr) {
+	eqCol = -1
+	for _, conj := range conjuncts(on) {
+		if eqCol < 0 {
+			if bin, ok := conj.(*EBinary); ok && bin.Op == OpEq {
+				if col, other := matchJoinCol(bin, jbt); col >= 0 {
+					eqCol, outer = col, other
+					continue
+				}
+			}
+		}
+		rest = append(rest, conj)
+	}
+	return eqCol, outer, rest
+}
+
+// selectShape derives the projection shape of a SELECT over its bound
+// tables: whether the query is grouped, and the alias → output-column map
+// used by ORDER BY. Shared by the planner and the dynamic execution path.
+func selectShape(st *SelectStmt, tables []*Table) (grouped bool, aliases map[string]int) {
+	grouped = len(st.GroupBy) > 0 || st.Having != nil
+	aliases = map[string]int{}
+	col := 0
+	for _, item := range st.Items {
+		if item.Star {
+			for _, t := range tables {
+				col += len(t.Columns)
+			}
+			continue
+		}
+		if !grouped && hasAggregate(item.Expr) {
+			grouped = true
+		}
+		if item.Alias != "" {
+			aliases[strings.ToLower(item.Alias)] = col
+		}
+		col++
+	}
+	return grouped, aliases
+}
+
 // matchJoinCol matches "jbt.col = expr" where expr does not reference jbt.
-func matchJoinCol(bin *EBinary, jbt *boundTable, fr *frame) (int, Expr) {
+func matchJoinCol(bin *EBinary, jbt *boundTable) (int, Expr) {
 	try := func(colE, otherE Expr) (int, Expr) {
 		col, ok := colE.(*EColumn)
 		if !ok {

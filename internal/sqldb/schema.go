@@ -198,11 +198,16 @@ func (t *Table) lookup(col int, v Value) ([]int, bool) {
 type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
+	// planFields carries the prepared-statement machinery: the schema
+	// version, the ad-hoc plan cache, and its counters (see prepare.go).
+	planFields
 }
 
 // NewDB returns an empty database.
 func NewDB() *DB {
-	return &DB{tables: make(map[string]*Table)}
+	db := &DB{tables: make(map[string]*Table)}
+	db.initPlanCache()
+	return db
 }
 
 // Table returns the named table (case-insensitive), or nil.
@@ -236,6 +241,8 @@ func (db *DB) createTable(name string, cols []Column) error {
 		return err
 	}
 	db.tables[key] = t
+	db.ddl.Add(1)
+	db.clearPlanCache()
 	return nil
 }
 
@@ -247,5 +254,7 @@ func (db *DB) dropTable(name string) error {
 		return fmt.Errorf("sqldb: no table %s", name)
 	}
 	delete(db.tables, key)
+	db.ddl.Add(1)
+	db.clearPlanCache()
 	return nil
 }

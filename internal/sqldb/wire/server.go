@@ -26,6 +26,7 @@ type Server struct {
 	wg     sync.WaitGroup
 
 	nextCursor int64
+	nextStmt   int64
 }
 
 // NewServer returns a server for db with the given vendor profile. If logger
@@ -113,7 +114,14 @@ type cursor struct {
 
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
+	// stmts holds this connection's prepared statements; like JDBC
+	// PreparedStatements, handles are scoped to the connection and released
+	// when it closes.
+	stmts := make(map[int64]*sqldb.PreparedStmt)
 	defer func() {
+		for _, ps := range stmts {
+			ps.Close()
+		}
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -129,7 +137,7 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			return
 		}
-		resp := s.serve(req, cursors)
+		resp := s.serve(req, cursors, stmts)
 		if err := codec.WriteResponse(resp); err != nil {
 			s.logf("wire: write: %v", err)
 			return
@@ -137,7 +145,7 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-func (s *Server) serve(req *Request, cursors map[int64]*cursor) *Response {
+func (s *Server) serve(req *Request, cursors map[int64]*cursor, stmts map[int64]*sqldb.PreparedStmt) *Response {
 	s.sleep(s.profile.RoundTrip)
 	switch req.Kind {
 	case ReqPing:
@@ -151,6 +159,16 @@ func (s *Server) serve(req *Request, cursors map[int64]*cursor) *Response {
 		return s.serveFetch(req, cursors)
 	case ReqCloseCursor:
 		delete(cursors, req.CursorID)
+		return &Response{}
+	case ReqPrepare:
+		return s.servePrepare(req, stmts)
+	case ReqExecPrepared:
+		return s.serveExecPrepared(req, stmts)
+	case ReqClosePrepared:
+		if ps, ok := stmts[req.StmtID]; ok {
+			ps.Close()
+			delete(stmts, req.StmtID)
+		}
 		return &Response{}
 	}
 	return &Response{Err: fmt.Sprintf("wire: unknown request kind %d", req.Kind)}
@@ -175,6 +193,40 @@ func (s *Server) serveExec(req *Request) *Response {
 	if err != nil {
 		return &Response{Err: err.Error()}
 	}
+	// A text-protocol execution compiles the statement anew every time, so
+	// it is charged the prepare cost on top of the per-statement overhead.
+	s.sleep(s.profile.PerPrepare + s.profile.PerStatement + time.Duration(res.Affected)*s.profile.PerRowWrite)
+	resp := &Response{Affected: res.Affected, Done: true}
+	if res.Set != nil {
+		resp.Columns = res.Set.Columns
+		resp.Rows = encodeRows(res.Set.Rows)
+		s.sleep(time.Duration(len(resp.Rows)) * s.profile.PerRowRead)
+	}
+	return resp
+}
+
+func (s *Server) servePrepare(req *Request, stmts map[int64]*sqldb.PreparedStmt) *Response {
+	ps, err := s.db.Prepare(req.SQL)
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+	s.sleep(s.profile.PerPrepare + s.profile.PerStatement)
+	id := atomic.AddInt64(&s.nextStmt, 1)
+	stmts[id] = ps
+	return &Response{StmtID: id}
+}
+
+func (s *Server) serveExecPrepared(req *Request, stmts map[int64]*sqldb.PreparedStmt) *Response {
+	ps, ok := stmts[req.StmtID]
+	if !ok {
+		return &Response{Err: fmt.Sprintf("wire: no prepared statement %d", req.StmtID)}
+	}
+	res, err := ps.Execute(toParams(req))
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+	// Executing a prepared handle skips the compile cost; only the fixed
+	// per-statement overhead and the row costs apply.
 	s.sleep(s.profile.PerStatement + time.Duration(res.Affected)*s.profile.PerRowWrite)
 	resp := &Response{Affected: res.Affected, Done: true}
 	if res.Set != nil {
@@ -193,7 +245,7 @@ func (s *Server) serveQueryCursor(req *Request, cursors map[int64]*cursor) *Resp
 	if res.Set == nil {
 		return &Response{Err: "wire: statement produced no result set"}
 	}
-	s.sleep(s.profile.PerStatement)
+	s.sleep(s.profile.PerPrepare + s.profile.PerStatement)
 	id := atomic.AddInt64(&s.nextCursor, 1)
 	cursors[id] = &cursor{set: res.Set}
 	return &Response{CursorID: id, Columns: res.Set.Columns}

@@ -264,9 +264,10 @@ func TestProfileValidation(t *testing.T) {
 
 func TestProfileRatiosPreserveThePaperOrdering(t *testing.T) {
 	// Per-record insertion cost ordering: access < mssql ≈ postgres < oracle,
-	// with oracle roughly 2× the mssql cost (Section 5).
+	// with oracle roughly 2× the mssql cost (Section 5). Text-protocol
+	// insertion compiles every statement, so PerPrepare is part of the cost.
 	cost := func(p wire.Profile) time.Duration {
-		return p.RoundTrip + p.PerStatement + p.PerRowWrite
+		return p.RoundTrip + p.PerPrepare + p.PerStatement + p.PerRowWrite
 	}
 	a, o, m, pg := cost(wire.ProfileAccess), cost(wire.ProfileOracle), cost(wire.ProfileMSSQL), cost(wire.ProfilePostgres)
 	if !(a < m && m <= pg && pg < o) {

@@ -64,6 +64,17 @@ func TestCommands(t *testing.T) {
 		}
 	}
 
+	// The refinement-driven search on both engines.
+	for _, engine := range []string{"object", "sql"} {
+		out, err := exec.Command(bins["cosy"], "-in", summary, "-nope", "32", "-engine", engine, "-guided").CombinedOutput()
+		if err != nil {
+			t.Fatalf("cosy -guided -engine %s: %v\n%s", engine, err, out)
+		}
+		if !strings.Contains(string(out), "refinement search:") {
+			t.Fatalf("cosy -guided -engine %s output:\n%s", engine, out)
+		}
+	}
+
 	out, err := exec.Command(bins["cosy"], "-in", summary, "-nope", "32", "-baseline").CombinedOutput()
 	if err != nil {
 		t.Fatalf("cosy -baseline: %v\n%s", err, out)
@@ -86,6 +97,68 @@ func TestCommands(t *testing.T) {
 	out, err = exec.Command(bins["aslc"], "-canonical", "-emit", "sql").CombinedOutput()
 	if err != nil || !strings.Contains(string(out), "property SyncCost") {
 		t.Fatalf("aslc -emit sql: %v\n%s", err, out)
+	}
+}
+
+// TestCosyAgainstKojakdb runs the full client/server deployment: a kojakdb
+// wire server with the COSY schema, and cosy analyzing through a connection
+// pool with an explicit fetch size, prepared statements end to end.
+func TestCosyAgainstKojakdb(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	bins := map[string]string{}
+	for _, name := range []string{"kojakdb", "cosy"} {
+		bin := filepath.Join(dir, name)
+		out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+name).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, out)
+		}
+		bins[name] = bin
+	}
+
+	// cosy creates the schema itself, so the server starts without -schema.
+	srv := exec.Command(bins["kojakdb"], "-addr", "127.0.0.1:0")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Signal(os.Interrupt)
+		srv.Wait()
+	}()
+	// The server prints "kojakdb: serving on <addr> ..." once it is bound.
+	var addr string
+	{
+		buf := make([]byte, 256)
+		n, err := stdout.Read(buf)
+		if err != nil {
+			t.Fatalf("reading server banner: %v", err)
+		}
+		line := string(buf[:n])
+		fields := strings.Fields(line)
+		for i, f := range fields {
+			if f == "on" && i+1 < len(fields) {
+				addr = fields[i+1]
+			}
+		}
+		if addr == "" {
+			t.Fatalf("no address in banner %q", line)
+		}
+	}
+
+	out, err := exec.Command(bins["cosy"],
+		"-workload", "particles", "-nope", "32",
+		"-engine", "sql", "-db", addr, "-fetchsize", "25", "-workers", "4").CombinedOutput()
+	if err != nil {
+		t.Fatalf("cosy -engine sql -db: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "bottleneck:") {
+		t.Fatalf("cosy -engine sql -db output:\n%s", out)
 	}
 }
 
