@@ -537,6 +537,72 @@ func BenchmarkPreparedAnalyze(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// E9 — the batched execution pipeline: the prepared analysis of E8 executed
+// once per instance ("prepared", one ReqExecPrepared round trip per
+// property × context) versus as array-bound batches ("batch=N", one
+// ReqExecBatch round trip per N contexts of a property). On the remote
+// profile every round trip costs a real ≥2 ms sleep, so the batch size is
+// the amortization factor; reports are byte-identical in every mode (see
+// internal/core TestBatched*).
+// ---------------------------------------------------------------------------
+
+func BenchmarkBatchedAnalyze(b *testing.B) {
+	// The scaled stencil gives each region property dozens of context
+	// instances, the regime array binding exists for; with a handful of
+	// contexts per property the per-property batch floor (one prepare plus
+	// one batch) caps the win.
+	g := mustGraph(b, apprentice.ScaledStencil(4, 4), 2, 8, 32)
+	runs := g.Dataset.Versions[0].Runs
+	run := runs[len(runs)-1]
+
+	modes := []struct {
+		name  string
+		batch int
+	}{
+		{"prepared", 1}, // per-instance execution of the prepared handle
+		{"batch=8", 8},
+		{"batch=32", 32},
+	}
+	for _, mode := range modes {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("oracle-remote/%s/workers=%d", mode.name, workers), func(b *testing.B) {
+				db := sqldb.NewDB()
+				if err := sqlgen.CreateSchema(g.World, embeddedExecutor(db)); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sqlgen.Load(g.Store, embeddedExecutor(db)); err != nil {
+					b.Fatal(err)
+				}
+				srv, err := wire.NewServer(db, wire.ProfileOracleRemote, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := srv.Listen("127.0.0.1:0"); err != nil {
+					b.Fatal(err)
+				}
+				defer srv.Close()
+				pool, err := godbc.NewPool(srv.Addr(), workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer pool.Close()
+				a := core.New(g, core.WithWorkers(workers), core.WithBatchSize(mode.batch))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rep, err := a.AnalyzeSQL(run, pool)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rep.Bottleneck() == nil {
+						b.Fatal("no bottleneck")
+					}
+				}
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
 // A2 — ablation: specification-driven analysis versus the Paradyn-style
 // fixed bottleneck set.
 // ---------------------------------------------------------------------------

@@ -1,0 +1,108 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document, so CI can archive one machine-readable perf artifact per commit
+// (BENCH_<sha>.json) and the perf trajectory of the repository can be
+// charted across pushes.
+//
+// Usage:
+//
+//	go test -run=NONE -bench=. -benchtime=3x -count=3 ./... | benchjson -sha $GITHUB_SHA > BENCH_$GITHUB_SHA.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark result line. Repeated runs of the same
+// benchmark (-count > 1) appear as repeated entries, in output order, so
+// downstream tooling can compute its own spread statistics.
+type Benchmark struct {
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// Metrics maps a unit ("ns/op", "B/op", "allocs/op", custom
+	// b.ReportMetric units) to its value.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Document is the archived artifact: build metadata plus every benchmark.
+type Document struct {
+	SHA        string      `json:"sha,omitempty"`
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Parse reads `go test -bench` output. Unrecognized lines (PASS, ok, test
+// log noise) are skipped: the converter must not fail on the mixed output of
+// a multi-package ./... run.
+func Parse(r io.Reader) (*Document, error) {
+	doc := &Document{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	meta := map[string]*string{
+		"goos:": &doc.GOOS, "goarch:": &doc.GOARCH, "pkg:": &doc.Pkg, "cpu:": &doc.CPU,
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		fields := strings.Fields(line)
+		if len(fields) >= 2 {
+			if dst, ok := meta[fields[0]]; ok && *dst == "" {
+				*dst = strings.Join(fields[1:], " ")
+				continue
+			}
+		}
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: fields[0], Iterations: iters, Metrics: make(map[string]float64)}
+		// The remainder alternates value and unit.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		if len(b.Metrics) == 0 {
+			continue
+		}
+		doc.Benchmarks = append(doc.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+func main() {
+	sha := flag.String("sha", "", "commit SHA recorded in the document")
+	flag.Parse()
+	doc, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	doc.SHA = *sha
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in input")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkBatchedAnalyze/oracle-remote/prepared/workers=1         	       3	 383983570 ns/op
+BenchmarkBatchedAnalyze/oracle-remote/batch=32/workers=1         	       3	  41357539 ns/op
+BenchmarkBatchedAnalyze/oracle-remote/batch=32/workers=1         	       3	  41221004 ns/op
+BenchmarkInsertionByBackend/oracle7-8     	      12	  98210042 ns/op	        52.31 ns/record
+PASS
+ok  	repro	2.905s
+?   	repro/cmd/benchjson	[no test files]
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" || doc.Pkg != "repro" {
+		t.Fatalf("metadata: %+v", doc)
+	}
+	if !strings.Contains(doc.CPU, "Xeon") {
+		t.Fatalf("cpu: %q", doc.CPU)
+	}
+	if len(doc.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkBatchedAnalyze/oracle-remote/prepared/workers=1" || b.Iterations != 3 {
+		t.Fatalf("first benchmark: %+v", b)
+	}
+	if b.Metrics["ns/op"] != 383983570 {
+		t.Fatalf("ns/op: %v", b.Metrics)
+	}
+	// Repeated -count runs stay separate entries.
+	if doc.Benchmarks[1].Name != doc.Benchmarks[2].Name {
+		t.Fatalf("repeated runs: %+v", doc.Benchmarks[1:3])
+	}
+	// Custom ReportMetric units survive.
+	last := doc.Benchmarks[3]
+	if last.Metrics["ns/record"] != 52.31 {
+		t.Fatalf("custom metric: %v", last.Metrics)
+	}
+}
+
+func TestParseSkipsNoise(t *testing.T) {
+	doc, err := Parse(strings.NewReader("random line\nBenchmarkBroken abc ns/op\nok repro 1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Fatalf("parsed noise as benchmarks: %+v", doc.Benchmarks)
+	}
+}

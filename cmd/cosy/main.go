@@ -5,8 +5,10 @@
 //
 // The SQL engines run against the in-process database by default; -db
 // points them at a running kojakdb wire server instead, through a connection
-// pool sized to the worker count. Property queries are prepared once and
-// executed per context when the backend supports it.
+// pool sized to the worker count. Property queries are prepared once and,
+// when the backend supports it, executed as array-bound batches of
+// -batchsize contexts — one round trip per batch instead of one per
+// property instance.
 //
 // Usage:
 //
@@ -44,6 +46,7 @@ func main() {
 	workers := flag.Int("workers", 0, "property-evaluation workers; 1 is fully serial, 0 uses GOMAXPROCS")
 	dbAddr := flag.String("db", "", "kojakdb wire server address for the sql/client engines; empty runs in process")
 	fetchSize := flag.Int("fetchsize", 0, "rows per cursor fetch on pooled connections (the JDBC row-at-a-time default is 1); 0 keeps the default")
+	batchSize := flag.Int("batchsize", 0, "context instances per batched request on the sql engine; 1 disables batching, 0 uses the default (32)")
 	flag.Parse()
 
 	ds, err := loadDataset(*in, *workload)
@@ -69,7 +72,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := []core.Option{core.WithThreshold(*threshold), core.WithWorkers(*workers)}
+	opts := []core.Option{core.WithThreshold(*threshold), core.WithWorkers(*workers), core.WithBatchSize(*batchSize)}
 	if *imbalance > 0 {
 		opts = append(opts, core.WithConst("ImbalanceThreshold", *imbalance))
 	}

@@ -13,6 +13,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/asl/sqlgen"
 	"repro/internal/model"
@@ -25,6 +27,7 @@ func main() {
 	profileName := flag.String("profile", "fast", "vendor profile: fast, access, oracle7, mssql, postgres, oracle-remote")
 	schema := flag.Bool("schema", false, "pre-create the COSY schema")
 	verbose := flag.Bool("v", false, "log connection errors")
+	drain := flag.Duration("drain", 5*time.Second, "how long a SIGINT/SIGTERM shutdown waits for connected clients to drain before force-closing them")
 	flag.Parse()
 
 	profile, ok := wire.ByName(*profileName)
@@ -61,16 +64,33 @@ func main() {
 	}
 	fmt.Printf("kojakdb: serving on %s (profile %s, schema=%v)\n", srv.Addr(), profile, *schema)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	fmt.Println("kojakdb: shutting down")
-	if err := srv.Close(); err != nil {
-		log.Fatal(err)
+	// Graceful shutdown on SIGINT and SIGTERM: stop accepting, give the
+	// connected clients up to -drain to finish their in-flight requests and
+	// disconnect, then force-close whatever lingers and report the session's
+	// statement statistics. A second signal skips the drain.
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	fmt.Printf("kojakdb: %v received, draining connections (up to %v; signal again to force)\n", got, *drain)
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(*drain) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			log.Fatal(err)
+		}
+	case got = <-sig:
+		fmt.Printf("kojakdb: %v received again, closing now\n", got)
+		if err := srv.Close(); err != nil {
+			log.Fatal(err)
+		}
+		<-done
 	}
 	st := db.Stats()
 	fmt.Printf("kojakdb: plan cache: %d hits, %d misses, %d evictions (%d cached plans)\n",
 		st.PlanCacheHits, st.PlanCacheMisses, st.PlanCacheEvictions, st.PlanCacheEntries)
 	fmt.Printf("kojakdb: prepared statements: %d live handles, %d replans after DDL\n",
 		st.PreparedLive, st.Replans)
+	fmt.Printf("kojakdb: batched execution: %d batches carrying %d bindings\n",
+		st.BatchExecs, st.BatchBindings)
 }

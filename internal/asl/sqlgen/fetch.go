@@ -31,6 +31,23 @@ type QueryPreparer interface {
 	PrepareQuery(query string) (PreparedQuery, error)
 }
 
+// BatchQueryResult is the per-binding outcome of a batched prepared query:
+// exactly one of Set and Err is non-nil.
+type BatchQueryResult struct {
+	Set *sqldb.ResultSet
+	Err error
+}
+
+// BatchPreparedQuery is implemented by prepared queries that support array
+// binding: one call executes the handle once per parameter set, over the
+// wire in a single request. Results are ordered as the bindings; per-binding
+// failures are reported inline and do not abort the batch. Analysis code
+// probes for it and falls back to per-binding ExecQuery calls when absent.
+type BatchPreparedQuery interface {
+	PreparedQuery
+	ExecQueryBatch(bindings []*sqldb.Params) ([]BatchQueryResult, error)
+}
+
 // ReadStore reconstructs a complete object store from its relational
 // representation by fetching every table — the "client-side evaluation"
 // setup of the paper's Section 5, where the analysis tool pulls the data

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sqldb"
+)
+
+// The batched execution pipeline. PR 2 removed the per-execution parse and
+// plan cost; what remained was one client/server round trip per
+// (property × context) instance. Since every context of a property executes
+// the same prepared handle with only the parameters changing, the analyzer
+// groups the contexts per property and ships each group as one array-bound
+// batch (sqlgen.BatchPreparedQuery): one round trip per batch instead of one
+// per instance. Chunking by the batch size bounds request and response
+// sizes; chunks are independent work items for the worker pool, so batching
+// composes with parallel evaluation. Results are written into the same
+// pre-assigned enumeration-order slots as ever, so batched reports render
+// byte-identical to unbatched ones at any worker count.
+
+// DefaultBatchSize is the number of parameter sets shipped per batched
+// request when no explicit size is configured.
+const DefaultBatchSize = 32
+
+// WithBatchSize sets the number of context instances executed per batched
+// request on the SQL engines: n > 1 batches in chunks of n, n = 1 forces the
+// per-instance execution of the prepared pipeline, and n <= 0 selects
+// DefaultBatchSize. Executors without batch support fall back to
+// per-instance execution regardless.
+func WithBatchSize(n int) Option { return func(a *Analyzer) { a.batchSize = n } }
+
+// SetBatchSize changes the batch size after construction; the value is
+// interpreted as in WithBatchSize.
+func (a *Analyzer) SetBatchSize(n int) { a.batchSize = n }
+
+// BatchSize returns the effective batch size used for an analysis.
+func (a *Analyzer) BatchSize() int {
+	if a.batchSize <= 0 {
+		return DefaultBatchSize
+	}
+	return a.batchSize
+}
+
+// chunk is one worker-pool unit of a SQL analysis: a run of consecutive
+// enumerated items that share a property and execute as one batch (n > 1
+// requires the property's handle to support array binding).
+type chunk struct {
+	start, n int
+}
+
+// batchChunks slices the enumerated items into execution units. Items whose
+// property cannot batch (no prepared handle, the handle does not support
+// array binding, or batching disabled) become single-instance chunks running
+// the exact per-instance path.
+func (a *Analyzer) batchChunks(items []evalItem) []chunk {
+	size := a.BatchSize()
+	var chunks []chunk
+	for i := 0; i < len(items); {
+		it := items[i]
+		if it.sqlProp == nil || it.sqlProp.bq == nil || size <= 1 {
+			chunks = append(chunks, chunk{start: i, n: 1})
+			i++
+			continue
+		}
+		n := 1
+		for i+n < len(items) && n < size && items[i+n].sqlProp == it.sqlProp {
+			n++
+		}
+		chunks = append(chunks, chunk{start: i, n: n})
+		i += n
+	}
+	return chunks
+}
+
+// evalSQLCtxs evaluates the contexts of one compiled property, writing one
+// Instance per context into out (out[i] belongs to ctxs[i]). When the
+// prepared handle supports array binding and batching is enabled, every
+// context executes through batched requests; otherwise each context pays its
+// own execution, the per-instance prepared (or text) path.
+func (a *Analyzer) evalSQLCtxs(q QueryExec, c *compiledProp, prop string, ctxs []instCtx, out []Instance) {
+	size := a.BatchSize()
+	if c.bq == nil || size <= 1 {
+		for i, ctx := range ctxs {
+			in := Instance{Property: prop, Context: ctx.label}
+			set, err := c.exec(q, ctx.params)
+			if err != nil {
+				in.Diagnostic = err.Error()
+			} else {
+				in.Outcome = interpretRow(c.cp, set)
+			}
+			out[i] = in
+		}
+		return
+	}
+	for start := 0; start < len(ctxs); start += size {
+		end := min(start+size, len(ctxs))
+		a.evalSQLBatch(c, prop, ctxs[start:end], out[start:end])
+	}
+}
+
+// evalSQLBatch ships one chunk of contexts as a single batched request. A
+// batch-level failure (transport, closed handle) diagnoses every context of
+// the chunk, mirroring what per-instance execution of the same failing
+// statement would report; per-binding failures diagnose only their own
+// context.
+func (a *Analyzer) evalSQLBatch(c *compiledProp, prop string, ctxs []instCtx, out []Instance) {
+	bindings := make([]*sqldb.Params, len(ctxs))
+	for i, ctx := range ctxs {
+		bindings[i] = ctx.params
+	}
+	results, err := c.bq.ExecQueryBatch(bindings)
+	if err == nil && len(results) != len(ctxs) {
+		err = fmt.Errorf("core: batch returned %d results for %d bindings", len(results), len(ctxs))
+	}
+	for i, ctx := range ctxs {
+		in := Instance{Property: prop, Context: ctx.label}
+		switch {
+		case err != nil:
+			in.Diagnostic = err.Error()
+		case results[i].Err != nil:
+			in.Diagnostic = results[i].Err.Error()
+		default:
+			in.Outcome = interpretRow(c.cp, results[i].Set)
+		}
+		out[i] = in
+	}
+}

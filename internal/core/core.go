@@ -159,6 +159,9 @@ type Analyzer struct {
 	workers int
 	// noPrepare forces per-call text execution on the SQL engines.
 	noPrepare bool
+	// batchSize is the number of context instances per batched request on
+	// the SQL engines; <= 0 means DefaultBatchSize, 1 disables batching.
+	batchSize int
 }
 
 // New returns an analyzer over the graph.
@@ -437,6 +440,9 @@ type compiledProp struct {
 	sql string
 	cp  *sqlgen.CompiledProperty
 	pq  sqlgen.PreparedQuery // nil on the text-protocol path
+	// bq is the handle's array-binding interface, non-nil when the executor
+	// can run a whole batch of contexts in one request (see batch.go).
+	bq sqlgen.BatchPreparedQuery
 }
 
 // compileProp compiles a property for the SQL engines and prepares its query
@@ -456,6 +462,7 @@ func (a *Analyzer) compileProp(prop string, preparer sqlgen.QueryPreparer) (*com
 	if preparer != nil {
 		if pq, err := preparer.PrepareQuery(sql); err == nil {
 			c.pq = pq
+			c.bq, _ = pq.(sqlgen.BatchPreparedQuery)
 		}
 	}
 	return c, nil
@@ -555,6 +562,11 @@ type QueryExec = sqlgen.QueryExecutor
 // PreparedStatement usage of the measured JDBC deployments. Otherwise (or
 // with WithPreparedStatements(false)) every instance ships the query text.
 //
+// When the prepared handle additionally supports array binding, the contexts
+// of each property are shipped as batched requests of up to BatchSize
+// parameter sets — one round trip per batch instead of one per instance (see
+// batch.go). Reports are byte-identical across all three execution modes.
+//
 // Queries are issued from the worker pool when q is safe for concurrent use
 // (godbc.Pool keeps one connection per in-flight query; godbc.Embedded
 // queries the in-process engine, whose readers run concurrently). With a
@@ -583,16 +595,15 @@ func (a *Analyzer) AnalyzeSQL(run *model.TestRun, q QueryExec) (*Report, error) 
 		return nil, err
 	}
 	instances := make([]Instance, len(items))
-	runPool(a.queryWorkers(q), len(items), func(_, i int) {
-		it := items[i]
-		in := Instance{Property: it.prop, Context: it.ctx.label}
-		set, err := it.sqlProp.exec(q, it.ctx.params)
-		if err != nil {
-			in.Diagnostic = err.Error()
-		} else {
-			in.Outcome = interpretRow(it.sqlProp.cp, set)
+	chunks := a.batchChunks(items)
+	runPool(a.queryWorkers(q), len(chunks), func(_, ci int) {
+		ch := chunks[ci]
+		ctxs := make([]instCtx, ch.n)
+		for j := 0; j < ch.n; j++ {
+			ctxs[j] = items[ch.start+j].ctx
 		}
-		instances[i] = in
+		it := items[ch.start]
+		a.evalSQLCtxs(q, it.sqlProp, it.prop, ctxs, instances[ch.start:ch.start+ch.n])
 	})
 	return a.finish("sql", run.NoPe, instances), nil
 }

@@ -113,26 +113,32 @@ func (s SearchStats) Savings() float64 {
 // and call-scoped refinements at the call sites inside that subtree.
 func (a *Analyzer) AnalyzeGuided(run *model.TestRun, h Hierarchy) (*Report, *SearchStats, error) {
 	ev := a.objectEvaluator()
-	evalIn := func(prop string, ctx instCtx) Instance {
-		in := Instance{Property: prop, Context: ctx.label}
-		res, err := ev.EvalProperty(prop, ctx.args...)
-		if err != nil {
-			in.Diagnostic = err.Error()
-			return in
+	evalGroup := func(prop string, ctxs []instCtx) []Instance {
+		out := make([]Instance, len(ctxs))
+		for i, ctx := range ctxs {
+			in := Instance{Property: prop, Context: ctx.label}
+			res, err := ev.EvalProperty(prop, ctx.args...)
+			if err != nil {
+				in.Diagnostic = err.Error()
+			} else {
+				in.Holds = res.Holds
+				in.Confidence = res.Confidence
+				in.Severity = res.Severity
+			}
+			out[i] = in
 		}
-		in.Holds = res.Holds
-		in.Confidence = res.Confidence
-		in.Severity = res.Severity
-		return in
+		return out
 	}
-	return a.analyzeGuided(run, h, "guided", evalIn)
+	return a.analyzeGuided(run, h, "guided", evalGroup)
 }
 
 // AnalyzeGuidedSQL runs the same refinement-driven search with the compiled
 // SQL queries executed inside the database. The search revisits each
 // property across many contexts as it descends the region tree, so each
 // property's query is prepared once, on first use, and executed per context
-// when the executor supports prepared statements.
+// when the executor supports prepared statements. The contexts a search step
+// opens up are evaluated together, so on batch-capable executors each step
+// costs one round trip per BatchSize contexts rather than one per context.
 func (a *Analyzer) AnalyzeGuidedSQL(run *model.TestRun, h Hierarchy, q QueryExec) (*Report, *SearchStats, error) {
 	preparer := a.preparer(q)
 	// The memo caches failures too, so a property that does not compile
@@ -157,27 +163,25 @@ func (a *Analyzer) AnalyzeGuidedSQL(run *model.TestRun, h Hierarchy, q QueryExec
 		compiled[prop] = compileResult{c: c, err: err}
 		return c, err
 	}
-	evalIn := func(prop string, ctx instCtx) Instance {
-		in := Instance{Property: prop, Context: ctx.label}
+	evalGroup := func(prop string, ctxs []instCtx) []Instance {
+		out := make([]Instance, len(ctxs))
 		c, err := compile(prop)
 		if err != nil {
-			in.Diagnostic = err.Error()
-			return in
+			for i, ctx := range ctxs {
+				out[i] = Instance{Property: prop, Context: ctx.label, Outcome: Outcome{Diagnostic: err.Error()}}
+			}
+			return out
 		}
-		set, err := c.exec(q, ctx.params)
-		if err != nil {
-			in.Diagnostic = err.Error()
-			return in
-		}
-		in.Outcome = interpretRow(c.cp, set)
-		return in
+		a.evalSQLCtxs(q, c, prop, ctxs, out)
+		return out
 	}
-	return a.analyzeGuided(run, h, "guided-sql", evalIn)
+	return a.analyzeGuided(run, h, "guided-sql", evalGroup)
 }
 
-// analyzeGuided is the engine-agnostic refinement search; evalIn evaluates
-// one property instance.
-func (a *Analyzer) analyzeGuided(run *model.TestRun, h Hierarchy, engine string, evalIn func(prop string, ctx instCtx) Instance) (*Report, *SearchStats, error) {
+// analyzeGuided is the engine-agnostic refinement search; evalGroup
+// evaluates the instances one search step opened up, one Instance per
+// context in context order (batched inside the SQL engine when supported).
+func (a *Analyzer) analyzeGuided(run *model.TestRun, h Hierarchy, engine string, evalGroup func(prop string, ctxs []instCtx) []Instance) (*Report, *SearchStats, error) {
 	if err := h.Validate(a.world.Props); err != nil {
 		return nil, nil, err
 	}
@@ -215,6 +219,11 @@ func (a *Analyzer) analyzeGuided(run *model.TestRun, h Hierarchy, engine string,
 		if err != nil {
 			return nil, nil, err
 		}
+		// Collect the contexts this step opens up, then evaluate them as one
+		// group: the refinement decisions below depend only on each
+		// instance's own outcome, so deferring them past the group changes
+		// neither the visit set nor the visit order.
+		var pending []instCtx
 		for _, ctx := range ctxs {
 			if it.root != nil && !ctxInSubtree(ctx, it.root) {
 				continue
@@ -224,11 +233,16 @@ func (a *Analyzer) analyzeGuided(run *model.TestRun, h Hierarchy, engine string,
 				continue
 			}
 			evaluated[key] = true
-			stats.Evaluated++
-			in := evalIn(it.prop, ctx)
+			pending = append(pending, ctx)
+		}
+		if len(pending) == 0 {
+			continue
+		}
+		stats.Evaluated += len(pending)
+		for i, in := range evalGroup(it.prop, pending) {
 			instances = append(instances, in)
 			if in.Holds && in.Severity > a.threshold {
-				region := contextRegion(ctx)
+				region := contextRegion(pending[i])
 				for _, child := range h.Children(it.prop, a.props) {
 					queue = append(queue, item{prop: child, root: region})
 				}

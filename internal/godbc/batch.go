@@ -1,0 +1,241 @@
+package godbc
+
+// Batched statement execution: the JDBC addBatch/executeBatch analogue.
+// Bindings accumulated on a prepared statement are shipped to the server in
+// one ReqExecBatch round trip (split transparently when they exceed the
+// protocol's MaxBatch), so N executions of the same statement cost one
+// client/server round trip instead of N. Against a server that predates the
+// batch extension the statement falls back to per-execution round trips —
+// same results, pre-batch cost.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/asl/sqlgen"
+	"repro/internal/sqldb"
+	"repro/internal/sqldb/wire"
+)
+
+// BatchResult is the per-binding outcome of an executed batch: Err, or an
+// affected-row count and (for SELECT) the binding's result set.
+type BatchResult struct {
+	Set      *sqldb.ResultSet
+	Affected int
+	Err      error
+}
+
+// AddBatch queues one parameter set on the statement, like JDBC's addBatch.
+// The queue is shipped, in order, by ExecuteBatch.
+func (st *Stmt) AddBatch(params *sqldb.Params) {
+	st.batch = append(st.batch, params)
+}
+
+// ExecuteBatch executes the queued parameter sets and clears the queue. The
+// returned results are ordered as the bindings were added; per-binding
+// failures are reported in the results and do not stop later bindings.
+func (st *Stmt) ExecuteBatch() ([]BatchResult, error) {
+	bindings := st.batch
+	st.batch = nil
+	return st.ExecBatch(bindings)
+}
+
+// ExecBatch executes the statement once per binding. Batches larger than
+// wire.MaxBatch are split into multiple requests; results are returned in
+// binding order regardless of the split.
+func (st *Stmt) ExecBatch(bindings []*sqldb.Params) ([]BatchResult, error) {
+	if st.closed {
+		return nil, fmt.Errorf("godbc: prepared statement is closed")
+	}
+	out := make([]BatchResult, 0, len(bindings))
+	for start := 0; start < len(bindings); start += wire.MaxBatch {
+		end := min(start+wire.MaxBatch, len(bindings))
+		chunk, err := st.execBatchChunk(bindings[start:end])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+func (st *Stmt) execBatchChunk(bindings []*sqldb.Params) ([]BatchResult, error) {
+	if len(bindings) == 0 {
+		return nil, nil
+	}
+	if !st.conn.noBatch {
+		req := &wire.Request{Kind: wire.ReqExecBatch, StmtID: st.id, Batch: make([]wire.BatchBinding, len(bindings))}
+		for i, p := range bindings {
+			req.Batch[i] = toBinding(p)
+		}
+		resp, err := st.conn.roundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case resp.Err == "":
+			if len(resp.Items) != len(bindings) {
+				return nil, fmt.Errorf("godbc: batch returned %d results for %d bindings", len(resp.Items), len(bindings))
+			}
+			out := make([]BatchResult, len(resp.Items))
+			for i, item := range resp.Items {
+				if item.Err != "" {
+					out[i] = BatchResult{Err: fmt.Errorf("godbc: %s", item.Err)}
+					continue
+				}
+				out[i] = BatchResult{Affected: item.Affected, Set: decodeItem(item)}
+			}
+			return out, nil
+		case batchUnsupported(resp.Err):
+			// A server without the batch extension: remember and fall back to
+			// per-execution round trips for the rest of this connection.
+			st.conn.noBatch = true
+		default:
+			return nil, fmt.Errorf("godbc: %s", resp.Err)
+		}
+	}
+	out := make([]BatchResult, len(bindings))
+	for i, p := range bindings {
+		req := &wire.Request{Kind: wire.ReqExecPrepared, StmtID: st.id}
+		encodeParams(req, p)
+		resp, err := st.conn.roundTrip(req)
+		if err != nil {
+			return nil, err // transport failure: the connection state is undefined
+		}
+		if resp.Err != "" {
+			out[i] = BatchResult{Err: fmt.Errorf("godbc: %s", resp.Err)}
+			continue
+		}
+		out[i] = BatchResult{Affected: resp.Affected, Set: decodeSet(resp)}
+	}
+	return out, nil
+}
+
+// batchUnsupported recognizes the error a server without ReqExecBatch
+// returns for the unknown request kind.
+func batchUnsupported(errText string) bool {
+	return strings.Contains(errText, "unknown request kind")
+}
+
+func toBinding(params *sqldb.Params) wire.BatchBinding {
+	var b wire.BatchBinding
+	b.Pos, b.Named = encodeValues(params)
+	return b
+}
+
+func decodeItem(item wire.BatchItem) *sqldb.ResultSet {
+	return decodeRows(item.Columns, item.Rows)
+}
+
+// ---------------------------------------------------------------------------
+// sqlgen.BatchPreparedQuery implementations — one per preparer, so the
+// analyzer's batched path runs against every executor.
+// ---------------------------------------------------------------------------
+
+// ExecQueryBatch implements sqlgen.BatchPreparedQuery on a connection-bound
+// prepared statement.
+func (st *Stmt) ExecQueryBatch(bindings []*sqldb.Params) ([]sqlgen.BatchQueryResult, error) {
+	results, err := st.ExecBatch(bindings)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]sqlgen.BatchQueryResult, len(results))
+	for i, r := range results {
+		out[i] = sqlgen.BatchQueryResult{Set: r.Set, Err: r.Err}
+	}
+	return out, nil
+}
+
+// ExecQueryBatch implements sqlgen.BatchPreparedQuery over the pool: the
+// whole batch executes on one checked-out connection, so it costs one
+// round trip per wire.MaxBatch chunk. A statement the server refused to
+// prepare falls back to per-binding text execution, like ExecQuery.
+func (ps *PooledStmt) ExecQueryBatch(bindings []*sqldb.Params) ([]sqlgen.BatchQueryResult, error) {
+	ps.mu.Lock()
+	closed, textOnly := ps.closed, ps.textOnly
+	ps.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("godbc: prepared statement is closed")
+	}
+	c, err := ps.pool.Get()
+	if err != nil {
+		return nil, err
+	}
+	defer ps.pool.Put(c)
+	if !textOnly {
+		st, err := c.prepared(ps.sql)
+		if err == nil {
+			return st.ExecQueryBatch(bindings)
+		}
+		if c.broken {
+			return nil, err
+		}
+		ps.mu.Lock()
+		ps.textOnly = true
+		ps.mu.Unlock()
+	}
+	out := make([]sqlgen.BatchQueryResult, len(bindings))
+	for i, p := range bindings {
+		set, err := c.ExecQuery(ps.sql, p)
+		if err != nil {
+			if c.broken {
+				return nil, err
+			}
+			out[i] = sqlgen.BatchQueryResult{Err: err}
+			continue
+		}
+		out[i] = sqlgen.BatchQueryResult{Set: set}
+	}
+	return out, nil
+}
+
+// ExecQueryBatch implements sqlgen.BatchPreparedQuery on the in-process
+// engine: one statement-lock acquisition for the whole batch.
+func (s embeddedStmt) ExecQueryBatch(bindings []*sqldb.Params) ([]sqlgen.BatchQueryResult, error) {
+	results, err := s.ps.ExecuteBatch(bindings)
+	if err != nil {
+		return nil, err
+	}
+	return toQueryResults(results), nil
+}
+
+// ExecQueryBatch implements sqlgen.BatchPreparedQuery with the vendor's
+// per-binding costs applied. There is no round trip to amortize in process;
+// profiled batches exist so the batched analyzer runs against this executor
+// with the same cost model as per-execution calls.
+func (s profiledStmt) ExecQueryBatch(bindings []*sqldb.Params) ([]sqlgen.BatchQueryResult, error) {
+	results, err := s.ps.ExecuteBatch(bindings)
+	if err != nil {
+		return nil, err
+	}
+	var delay time.Duration
+	for _, r := range results {
+		delay += s.profile.PerStatement
+		if r.Err == nil && r.Res.Set != nil {
+			delay += time.Duration(len(r.Res.Set.Rows)) * s.profile.PerRowRead
+		}
+	}
+	wire.Delay(delay)
+	return toQueryResults(results), nil
+}
+
+func toQueryResults(results []sqldb.BatchResult) []sqlgen.BatchQueryResult {
+	out := make([]sqlgen.BatchQueryResult, len(results))
+	for i, r := range results {
+		switch {
+		case r.Err != nil:
+			out[i] = sqlgen.BatchQueryResult{Err: r.Err}
+		case r.Res.Set == nil:
+			out[i] = sqlgen.BatchQueryResult{Err: fmt.Errorf("godbc: statement produced no result set")}
+		default:
+			out[i] = sqlgen.BatchQueryResult{Set: r.Res.Set}
+		}
+	}
+	return out
+}
+
+var _ sqlgen.BatchPreparedQuery = (*Stmt)(nil)
+var _ sqlgen.BatchPreparedQuery = (*PooledStmt)(nil)
+var _ sqlgen.BatchPreparedQuery = embeddedStmt{}
+var _ sqlgen.BatchPreparedQuery = profiledStmt{}

@@ -35,6 +35,9 @@ type Conn struct {
 	// stmts caches prepared statements by SQL text so pooled prepared
 	// statements plan at most once per connection (see prepared.go).
 	stmts map[string]*Stmt
+	// noBatch records that the server rejected ReqExecBatch as an unknown
+	// request kind; batches on this connection run as per-execution loops.
+	noBatch bool
 }
 
 // Dial connects to a wire server.
@@ -96,18 +99,23 @@ func (c *Conn) roundTrip(req *wire.Request) (*wire.Response, error) {
 }
 
 func encodeParams(req *wire.Request, params *sqldb.Params) {
+	req.Pos, req.Named = encodeValues(params)
+}
+
+func encodeValues(params *sqldb.Params) (pos []wire.WireValue, named map[string]wire.WireValue) {
 	if params == nil {
-		return
+		return nil, nil
 	}
 	for _, v := range params.Positional {
-		req.Pos = append(req.Pos, wire.ToWire(v))
+		pos = append(pos, wire.ToWire(v))
 	}
 	if len(params.Named) > 0 {
-		req.Named = make(map[string]wire.WireValue, len(params.Named))
+		named = make(map[string]wire.WireValue, len(params.Named))
 		for k, v := range params.Named {
-			req.Named[k] = wire.ToWire(v)
+			named[k] = wire.ToWire(v)
 		}
 	}
+	return pos, named
 }
 
 // Result reports the outcome of a non-query statement.
@@ -146,8 +154,12 @@ func (c *Conn) ExecQuery(query string, params *sqldb.Params) (*sqldb.ResultSet, 
 }
 
 func decodeSet(resp *wire.Response) *sqldb.ResultSet {
-	set := &sqldb.ResultSet{Columns: resp.Columns}
-	for _, wr := range resp.Rows {
+	return decodeRows(resp.Columns, resp.Rows)
+}
+
+func decodeRows(columns []string, rows [][]wire.WireValue) *sqldb.ResultSet {
+	set := &sqldb.ResultSet{Columns: columns}
+	for _, wr := range rows {
 		row := make(sqldb.Row, len(wr))
 		for i, wv := range wr {
 			row[i] = wv.FromWire()

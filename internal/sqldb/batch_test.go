@@ -1,0 +1,250 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func batchDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	db.MustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, v REAL, tag TEXT)", nil)
+	for i := 0; i < 10; i++ {
+		db.MustExec("INSERT INTO t (id, v, tag) VALUES (?, ?, ?)", &Params{Positional: []Value{
+			NewInt(int64(i)), NewFloat(float64(i) * 1.5), NewText(fmt.Sprintf("tag%d", i%3)),
+		}})
+	}
+	return db
+}
+
+func TestExecuteBatchSelect(t *testing.T) {
+	db := batchDB(t)
+	ps, err := db.Prepare("SELECT v FROM t WHERE id = $id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	var bindings []*Params
+	for i := 0; i < 10; i++ {
+		bindings = append(bindings, &Params{Named: map[string]Value{"id": NewInt(int64(i))}})
+	}
+	results, err := ps.ExecuteBatch(bindings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 10 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("binding %d: %v", i, r.Err)
+		}
+		if len(r.Res.Set.Rows) != 1 || r.Res.Set.Rows[0][0].Float() != float64(i)*1.5 {
+			t.Fatalf("binding %d: rows %v", i, r.Res.Set.Rows)
+		}
+	}
+	st := db.Stats()
+	if st.BatchExecs != 1 || st.BatchBindings != 10 {
+		t.Fatalf("batch stats: %d execs, %d bindings", st.BatchExecs, st.BatchBindings)
+	}
+}
+
+func TestExecuteBatchMatchesExecutePerBinding(t *testing.T) {
+	db := batchDB(t)
+	ps, err := db.Prepare("SELECT COUNT(*), tag FROM t WHERE v > $lo GROUP BY tag ORDER BY tag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	var bindings []*Params
+	for i := 0; i < 6; i++ {
+		bindings = append(bindings, &Params{Named: map[string]Value{"lo": NewFloat(float64(i))}})
+	}
+	batched, err := ps.ExecuteBatch(bindings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range bindings {
+		res, err := ps.Execute(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batched[i].Err != nil {
+			t.Fatalf("binding %d: %v", i, batched[i].Err)
+		}
+		want := fmt.Sprintf("%v", res.Set.Rows)
+		got := fmt.Sprintf("%v", batched[i].Res.Set.Rows)
+		if got != want {
+			t.Fatalf("binding %d: batched %s, per-exec %s", i, got, want)
+		}
+	}
+}
+
+func TestExecuteBatchInsertSingleLock(t *testing.T) {
+	db := NewDB()
+	db.MustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, v REAL)", nil)
+	ps, err := db.Prepare("INSERT INTO t (id, v) VALUES ($id, $v)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	var bindings []*Params
+	for i := 0; i < 50; i++ {
+		bindings = append(bindings, &Params{Named: map[string]Value{
+			"id": NewInt(int64(i)), "v": NewFloat(float64(i)),
+		}})
+	}
+	results, err := ps.ExecuteBatch(bindings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil || r.Res.Affected != 1 {
+			t.Fatalf("binding %d: %+v", i, r)
+		}
+	}
+	res := db.MustExec("SELECT COUNT(*) FROM t", nil)
+	if res.Set.Rows[0][0].Int() != 50 {
+		t.Fatalf("count: %v", res.Set.Rows[0][0])
+	}
+}
+
+func TestExecuteBatchPartialFailure(t *testing.T) {
+	db := batchDB(t)
+	ps, err := db.Prepare("SELECT v FROM t WHERE id = $id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	// Bindings 1 and 3 lack the named parameter; the others must still run,
+	// and outcomes must line up with binding order.
+	bindings := []*Params{
+		{Named: map[string]Value{"id": NewInt(0)}},
+		{Named: map[string]Value{"nope": NewInt(0)}},
+		{Named: map[string]Value{"id": NewInt(2)}},
+		nil,
+		{Named: map[string]Value{"id": NewInt(4)}},
+	}
+	results, err := ps.ExecuteBatch(bindings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{1, 3} {
+		if results[i].Err == nil || !strings.Contains(results[i].Err.Error(), "parameter") {
+			t.Fatalf("binding %d: expected parameter error, got %+v", i, results[i])
+		}
+		if results[i].Res != nil {
+			t.Fatalf("binding %d: result alongside error", i)
+		}
+	}
+	for _, i := range []int{0, 2, 4} {
+		if results[i].Err != nil {
+			t.Fatalf("binding %d: %v", i, results[i].Err)
+		}
+		if got := results[i].Res.Set.Rows[0][0].Float(); got != float64(i)*1.5 {
+			t.Fatalf("binding %d: v = %v", i, got)
+		}
+	}
+}
+
+func TestExecuteBatchReplansAfterDDL(t *testing.T) {
+	db := batchDB(t)
+	ps, err := db.Prepare("SELECT v FROM t WHERE id = $id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	// DDL between prepare and the batch: the stale plan must be rebuilt, and
+	// the batch must then run to completion.
+	db.MustExec("CREATE INDEX idx_t_id ON t (id)", nil)
+	results, err := ps.ExecuteBatch([]*Params{
+		{Named: map[string]Value{"id": NewInt(3)}},
+		{Named: map[string]Value{"id": NewInt(7)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil || results[0].Res.Set.Rows[0][0].Float() != 4.5 {
+		t.Fatalf("binding 0: %+v", results[0])
+	}
+	if results[1].Err != nil || results[1].Res.Set.Rows[0][0].Float() != 10.5 {
+		t.Fatalf("binding 1: %+v", results[1])
+	}
+	if db.Stats().Replans == 0 {
+		t.Fatal("expected a replan after DDL")
+	}
+}
+
+func TestExecuteBatchRejectsDDLAndClosed(t *testing.T) {
+	db := batchDB(t)
+	ps, err := db.Prepare("CREATE INDEX idx_v ON t (v)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ps.ExecuteBatch([]*Params{nil}); err == nil {
+		t.Fatal("batched DDL must be rejected")
+	}
+	ps.Close()
+
+	sel, err := db.Prepare("SELECT v FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel.Close()
+	if _, err := sel.ExecuteBatch([]*Params{nil}); err == nil {
+		t.Fatal("batch on closed statement must fail")
+	}
+
+	open, err := db.Prepare("SELECT v FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer open.Close()
+	results, err := open.ExecuteBatch(nil)
+	if err != nil || len(results) != 0 {
+		t.Fatalf("empty batch: %v %v", results, err)
+	}
+}
+
+func TestExecuteBatchConcurrentWithDDL(t *testing.T) {
+	db := batchDB(t)
+	ps, err := db.Prepare("SELECT v FROM t WHERE id = $id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	var bindings []*Params
+	for i := 0; i < 10; i++ {
+		bindings = append(bindings, &Params{Named: map[string]Value{"id": NewInt(int64(i))}})
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				results, err := ps.ExecuteBatch(bindings)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i, r := range results {
+					if r.Err != nil || r.Res.Set.Rows[0][0].Float() != float64(i)*1.5 {
+						t.Errorf("binding %d: %+v", i, r)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for rep := 0; rep < 10; rep++ {
+			db.MustExec(fmt.Sprintf("CREATE INDEX idx_ddl_%d ON t (tag)", rep), nil)
+		}
+	}()
+	wg.Wait()
+}

@@ -119,7 +119,17 @@ func (db *DB) execStmt(stmt Stmt, params *Params, plan *stmtPlan) (*Result, erro
 }
 
 func (db *DB) execInsert(st *InsertStmt, params *Params, plan *stmtPlan) (*Result, error) {
-	t := db.Table(st.Table)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.planFresh(plan); err != nil {
+		return nil, err
+	}
+	return db.execInsertLocked(st, params, plan)
+}
+
+// execInsertLocked is the INSERT core; db.mu must be held exclusively.
+func (db *DB) execInsertLocked(st *InsertStmt, params *Params, plan *stmtPlan) (*Result, error) {
+	t := db.tables[strings.ToLower(st.Table)]
 	if t == nil {
 		return nil, fmt.Errorf("sqldb: no table %s", st.Table)
 	}
@@ -141,11 +151,6 @@ func (db *DB) execInsert(st *InsertStmt, params *Params, plan *stmtPlan) (*Resul
 		}
 	}
 	ec := &execCtx{db: db, params: params, plan: plan}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if err := db.planFresh(plan); err != nil {
-		return nil, err
-	}
 	n := 0
 	for _, exprs := range st.Rows {
 		if len(exprs) != len(colPos) {
@@ -168,16 +173,21 @@ func (db *DB) execInsert(st *InsertStmt, params *Params, plan *stmtPlan) (*Resul
 }
 
 func (db *DB) execUpdate(st *UpdateStmt, params *Params, plan *stmtPlan) (*Result, error) {
-	t := db.Table(st.Table)
-	if t == nil {
-		return nil, fmt.Errorf("sqldb: no table %s", st.Table)
-	}
-	ec := &execCtx{db: db, params: params, plan: plan}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if err := db.planFresh(plan); err != nil {
 		return nil, err
 	}
+	return db.execUpdateLocked(st, params, plan)
+}
+
+// execUpdateLocked is the UPDATE core; db.mu must be held exclusively.
+func (db *DB) execUpdateLocked(st *UpdateStmt, params *Params, plan *stmtPlan) (*Result, error) {
+	t := db.tables[strings.ToLower(st.Table)]
+	if t == nil {
+		return nil, fmt.Errorf("sqldb: no table %s", st.Table)
+	}
+	ec := &execCtx{db: db, params: params, plan: plan}
 	// Phase 1 (read): evaluate WHERE and the SET expressions against the
 	// pre-update state, without holding the table write lock, so that
 	// subqueries over the updated table itself can take read locks freely.
@@ -235,16 +245,21 @@ func (db *DB) execUpdate(st *UpdateStmt, params *Params, plan *stmtPlan) (*Resul
 }
 
 func (db *DB) execDelete(st *DeleteStmt, params *Params, plan *stmtPlan) (*Result, error) {
-	t := db.Table(st.Table)
-	if t == nil {
-		return nil, fmt.Errorf("sqldb: no table %s", st.Table)
-	}
-	ec := &execCtx{db: db, params: params, plan: plan}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if err := db.planFresh(plan); err != nil {
 		return nil, err
 	}
+	return db.execDeleteLocked(st, params, plan)
+}
+
+// execDeleteLocked is the DELETE core; db.mu must be held exclusively.
+func (db *DB) execDeleteLocked(st *DeleteStmt, params *Params, plan *stmtPlan) (*Result, error) {
+	t := db.tables[strings.ToLower(st.Table)]
+	if t == nil {
+		return nil, fmt.Errorf("sqldb: no table %s", st.Table)
+	}
+	ec := &execCtx{db: db, params: params, plan: plan}
 	// Phase 1 (read): decide which rows survive without the write lock held.
 	fr := &frame{tables: []*boundTable{{binding: strings.ToLower(st.Table), table: t}}}
 	rows := t.scan()

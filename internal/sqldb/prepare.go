@@ -484,6 +484,10 @@ type Stats struct {
 	PreparedLive int64
 	// Replans counts plans rebuilt after DDL invalidated them.
 	Replans int64
+	// BatchExecs counts ExecuteBatch calls; BatchBindings the parameter sets
+	// they carried (bindings/execs is the achieved amortization factor).
+	BatchExecs    int64
+	BatchBindings int64
 }
 
 // Stats returns current prepared-statement and plan-cache counters.
@@ -501,6 +505,8 @@ func (db *DB) Stats() Stats {
 		PlanCacheEntries:   entries,
 		PreparedLive:       db.preparedLive.Load(),
 		Replans:            db.replans.Load(),
+		BatchExecs:         db.batchExecs.Load(),
+		BatchBindings:      db.batchBindings.Load(),
 	}
 }
 
@@ -523,9 +529,11 @@ type planFields struct {
 	// planOn mirrors planCap > 0 for a lock-free disabled-path check.
 	planOn atomic.Bool
 
-	planHits     atomic.Int64
-	planMisses   atomic.Int64
-	planEvicts   atomic.Int64
-	preparedLive atomic.Int64
-	replans      atomic.Int64
+	planHits      atomic.Int64
+	planMisses    atomic.Int64
+	planEvicts    atomic.Int64
+	preparedLive  atomic.Int64
+	replans       atomic.Int64
+	batchExecs    atomic.Int64
+	batchBindings atomic.Int64
 }

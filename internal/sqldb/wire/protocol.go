@@ -27,7 +27,14 @@ const (
 	ReqPrepare                          // parse and plan, return a statement handle
 	ReqExecPrepared                     // execute a prepared handle, inline result
 	ReqClosePrepared                    // discard a statement handle
+	ReqExecBatch                        // execute a prepared handle once per binding, inline results
 )
+
+// MaxBatch is the largest number of parameter bindings one ReqExecBatch may
+// carry. The limit bounds the server-side memory of a single request (every
+// binding's result set is materialized before the response is written);
+// clients split larger batches transparently (see godbc.Stmt.ExecuteBatch).
+const MaxBatch = 256
 
 // WireValue is the on-wire representation of a sqldb.Value.
 type WireValue struct {
@@ -80,9 +87,28 @@ type Request struct {
 	Named    map[string]WireValue
 	CursorID int64
 	FetchN   int
-	// StmtID addresses a server-side prepared statement for ReqExecPrepared
-	// and ReqClosePrepared; prepared requests ship no SQL text.
+	// StmtID addresses a server-side prepared statement for ReqExecPrepared,
+	// ReqClosePrepared, and ReqExecBatch; prepared requests ship no SQL text.
 	StmtID int64
+	// Batch carries the parameter bindings of a ReqExecBatch: one entry per
+	// execution of the prepared handle, at most MaxBatch of them.
+	Batch []BatchBinding
+}
+
+// BatchBinding is one parameter set of a batched execution.
+type BatchBinding struct {
+	Pos   []WireValue
+	Named map[string]WireValue
+}
+
+// BatchItem is the per-binding outcome of a ReqExecBatch: either Err or a
+// result. Items are ordered exactly as the request's bindings, so partial
+// failures map back to their parameter sets.
+type BatchItem struct {
+	Err      string
+	Columns  []string
+	Rows     [][]WireValue
+	Affected int
 }
 
 // Response is a server message.
@@ -96,6 +122,8 @@ type Response struct {
 	StmtID int64
 	// Done marks cursor exhaustion.
 	Done bool
+	// Items holds the per-binding outcomes of a ReqExecBatch.
+	Items []BatchItem
 }
 
 // Codec frames gob messages on a stream.

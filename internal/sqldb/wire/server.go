@@ -27,6 +27,10 @@ type Server struct {
 
 	nextCursor int64
 	nextStmt   int64
+
+	// noBatch makes the server answer ReqExecBatch like a pre-batch server
+	// (an unknown-request-kind error), for exercising client fallback.
+	noBatch atomic.Bool
 }
 
 // NewServer returns a server for db with the given vendor profile. If logger
@@ -60,24 +64,55 @@ func (s *Server) Addr() string {
 }
 
 // Close stops the listener and all connections and waits for the handler
-// goroutines to finish.
+// goroutines to finish. Calling Close while a Shutdown drain is in progress
+// force-closes the lingering connections immediately.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
-	}
+	wasClosed := s.closed
 	s.closed = true
 	for c := range s.conns {
 		c.Close()
 	}
 	s.mu.Unlock()
 	var err error
-	if s.lis != nil {
+	if s.lis != nil && !wasClosed {
 		err = s.lis.Close()
 	}
 	s.wg.Wait()
 	return err
+}
+
+// Shutdown closes the listener, then waits up to timeout for the connected
+// clients to finish their in-flight requests and disconnect on their own.
+// Connections still open when the timeout expires are closed forcibly, as
+// Close does immediately. Shutdown is what a signal handler should call: a
+// draining server never cuts a response off mid-write.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	var lerr error
+	if s.lis != nil {
+		lerr = s.lis.Close()
+	}
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return lerr
+	case <-time.After(timeout):
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	<-done
+	return lerr
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -170,19 +205,33 @@ func (s *Server) serve(req *Request, cursors map[int64]*cursor, stmts map[int64]
 			delete(stmts, req.StmtID)
 		}
 		return &Response{}
+	case ReqExecBatch:
+		if s.noBatch.Load() {
+			break // answer as a server without the batch extension would
+		}
+		return s.serveExecBatch(req, stmts)
 	}
 	return &Response{Err: fmt.Sprintf("wire: unknown request kind %d", req.Kind)}
 }
 
+// DisableBatch makes the server reject ReqExecBatch with the same error a
+// pre-batch server produces for an unknown request kind; clients then fall
+// back to per-execution round trips. Used to test that fallback.
+func (s *Server) DisableBatch() { s.noBatch.Store(true) }
+
 func toParams(req *Request) *sqldb.Params {
-	if len(req.Pos) == 0 && len(req.Named) == 0 {
+	return bindParams(req.Pos, req.Named)
+}
+
+func bindParams(pos []WireValue, named map[string]WireValue) *sqldb.Params {
+	if len(pos) == 0 && len(named) == 0 {
 		return nil
 	}
-	p := &sqldb.Params{Named: make(map[string]sqldb.Value, len(req.Named))}
-	for _, v := range req.Pos {
+	p := &sqldb.Params{Named: make(map[string]sqldb.Value, len(named))}
+	for _, v := range pos {
 		p.Positional = append(p.Positional, v.FromWire())
 	}
-	for k, v := range req.Named {
+	for k, v := range named {
 		p.Named[k] = v.FromWire()
 	}
 	return p
@@ -234,6 +283,48 @@ func (s *Server) serveExecPrepared(req *Request, stmts map[int64]*sqldb.Prepared
 		resp.Rows = encodeRows(res.Set.Rows)
 		s.sleep(time.Duration(len(resp.Rows)) * s.profile.PerRowRead)
 	}
+	return resp
+}
+
+// serveExecBatch executes a prepared handle once per binding. The whole batch
+// was carried by one request, so the profile's round-trip latency was charged
+// once (in serve); what accumulates per binding is only the per-statement and
+// per-row work the vendor server would really do — the array-binding
+// economics that make batches worthwhile on high-latency links.
+func (s *Server) serveExecBatch(req *Request, stmts map[int64]*sqldb.PreparedStmt) *Response {
+	if len(req.Batch) > MaxBatch {
+		return &Response{Err: fmt.Sprintf("wire: batch of %d bindings exceeds the limit of %d", len(req.Batch), MaxBatch)}
+	}
+	ps, ok := stmts[req.StmtID]
+	if !ok {
+		return &Response{Err: fmt.Sprintf("wire: no prepared statement %d", req.StmtID)}
+	}
+	bindings := make([]*sqldb.Params, len(req.Batch))
+	for i, b := range req.Batch {
+		bindings[i] = bindParams(b.Pos, b.Named)
+	}
+	results, err := ps.ExecuteBatch(bindings)
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+	resp := &Response{Items: make([]BatchItem, len(results)), Done: true}
+	var delay time.Duration
+	for i, r := range results {
+		if r.Err != nil {
+			resp.Items[i] = BatchItem{Err: r.Err.Error()}
+			delay += s.profile.PerStatement
+			continue
+		}
+		item := BatchItem{Affected: r.Res.Affected}
+		delay += s.profile.PerStatement + time.Duration(r.Res.Affected)*s.profile.PerRowWrite
+		if r.Res.Set != nil {
+			item.Columns = r.Res.Set.Columns
+			item.Rows = encodeRows(r.Res.Set.Rows)
+			delay += time.Duration(len(item.Rows)) * s.profile.PerRowRead
+		}
+		resp.Items[i] = item
+	}
+	s.sleep(delay)
 	return resp
 }
 
