@@ -9,6 +9,7 @@ package repro_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/apprentice"
@@ -599,6 +600,82 @@ func BenchmarkBatchedAnalyze(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E10 — the sharding layer: a tuning-cycle sweep (every run of the dataset
+// analyzed concurrently, the workload that made a single kojakdb the
+// bottleneck) against a run-partitioned database of 1, 2, and 4 shards on
+// the oracle-remote profile. Every server executes one statement at a time
+// (SetMaxConcurrent(1)) — the finite capacity of the paper-era database host
+// that an unbounded simulation would hide — so one saturated instance queues
+// the sweep while four split both the data and the execution load. Reports
+// are byte-identical at every shard count (see internal/core TestSharded*).
+// ---------------------------------------------------------------------------
+
+func BenchmarkShardedAnalyze(b *testing.B) {
+	// A dozen runs give the router enough keys to spread: the sweep is the
+	// unit of work, one analysis per run, all in flight at once. The scaled
+	// stencil is sized so a region property's ~30 contexts fill a batch
+	// whose accumulated per-binding cost crosses wire.Delay's sleep
+	// threshold — server busy time is then slept, not spun, and the queueing
+	// behind a saturated instance is visible even on a single-core host
+	// (the same reasoning as E7's remote profile).
+	g := mustGraph(b, apprentice.ScaledStencil(5, 5), 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96)
+	runs := g.Dataset.Versions[0].Runs
+
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("oracle-remote/shards=%d", shards), func(b *testing.B) {
+			addrs := make([]string, shards)
+			execs := make([]sqlgen.Executor, shards)
+			for i := 0; i < shards; i++ {
+				db := sqldb.NewDB()
+				execs[i] = embeddedExecutor(db)
+				if err := sqlgen.CreateSchema(g.World, execs[i]); err != nil {
+					b.Fatal(err)
+				}
+				srv, err := wire.NewServer(db, wire.ProfileOracleRemote, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				srv.SetMaxConcurrent(1)
+				if err := srv.Listen("127.0.0.1:0"); err != nil {
+					b.Fatal(err)
+				}
+				defer srv.Close()
+				addrs[i] = srv.Addr()
+			}
+			sdb, err := godbc.DialSharded(addrs, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sdb.Close()
+			if _, err := sqlgen.LoadSharded(g.Store, model.RunPartitioned(), sdb.ShardFor, execs...); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for _, run := range runs {
+					wg.Add(1)
+					go func(run *model.TestRun) {
+						defer wg.Done()
+						a := core.New(g, core.WithWorkers(4), core.WithBatchSize(32))
+						rep, err := a.AnalyzeSQL(run, sdb)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if rep.Bottleneck() == nil {
+							b.Error("no bottleneck")
+						}
+					}(run)
+				}
+				wg.Wait()
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(len(runs))/float64(b.N), "ns/run")
+		})
 	}
 }
 

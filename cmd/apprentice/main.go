@@ -1,10 +1,16 @@
 // Command apprentice generates synthetic Cray T3E / MPP Apprentice summary
 // data: it simulates a workload from the library on a sweep of partition
-// sizes and writes the summary file COSY ingests.
+// sizes and writes the summary file COSY ingests — or, with -db, ingests the
+// sweep directly into one or more running kojakdb instances. With several
+// comma-separated addresses the instances are treated as the shards of a
+// run-partitioned COSY database: structural rows replicate to every shard,
+// each run's timing rows land on the shard that owns the run, and a cosy
+// analysis pointed at the same -db list finds every run on its owning shard.
 //
 // Usage:
 //
 //	apprentice -workload particles -pes 2,8,32 -seed 42 -o particles.apr
+//	apprentice -workload particles -pes 2,8,32 -db 127.0.0.1:7070,127.0.0.1:7071 -schema
 //	apprentice -list
 package main
 
@@ -17,13 +23,18 @@ import (
 	"strings"
 
 	"repro/internal/apprentice"
+	"repro/internal/asl/sqlgen"
+	"repro/internal/godbc"
+	"repro/internal/model"
 )
 
 func main() {
 	workload := flag.String("workload", "stencil2d", "workload name (see -list)")
 	pes := flag.String("pes", "2,4,8,16,32", "comma-separated partition sizes")
 	seed := flag.Int64("seed", 42, "simulation seed")
-	out := flag.String("o", "", "output file (default stdout)")
+	out := flag.String("o", "", "output file (default stdout; ignored when -db is given)")
+	db := flag.String("db", "", "kojakdb address(es) to ingest into instead of writing a summary file, comma-separated for a sharded database")
+	schema := flag.Bool("schema", false, "create the COSY schema on the -db servers before ingesting")
 	list := flag.Bool("list", false, "list available workloads and exit")
 	scaledFuncs := flag.Int("scaled-funcs", 8, "functions for the 'scaled' workload")
 	scaledLoops := flag.Int("scaled-loops", 6, "loops per function for the 'scaled' workload")
@@ -55,7 +66,7 @@ func main() {
 	var sizes []int
 	for _, part := range strings.Split(*pes, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
+		if err != nil || n < 1 {
 			fmt.Fprintf(os.Stderr, "apprentice: bad partition size %q\n", part)
 			os.Exit(2)
 		}
@@ -66,6 +77,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	st := ds.Stats()
+
+	if *db != "" {
+		if err := ingest(ds, *db, *schema); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "apprentice: %s: %d runs, %d regions, %d typed timings, %d call sites\n",
+			w.Name, st.Runs, st.Regions, st.TypedTimings, st.CallSites)
+		return
 	}
 
 	dst := os.Stdout
@@ -82,7 +104,39 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	st := ds.Stats()
 	fmt.Fprintf(os.Stderr, "apprentice: %s: %d runs, %d regions, %d typed timings, %d call sites\n",
 		w.Name, st.Runs, st.Regions, st.TypedTimings, st.CallSites)
+}
+
+// ingest materializes the dataset and loads it into the kojakdb instances
+// named by dbAddr: one address loads everything there, several load the
+// sweep run-wise across the shards — the write-path half of the client-side
+// sharding contract (cosy's ShardedDB reads with the same routing policy).
+func ingest(ds *model.Dataset, dbAddr string, createSchema bool) error {
+	addrs, err := godbc.SplitAddrs(dbAddr)
+	if err != nil {
+		return err
+	}
+	g, err := model.Build(ds)
+	if err != nil {
+		return err
+	}
+	sdb, err := godbc.DialSharded(addrs, 1)
+	if err != nil {
+		return err
+	}
+	defer sdb.Close()
+	if createSchema {
+		if err := sqlgen.CreateSchema(g.World, sdb.BroadcastExecutor()); err != nil {
+			return err
+		}
+	}
+	counts, err := sqlgen.LoadSharded(g.Store, model.RunPartitioned(), sdb.ShardFor, sdb.ShardExecutors()...)
+	if err != nil {
+		return err
+	}
+	for i, n := range counts {
+		fmt.Fprintf(os.Stderr, "apprentice: shard %d (%s): %d statements\n", i, addrs[i], n)
+	}
+	return nil
 }

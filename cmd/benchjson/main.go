@@ -3,9 +3,15 @@
 // (BENCH_<sha>.json) and the perf trajectory of the repository can be
 // charted across pushes.
 //
+// With -compare it consumes two such documents instead and fails (exit 1)
+// when any benchmark present in both regressed its ns/op beyond -max-regress
+// — the check the bench-compare CI job runs on every pull request against
+// the latest main artifact.
+//
 // Usage:
 //
 //	go test -run=NONE -bench=. -benchtime=3x -count=3 ./... | benchjson -sha $GITHUB_SHA > BENCH_$GITHUB_SHA.json
+//	benchjson -compare -max-regress 0.20 [-bench BenchmarkBatchedAnalyze] old.json new.json
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -86,9 +93,155 @@ func Parse(r io.Reader) (*Document, error) {
 	return doc, nil
 }
 
+// Delta is the comparison of one benchmark across two documents. Ratio is
+// new/old of the best (minimum) ns/op on each side: -count repetitions make
+// both sides a distribution, and the minimum is the run least disturbed by
+// scheduler noise, so a real regression moves it while a noisy outlier does
+// not.
+type Delta struct {
+	Name       string
+	Old, New   float64 // best ns/op per side
+	Ratio      float64
+	Regression bool
+}
+
+// normalizeName strips the trailing -GOMAXPROCS suffix go test appends to
+// benchmark names ("BenchmarkX/batch=32-4" → "BenchmarkX/batch=32"), so a
+// baseline recorded on an N-core runner still compares against a run on an
+// M-core one instead of silently sharing no names with it.
+func normalizeName(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i <= 0 {
+		return name
+	}
+	if suffix := name[i+1:]; suffix != "" {
+		for _, c := range suffix {
+			if c < '0' || c > '9' {
+				return name
+			}
+		}
+		return name[:i]
+	}
+	return name
+}
+
+// bestNsOp folds a document's (possibly repeated) benchmark entries into the
+// minimum ns/op per normalized name, keeping only names matching the filter
+// substring.
+func bestNsOp(doc *Document, filter string) map[string]float64 {
+	best := make(map[string]float64)
+	for _, b := range doc.Benchmarks {
+		ns, ok := b.Metrics["ns/op"]
+		if !ok || !strings.Contains(b.Name, filter) {
+			continue
+		}
+		name := normalizeName(b.Name)
+		if cur, seen := best[name]; !seen || ns < cur {
+			best[name] = ns
+		}
+	}
+	return best
+}
+
+// Compare evaluates every benchmark present in both documents against the
+// allowed regression (0.20 = new may be at most 20% slower), in name order.
+func Compare(oldDoc, newDoc *Document, filter string, maxRegress float64) []Delta {
+	oldBest, newBest := bestNsOp(oldDoc, filter), bestNsOp(newDoc, filter)
+	names := make([]string, 0, len(oldBest))
+	for name := range oldBest {
+		if _, ok := newBest[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	deltas := make([]Delta, 0, len(names))
+	for _, name := range names {
+		o, n := oldBest[name], newBest[name]
+		d := Delta{Name: name, Old: o, New: n}
+		if o > 0 {
+			d.Ratio = n / o
+			d.Regression = d.Ratio > 1+maxRegress
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas
+}
+
+func readDocument(path string) (*Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// compareMain implements -compare: exit 0 when nothing regressed (or nothing
+// was comparable), 1 on regression, 2 on usage errors.
+func compareMain(oldPath, newPath, filter string, maxRegress float64) int {
+	oldDoc, err := readDocument(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newDoc, err := readDocument(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	deltas := Compare(oldDoc, newDoc, filter, maxRegress)
+	if len(deltas) == 0 {
+		// An empty intersection is a gate that gated nothing: stay green (a
+		// renamed benchmark must not fail every future PR) but shout — the
+		// ::warning line surfaces as an annotation on GitHub runners.
+		fmt.Printf("::warning::benchjson: no benchmark appears in both %s (sha %s) and %s (sha %s); the regression gate compared nothing\n",
+			oldPath, oldDoc.SHA, newPath, newDoc.SHA)
+		return 0
+	}
+	regressed := 0
+	fmt.Printf("benchjson: comparing %d benchmarks against %s (max ns/op regression %.0f%%)\n",
+		len(deltas), oldDoc.SHA, maxRegress*100)
+	for _, d := range deltas {
+		verdict := "ok"
+		if d.Regression {
+			verdict = "REGRESSION"
+			regressed++
+		}
+		fmt.Printf("  %-64s %14.0f -> %14.0f ns/op  %+6.1f%%  %s\n",
+			d.Name, d.Old, d.New, (d.Ratio-1)*100, verdict)
+	}
+	if regressed > 0 {
+		fmt.Printf("benchjson: %d of %d benchmarks regressed beyond %.0f%%\n", regressed, len(deltas), maxRegress*100)
+		return 1
+	}
+	return 0
+}
+
 func main() {
 	sha := flag.String("sha", "", "commit SHA recorded in the document")
+	compare := flag.Bool("compare", false, "compare two benchmark documents (old.json new.json) instead of converting")
+	maxRegress := flag.Float64("max-regress", 0.20, "allowed ns/op regression in -compare mode (0.20 = 20% slower)")
+	bench := flag.String("bench", "", "restrict -compare to benchmarks whose name contains this substring")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two documents: old.json new.json")
+			os.Exit(2)
+		}
+		if *maxRegress < 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: -max-regress must not be negative")
+			os.Exit(2)
+		}
+		os.Exit(compareMain(flag.Arg(0), flag.Arg(1), *bench, *maxRegress))
+	}
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: unexpected arguments (use -compare to diff documents)")
+		os.Exit(2)
+	}
 	doc, err := Parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

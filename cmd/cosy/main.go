@@ -4,17 +4,21 @@
 // ranking, the performance problems, and the bottleneck.
 //
 // The SQL engines run against the in-process database by default; -db
-// points them at a running kojakdb wire server instead, through a connection
-// pool sized to the worker count. Property queries are prepared once and,
-// when the backend supports it, executed as array-bound batches of
-// -batchsize contexts — one round trip per batch instead of one per
-// property instance.
+// points them at one or more running kojakdb wire servers instead. A single
+// address is reached through a connection pool sized to the worker count; a
+// comma-separated list is treated as the shards of a run-partitioned COSY
+// database — the dataset is loaded run-wise across the shards and every
+// property query routes to the shard owning the analyzed run. Property
+// queries are prepared once and, when the backend supports it, executed as
+// array-bound batches of -batchsize contexts — one round trip per batch
+// instead of one per property instance.
 //
 // Usage:
 //
 //	cosy -in particles.apr -nope 32
 //	cosy -workload particles -nope 32 -engine sql
 //	cosy -workload particles -nope 32 -engine sql -db 127.0.0.1:7070
+//	cosy -workload particles -nope 32 -engine sql -db 127.0.0.1:7070,127.0.0.1:7071
 //	cosy -workload particles -nope 32 -baseline      (Paradyn-style fixed set)
 //	cosy -workload particles -nope 32 -workers 4     (parallel evaluation)
 package main
@@ -24,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"repro/internal/apprentice"
 	"repro/internal/asl/sqlgen"
@@ -43,11 +48,18 @@ func main() {
 	imbalance := flag.Float64("imbalance-threshold", 0, "override ImbalanceThreshold (0 keeps the spec value)")
 	baseline := flag.Bool("baseline", false, "run the Paradyn-style fixed bottleneck baseline instead")
 	guided := flag.Bool("guided", false, "use the refinement-driven search instead of exhaustive evaluation")
-	workers := flag.Int("workers", 0, "property-evaluation workers; 1 is fully serial, 0 uses GOMAXPROCS")
-	dbAddr := flag.String("db", "", "kojakdb wire server address for the sql/client engines; empty runs in process")
-	fetchSize := flag.Int("fetchsize", 0, "rows per cursor fetch on pooled connections (the JDBC row-at-a-time default is 1); 0 keeps the default")
-	batchSize := flag.Int("batchsize", 0, "context instances per batched request on the sql engine; 1 disables batching, 0 uses the default (32)")
+	workers := flag.Int("workers", 0, "property-evaluation workers; 1 is fully serial, omit for GOMAXPROCS")
+	dbAddr := flag.String("db", "", "kojakdb address(es) for the sql/client engines, comma-separated for a sharded database; empty runs in process")
+	preloaded := flag.Bool("preloaded", false, "assume the -db servers already hold the dataset (e.g. ingested by apprentice with the same workload, sizes, and seed); skip schema creation and loading")
+	fetchSize := flag.Int("fetchsize", 0, "rows per cursor fetch on pooled connections (the JDBC row-at-a-time default is 1); omit to keep the default")
+	batchSize := flag.Int("batchsize", 0, "context instances per batched request on the sql engine; 1 disables batching, omit for the default (32)")
 	flag.Parse()
+
+	validateFlags()
+	shardAddrs, err := godbc.SplitAddrs(*dbAddr)
+	if err != nil {
+		usageError("%v", err)
+	}
 
 	ds, err := loadDataset(*in, *workload)
 	if err != nil {
@@ -81,27 +93,48 @@ func main() {
 	switch *engine {
 	case "object", "sql", "client":
 	default:
-		fatal(fmt.Errorf("cosy: unknown engine %q", *engine))
+		usageError("unknown engine %q", *engine)
 	}
 	if *guided && *engine == "client" {
-		fatal(fmt.Errorf("cosy: -guided supports -engine object or sql, not client"))
+		usageError("-guided supports -engine object or sql, not client")
 	}
-	if *dbAddr != "" && *engine == "object" {
-		fatal(fmt.Errorf("cosy: -db requires -engine sql or client (the object engine runs in process)"))
+	if len(shardAddrs) > 0 && *engine == "object" {
+		usageError("-db requires -engine sql or client (the object engine runs in process)")
+	}
+	if len(shardAddrs) > 1 && *engine == "client" {
+		usageError("-engine client reads whole tables and cannot span shards; give a single -db address")
+	}
+	if *preloaded && len(shardAddrs) == 0 {
+		usageError("-preloaded requires -db (the in-process database starts empty)")
 	}
 
-	// The SQL engines need a loaded database: in process by default, or a
-	// kojakdb server reached through a connection pool.
+	// The SQL engines need a loaded database: in process by default, a
+	// pooled kojakdb server, or a set of kojakdb shards loaded run-wise.
 	sqlEngine := *engine == "sql" || *engine == "client"
 	var q core.QueryExec
 	if sqlEngine {
-		var exec sqlgen.Executor
-		if *dbAddr != "" {
-			size := *workers
-			if size <= 0 {
-				size = runtime.GOMAXPROCS(0)
+		size := *workers
+		if size <= 0 {
+			size = runtime.GOMAXPROCS(0)
+		}
+		switch {
+		case len(shardAddrs) > 1:
+			sdb, err := godbc.DialSharded(shardAddrs, size)
+			if err != nil {
+				fatal(err)
 			}
-			pool, err := godbc.NewPool(*dbAddr, size)
+			defer sdb.Close()
+			if *fetchSize > 0 {
+				sdb.SetFetchSize(*fetchSize)
+			}
+			if !*preloaded {
+				if err := loadSharded(g, sdb); err != nil {
+					fatal(err)
+				}
+			}
+			q = sdb
+		case len(shardAddrs) == 1:
+			pool, err := godbc.NewPool(shardAddrs[0], size)
 			if err != nil {
 				fatal(err)
 			}
@@ -109,27 +142,28 @@ func main() {
 			if *fetchSize > 0 {
 				pool.SetFetchSize(*fetchSize)
 			}
-			exec = sqlgen.ExecutorFunc(func(s string, p *sqldb.Params) (int, error) {
-				res, err := pool.Exec(s, p)
-				return res.Affected, err
-			})
+			if !*preloaded {
+				if err := loadSingle(g, sqlgen.ExecutorFunc(func(s string, p *sqldb.Params) (int, error) {
+					res, err := pool.Exec(s, p)
+					return res.Affected, err
+				})); err != nil {
+					fatal(err)
+				}
+			}
 			q = pool
-		} else {
+		default:
 			db := sqldb.NewDB()
-			exec = sqlgen.ExecutorFunc(func(s string, p *sqldb.Params) (int, error) {
+			exec := sqlgen.ExecutorFunc(func(s string, p *sqldb.Params) (int, error) {
 				res, err := db.Exec(s, p)
 				if err != nil {
 					return 0, err
 				}
 				return res.Affected, nil
 			})
+			if err := loadSingle(g, exec); err != nil {
+				fatal(err)
+			}
 			q = godbc.Embedded{DB: db}
-		}
-		if err := sqlgen.CreateSchema(g.World, exec); err != nil {
-			fatal(err)
-		}
-		if _, err := sqlgen.Load(g.Store, exec); err != nil {
-			fatal(err)
 		}
 	}
 
@@ -165,6 +199,51 @@ func main() {
 	fmt.Print(report.Render())
 }
 
+// validateFlags rejects explicitly-set flag values that would misbehave at
+// runtime (a zero worker pool, a zero batch, an empty server address) with a
+// usage error. Omitted flags keep their documented defaults.
+func validateFlags() {
+	if flag.NArg() > 0 {
+		usageError("unexpected arguments: %v", flag.Args())
+	}
+	set := make(map[string]flag.Value)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = f.Value })
+	check := func(name string, ok func(string) bool, why string) {
+		if v, explicit := set[name]; explicit && !ok(v.String()) {
+			usageError("-%s %s: %s", name, v, why)
+		}
+	}
+	atLeast1 := func(s string) bool { var n int; _, err := fmt.Sscanf(s, "%d", &n); return err == nil && n >= 1 }
+	check("workers", atLeast1, "must be at least 1 (omit the flag for GOMAXPROCS)")
+	check("batchsize", atLeast1, "must be at least 1 (1 disables batching; omit the flag for the default)")
+	check("fetchsize", atLeast1, "must be at least 1 (omit the flag for the default)")
+	check("db", func(s string) bool { return strings.TrimSpace(s) != "" }, "must name at least one kojakdb address")
+	check("nope", atLeast1, "must be at least 1 (omit the flag for the largest run)")
+	nonNegative := func(s string) bool { var f float64; _, err := fmt.Sscanf(s, "%g", &f); return err == nil && f >= 0 }
+	check("threshold", nonNegative, "must not be negative")
+	check("imbalance-threshold", func(s string) bool { var f float64; _, err := fmt.Sscanf(s, "%g", &f); return err == nil && f > 0 }, "must be positive (omit the flag to keep the spec value)")
+}
+
+// loadSingle creates the schema and loads the whole dataset on one executor.
+func loadSingle(g *model.Graph, exec sqlgen.Executor) error {
+	if err := sqlgen.CreateSchema(g.World, exec); err != nil {
+		return err
+	}
+	_, err := sqlgen.Load(g.Store, exec)
+	return err
+}
+
+// loadSharded creates the schema on every shard and loads the dataset
+// run-wise: structural data replicates, run-owned timing rows land on the
+// shard the analyzer will query for them.
+func loadSharded(g *model.Graph, sdb *godbc.ShardedDB) error {
+	if err := sqlgen.CreateSchema(g.World, sdb.BroadcastExecutor()); err != nil {
+		return err
+	}
+	_, err := sqlgen.LoadSharded(g.Store, model.RunPartitioned(), sdb.ShardFor, sdb.ShardExecutors()...)
+	return err
+}
+
 func loadDataset(in, workload string) (*model.Dataset, error) {
 	if in != "" {
 		f, err := os.Open(in)
@@ -195,6 +274,12 @@ func pickRun(v *model.Version, nope int) *model.TestRun {
 		}
 	}
 	return best
+}
+
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cosy: "+format+"\n", args...)
+	fmt.Fprintln(os.Stderr, "run cosy -h for usage")
+	os.Exit(2)
 }
 
 func fatal(err error) {

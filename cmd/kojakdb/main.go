@@ -2,9 +2,18 @@
 // protocol, with a selectable vendor performance profile. It optionally
 // pre-creates the COSY schema so clients can start inserting immediately.
 //
+// A kojakdb instance can serve as one shard of a run-partitioned COSY
+// database: sharding is entirely client-side (cosy/apprentice route by run
+// id), so a shard is an ordinary server that merely knows its place in the
+// topology. -shard-id/-shards record that identity in the banner so
+// operators can tell N otherwise-identical servers apart; -max-concurrent
+// bounds how many statements the instance executes simultaneously, the
+// saturation model the sharding benchmarks are measured against.
+//
 // Usage:
 //
 //	kojakdb -addr 127.0.0.1:7070 -profile oracle7 -schema
+//	kojakdb -addr 127.0.0.1:7071 -shard-id 1 -shards 4 -schema
 package main
 
 import (
@@ -28,12 +37,29 @@ func main() {
 	schema := flag.Bool("schema", false, "pre-create the COSY schema")
 	verbose := flag.Bool("v", false, "log connection errors")
 	drain := flag.Duration("drain", 5*time.Second, "how long a SIGINT/SIGTERM shutdown waits for connected clients to drain before force-closing them")
+	shardID := flag.Int("shard-id", 0, "this instance's shard index in a sharded deployment (0-based)")
+	shards := flag.Int("shards", 1, "total shard count of the deployment this instance belongs to")
+	maxConcurrent := flag.Int("max-concurrent", 0, "statements executed simultaneously; 0 means unbounded")
 	flag.Parse()
+
+	switch {
+	case flag.NArg() > 0:
+		usageError("unexpected arguments: %v", flag.Args())
+	case *addr == "":
+		usageError("-addr must not be empty")
+	case *shards < 1:
+		usageError("-shards must be at least 1, got %d", *shards)
+	case *shardID < 0 || *shardID >= *shards:
+		usageError("-shard-id %d outside the shard range [0,%d)", *shardID, *shards)
+	case *maxConcurrent < 0:
+		usageError("-max-concurrent must not be negative, got %d", *maxConcurrent)
+	case *drain < 0:
+		usageError("-drain must not be negative, got %v", *drain)
+	}
 
 	profile, ok := wire.ByName(*profileName)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "kojakdb: unknown profile %q\n", *profileName)
-		os.Exit(2)
+		usageError("unknown profile %q", *profileName)
 	}
 
 	db := sqldb.NewDB()
@@ -59,10 +85,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	srv.SetMaxConcurrent(*maxConcurrent)
 	if err := srv.Listen(*addr); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("kojakdb: serving on %s (profile %s, schema=%v)\n", srv.Addr(), profile, *schema)
+	identity := ""
+	if *shards > 1 {
+		identity = fmt.Sprintf(", shard %d/%d", *shardID, *shards)
+	}
+	fmt.Printf("kojakdb: serving on %s (profile %s, schema=%v%s)\n", srv.Addr(), profile, *schema, identity)
 
 	// Graceful shutdown on SIGINT and SIGTERM: stop accepting, give the
 	// connected clients up to -drain to finish their in-flight requests and
@@ -93,4 +124,12 @@ func main() {
 		st.PreparedLive, st.Replans)
 	fmt.Printf("kojakdb: batched execution: %d batches carrying %d bindings\n",
 		st.BatchExecs, st.BatchBindings)
+}
+
+// usageError reports a bad flag value and exits with the conventional usage
+// status.
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "kojakdb: "+format+"\n", args...)
+	fmt.Fprintln(os.Stderr, "run kojakdb -h for usage")
+	os.Exit(2)
 }

@@ -137,49 +137,17 @@ func toSQLValue(v object.Value) (sqldb.Value, error) {
 
 // LoadPlan converts an object store into one INSERT statement per object
 // plus one per set membership, mirroring the record-at-a-time insertion the
-// paper benchmarks. Statements come out in store allocation order.
+// paper benchmarks. Statements come out in store allocation order. It is the
+// un-routed view of RoutedLoadPlan (shard.go), which owns the single
+// emission walk so routing attribution can never drift from the statements.
 func LoadPlan(store *object.Store) ([]Statement, error) {
-	var stmts []Statement
-	for _, obj := range store.All() {
-		cls := obj.Class
-		colNames := []string{"id"}
-		vals := []sqldb.Value{sqldb.NewInt(obj.ID)}
-		var junctions []Statement
-		for _, attr := range cls.AllAttrs() {
-			if _, isSet := attr.Type.(*sem.Set); isSet {
-				setVal, ok := obj.Get(attr.Name).(*object.Set)
-				if !ok {
-					continue
-				}
-				j := JunctionFor(cls, attr.Name)
-				for _, elem := range setVal.Elems {
-					eo, ok := elem.(*object.Object)
-					if !ok {
-						return nil, fmt.Errorf("sqlgen: %s.%s holds a non-object element", cls.Name, attr.Name)
-					}
-					junctions = append(junctions, Statement{
-						SQL: fmt.Sprintf("INSERT INTO %s (owner_id, elem_id) VALUES (?, ?)", j),
-						Params: &sqldb.Params{Positional: []sqldb.Value{
-							sqldb.NewInt(obj.ID), sqldb.NewInt(eo.ID),
-						}},
-					})
-				}
-				continue
-			}
-			sv, err := toSQLValue(obj.Get(attr.Name))
-			if err != nil {
-				return nil, fmt.Errorf("sqlgen: %s.%s: %w", cls.Name, attr.Name, err)
-			}
-			colNames = append(colNames, ColumnFor(attr))
-			vals = append(vals, sv)
-		}
-		marks := strings.Repeat("?, ", len(colNames))
-		stmts = append(stmts, Statement{
-			SQL: fmt.Sprintf("INSERT INTO %s (%s) VALUES (%s)",
-				cls.Name, strings.Join(colNames, ", "), marks[:len(marks)-2]),
-			Params: &sqldb.Params{Positional: vals},
-		})
-		stmts = append(stmts, junctions...)
+	routed, err := RoutedLoadPlan(store, nil)
+	if err != nil {
+		return nil, err
+	}
+	stmts := make([]Statement, len(routed))
+	for i, rs := range routed {
+		stmts[i] = rs.Statement
 	}
 	return stmts, nil
 }

@@ -1,0 +1,174 @@
+package sqlgen_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apprentice"
+	"repro/internal/asl/sqlgen"
+	"repro/internal/model"
+	"repro/internal/sqldb"
+)
+
+// shardGraph materializes a small two-run dataset.
+func shardGraph(t *testing.T) *model.Graph {
+	t.Helper()
+	ds, err := apprentice.Simulate(apprentice.Particles(), apprentice.PartitionSweep(2, 8), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := model.Build(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func tableOf(sql string) string {
+	fields := strings.Fields(sql)
+	if len(fields) < 3 || fields[0] != "INSERT" {
+		return ""
+	}
+	return fields[2]
+}
+
+// TestRoutedLoadPlanAttribution: every INSERT of a partitioned class (and of
+// its junction memberships) carries its owning run id; everything else
+// broadcasts; and routing never changes the statement sequence.
+func TestRoutedLoadPlanAttribution(t *testing.T) {
+	g := shardGraph(t)
+	part := model.RunPartitioned()
+	plan, err := sqlgen.LoadPlan(g.Store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed, err := sqlgen.RoutedLoadPlan(g.Store, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routed) != len(plan) {
+		t.Fatalf("routed plan has %d statements, plain plan %d", len(routed), len(plan))
+	}
+	runIDs := make(map[int64]bool)
+	for _, run := range g.Dataset.Versions[0].Runs {
+		runIDs[g.Runs[run].ID] = true
+	}
+	partitionedSeen, broadcastSeen := 0, 0
+	for i, rs := range routed {
+		if rs.SQL != plan[i].SQL {
+			t.Fatalf("statement %d reordered: %q vs %q", i, rs.SQL, plan[i].SQL)
+		}
+		table := tableOf(rs.SQL)
+		// Junction rows of a partitioned class route with their element.
+		partitionedTable := part[table] ||
+			table == "Region_TypTimes" || table == "FunctionCall_Sums"
+		switch {
+		case partitionedTable && rs.Broadcast():
+			t.Fatalf("statement %d (%s) not routed: %q", i, table, rs.SQL)
+		case !partitionedTable && !rs.Broadcast():
+			t.Fatalf("statement %d (%s) routed to run %d: %q", i, table, rs.RunID, rs.SQL)
+		case rs.Broadcast():
+			broadcastSeen++
+		default:
+			if !runIDs[rs.RunID] {
+				t.Fatalf("statement %d routed to unknown run %d", i, rs.RunID)
+			}
+			partitionedSeen++
+		}
+	}
+	if partitionedSeen == 0 || broadcastSeen == 0 {
+		t.Fatalf("degenerate plan: %d partitioned, %d broadcast", partitionedSeen, broadcastSeen)
+	}
+}
+
+// countingExec is an in-memory shard double recording executed statements.
+type countingExec struct {
+	db    *sqldb.DB
+	stmts int
+}
+
+func (c *countingExec) Exec(q string, p *sqldb.Params) (int, error) {
+	res, err := c.db.Exec(q, p)
+	if err != nil {
+		return 0, err
+	}
+	c.stmts++
+	return res.Affected, nil
+}
+
+func tableCount(t *testing.T, db *sqldb.DB, table string) int64 {
+	t.Helper()
+	res, err := db.Exec("SELECT COUNT(*) FROM "+table, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Set.Rows[0][0].Int()
+}
+
+// TestLoadShardedPartitionsAndReplicates loads a two-run dataset across two
+// shards and verifies the placement invariants: partitioned tables split
+// with nothing lost, replicated tables are identical everywhere.
+func TestLoadShardedPartitionsAndReplicates(t *testing.T) {
+	g := shardGraph(t)
+	shards := []*countingExec{{db: sqldb.NewDB()}, {db: sqldb.NewDB()}}
+	var execs []sqlgen.Executor
+	for _, s := range shards {
+		if err := sqlgen.CreateSchema(g.World, s); err != nil {
+			t.Fatal(err)
+		}
+		s.stmts = 0
+		execs = append(execs, s)
+	}
+	shardFor := func(runID int64) int { return int(runID % 2) }
+	counts, err := sqlgen.LoadSharded(g.Store, model.RunPartitioned(), shardFor, execs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0]+counts[1] != shards[0].stmts+shards[1].stmts {
+		t.Fatalf("reported counts %v, executed %d+%d", counts, shards[0].stmts, shards[1].stmts)
+	}
+
+	// A single-node load is the reference row census.
+	single := &countingExec{db: sqldb.NewDB()}
+	if err := sqlgen.CreateSchema(g.World, single); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sqlgen.Load(g.Store, single); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, table := range []string{"TypedTiming", "CallTiming", "Region_TypTimes", "FunctionCall_Sums"} {
+		a, b := tableCount(t, shards[0].db, table), tableCount(t, shards[1].db, table)
+		want := tableCount(t, single.db, table)
+		if a+b != want {
+			t.Errorf("%s: shards hold %d+%d rows, single node %d", table, a, b, want)
+		}
+		if a == 0 || b == 0 {
+			t.Errorf("%s: lopsided partition %d/%d (both runs on one shard?)", table, a, b)
+		}
+	}
+	for _, table := range []string{"TotalTiming", "TestRun", "Region", "Function", "Region_TotTimes", "Program"} {
+		a, b := tableCount(t, shards[0].db, table), tableCount(t, shards[1].db, table)
+		want := tableCount(t, single.db, table)
+		if a != want || b != want {
+			t.Errorf("%s: shards hold %d/%d rows, single node %d (must replicate)", table, a, b, want)
+		}
+	}
+}
+
+// TestLoadShardedRejectsBadRouting: a policy that routes outside the shard
+// range is an error, not a crash or silent drop.
+func TestLoadShardedRejectsBadRouting(t *testing.T) {
+	g := shardGraph(t)
+	s := &countingExec{db: sqldb.NewDB()}
+	if err := sqlgen.CreateSchema(g.World, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sqlgen.LoadSharded(g.Store, model.RunPartitioned(),
+		func(int64) int { return 7 }, s); err == nil {
+		t.Fatal("out-of-range routing accepted")
+	}
+	if _, err := sqlgen.LoadSharded(g.Store, model.RunPartitioned(), func(int64) int { return 0 }); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+}

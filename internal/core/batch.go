@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/sqldb"
 )
@@ -72,18 +74,72 @@ func (a *Analyzer) batchChunks(items []evalItem) []chunk {
 	return chunks
 }
 
+// abortSentinel matches errors that must abort a whole analysis rather than
+// become an instance diagnostic. The sharding driver tags transport failures
+// with the dead shard's address through this interface (godbc.ShardError):
+// with one of N servers unreachable, an analysis would otherwise emit a
+// partial report whose missing instances hide as diagnostics.
+type abortSentinel interface{ ShardAddr() string }
+
+// fatalExecErr reports whether an execution error is a shard loss.
+func fatalExecErr(err error) bool {
+	var se abortSentinel
+	return errors.As(err, &se)
+}
+
+// analysisAbort collects the first fatal execution failure of an analysis.
+// Workers keep filling their pre-assigned slots (the merge stays
+// deterministic), but the report is discarded and the failure returned.
+type analysisAbort struct {
+	mu  sync.Mutex
+	err error
+}
+
+// record keeps the first fatal error.
+func (f *analysisAbort) record(err error) {
+	if f == nil || err == nil || !fatalExecErr(err) {
+		return
+	}
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+}
+
+// Err returns the recorded failure, if any.
+func (f *analysisAbort) Err() error {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
 // evalSQLCtxs evaluates the contexts of one compiled property, writing one
 // Instance per context into out (out[i] belongs to ctxs[i]). When the
 // prepared handle supports array binding and batching is enabled, every
 // context executes through batched requests; otherwise each context pays its
-// own execution, the per-instance prepared (or text) path.
-func (a *Analyzer) evalSQLCtxs(q QueryExec, c *compiledProp, prop string, ctxs []instCtx, out []Instance) {
+// own execution, the per-instance prepared (or text) path. Shard losses are
+// recorded in fail as well as diagnosed; once one is recorded, remaining
+// contexts are diagnosed without executing — the analysis is already doomed
+// to abort, and issuing more requests at a dead shard would pay a timeout
+// apiece for a report that will be discarded.
+func (a *Analyzer) evalSQLCtxs(q QueryExec, c *compiledProp, prop string, ctxs []instCtx, out []Instance, fail *analysisAbort) {
+	if aborted(prop, ctxs, out, fail) {
+		return
+	}
 	size := a.BatchSize()
 	if c.bq == nil || size <= 1 {
 		for i, ctx := range ctxs {
+			if aborted(prop, ctxs[i:], out[i:], fail) {
+				return
+			}
 			in := Instance{Property: prop, Context: ctx.label}
 			set, err := c.exec(q, ctx.params)
 			if err != nil {
+				fail.record(err)
 				in.Diagnostic = err.Error()
 			} else {
 				in.Outcome = interpretRow(c.cp, set)
@@ -94,8 +150,25 @@ func (a *Analyzer) evalSQLCtxs(q QueryExec, c *compiledProp, prop string, ctxs [
 	}
 	for start := 0; start < len(ctxs); start += size {
 		end := min(start+size, len(ctxs))
-		a.evalSQLBatch(c, prop, ctxs[start:end], out[start:end])
+		if aborted(prop, ctxs[start:], out[start:], fail) {
+			return
+		}
+		a.evalSQLBatch(c, prop, ctxs[start:end], out[start:end], fail)
 	}
+}
+
+// aborted reports whether the analysis has already recorded a fatal failure;
+// if so it fills the remaining slots with that failure as their diagnostic,
+// keeping every slot populated for the (discarded) merge.
+func aborted(prop string, ctxs []instCtx, out []Instance, fail *analysisAbort) bool {
+	err := fail.Err()
+	if err == nil {
+		return false
+	}
+	for i, ctx := range ctxs {
+		out[i] = Instance{Property: prop, Context: ctx.label, Outcome: Outcome{Diagnostic: err.Error()}}
+	}
+	return true
 }
 
 // evalSQLBatch ships one chunk of contexts as a single batched request. A
@@ -103,7 +176,7 @@ func (a *Analyzer) evalSQLCtxs(q QueryExec, c *compiledProp, prop string, ctxs [
 // the chunk, mirroring what per-instance execution of the same failing
 // statement would report; per-binding failures diagnose only their own
 // context.
-func (a *Analyzer) evalSQLBatch(c *compiledProp, prop string, ctxs []instCtx, out []Instance) {
+func (a *Analyzer) evalSQLBatch(c *compiledProp, prop string, ctxs []instCtx, out []Instance, fail *analysisAbort) {
 	bindings := make([]*sqldb.Params, len(ctxs))
 	for i, ctx := range ctxs {
 		bindings[i] = ctx.params
@@ -112,12 +185,14 @@ func (a *Analyzer) evalSQLBatch(c *compiledProp, prop string, ctxs []instCtx, ou
 	if err == nil && len(results) != len(ctxs) {
 		err = fmt.Errorf("core: batch returned %d results for %d bindings", len(results), len(ctxs))
 	}
+	fail.record(err)
 	for i, ctx := range ctxs {
 		in := Instance{Property: prop, Context: ctx.label}
 		switch {
 		case err != nil:
 			in.Diagnostic = err.Error()
 		case results[i].Err != nil:
+			fail.record(results[i].Err)
 			in.Diagnostic = results[i].Err.Error()
 		default:
 			in.Outcome = interpretRow(c.cp, results[i].Set)

@@ -443,12 +443,33 @@ type compiledProp struct {
 	// bq is the handle's array-binding interface, non-nil when the executor
 	// can run a whole batch of contexts in one request (see batch.go).
 	bq sqlgen.BatchPreparedQuery
+	// runParam names the property's TestRun-typed parameter, the routing key
+	// of sharded executors: every execution goes to the shard owning the run
+	// bound under this name.
+	runParam string
+}
+
+// runParam returns the name of a property's TestRun-typed parameter, or ""
+// when the property has none to route on.
+func (a *Analyzer) runParam(prop string) string {
+	sig := a.world.Props[prop]
+	if sig == nil {
+		return ""
+	}
+	for _, p := range sig.Params {
+		if cls, ok := p.Type.(*sem.Class); ok && cls.Name == "TestRun" {
+			return p.Name
+		}
+	}
+	return ""
 }
 
 // compileProp compiles a property for the SQL engines and prepares its query
-// when a preparer is available. A failed prepare falls back to per-call text
-// execution so instance-level diagnostics match the text path — errors never
-// abort a run.
+// when a preparer is available. Sharded executors (sqlgen.RoutedPreparer)
+// are handed the property's run parameter so every execution routes to the
+// shard owning its context's run. A failed prepare falls back to per-call
+// text execution so instance-level diagnostics match the text path — errors
+// never abort a run.
 func (a *Analyzer) compileProp(prop string, preparer sqlgen.QueryPreparer) (*compiledProp, error) {
 	cp, err := sqlgen.CompileProperty(a.world, prop)
 	if err != nil {
@@ -458,9 +479,15 @@ func (a *Analyzer) compileProp(prop string, preparer sqlgen.QueryPreparer) (*com
 	if err != nil {
 		return nil, err
 	}
-	c := &compiledProp{sql: sql, cp: cp}
+	c := &compiledProp{sql: sql, cp: cp, runParam: a.runParam(prop)}
 	if preparer != nil {
-		if pq, err := preparer.PrepareQuery(sql); err == nil {
+		var pq sqlgen.PreparedQuery
+		if rp, ok := preparer.(sqlgen.RoutedPreparer); ok && c.runParam != "" {
+			pq, err = rp.PrepareRoutedQuery(sql, c.runParam)
+		} else {
+			pq, err = preparer.PrepareQuery(sql)
+		}
+		if err == nil {
 			c.pq = pq
 			c.bq, _ = pq.(sqlgen.BatchPreparedQuery)
 		}
@@ -468,10 +495,14 @@ func (a *Analyzer) compileProp(prop string, preparer sqlgen.QueryPreparer) (*com
 	return c, nil
 }
 
-// exec runs the property query for one context's parameters.
+// exec runs the property query for one context's parameters, routing by run
+// on sharded executors when no prepared handle exists.
 func (c *compiledProp) exec(q QueryExec, params *sqldb.Params) (*sqldb.ResultSet, error) {
 	if c.pq != nil {
 		return c.pq.ExecQuery(params)
+	}
+	if re, ok := q.(sqlgen.RoutedExecutor); ok && c.runParam != "" {
+		return re.ExecQueryRouted(c.sql, c.runParam, params)
 	}
 	return q.ExecQuery(c.sql, params)
 }
@@ -596,6 +627,7 @@ func (a *Analyzer) AnalyzeSQL(run *model.TestRun, q QueryExec) (*Report, error) 
 	}
 	instances := make([]Instance, len(items))
 	chunks := a.batchChunks(items)
+	fail := &analysisAbort{}
 	runPool(a.queryWorkers(q), len(chunks), func(_, ci int) {
 		ch := chunks[ci]
 		ctxs := make([]instCtx, ch.n)
@@ -603,8 +635,13 @@ func (a *Analyzer) AnalyzeSQL(run *model.TestRun, q QueryExec) (*Report, error) 
 			ctxs[j] = items[ch.start+j].ctx
 		}
 		it := items[ch.start]
-		a.evalSQLCtxs(q, it.sqlProp, it.prop, ctxs, instances[ch.start:ch.start+ch.n])
+		a.evalSQLCtxs(q, it.sqlProp, it.prop, ctxs, instances[ch.start:ch.start+ch.n], fail)
 	})
+	// A lost shard aborts the analysis: a report missing one shard's answers
+	// is not a smaller report, it is a wrong one.
+	if err := fail.Err(); err != nil {
+		return nil, err
+	}
 	return a.finish("sql", run.NoPe, instances), nil
 }
 

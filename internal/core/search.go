@@ -163,6 +163,7 @@ func (a *Analyzer) AnalyzeGuidedSQL(run *model.TestRun, h Hierarchy, q QueryExec
 		compiled[prop] = compileResult{c: c, err: err}
 		return c, err
 	}
+	fail := &analysisAbort{}
 	evalGroup := func(prop string, ctxs []instCtx) []Instance {
 		out := make([]Instance, len(ctxs))
 		c, err := compile(prop)
@@ -172,10 +173,17 @@ func (a *Analyzer) AnalyzeGuidedSQL(run *model.TestRun, h Hierarchy, q QueryExec
 			}
 			return out
 		}
-		a.evalSQLCtxs(q, c, prop, ctxs, out)
+		a.evalSQLCtxs(q, c, prop, ctxs, out, fail)
 		return out
 	}
-	return a.analyzeGuided(run, h, "guided-sql", evalGroup)
+	rep, stats, err := a.analyzeGuided(run, h, "guided-sql", evalGroup)
+	if err == nil {
+		// A lost shard aborts the search; see AnalyzeSQL.
+		if ferr := fail.Err(); ferr != nil {
+			return nil, nil, ferr
+		}
+	}
+	return rep, stats, err
 }
 
 // analyzeGuided is the engine-agnostic refinement search; evalGroup

@@ -10,6 +10,7 @@
 package godbc
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -44,9 +45,26 @@ type Conn struct {
 func Dial(addr string) (*Conn, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("godbc: dial %s: %w", addr, err)
+		return nil, &transportError{fmt.Errorf("godbc: dial %s: %w", addr, err)}
 	}
 	return &Conn{nc: nc, codec: wire.NewCodec(nc), fetchSize: DefaultFetchSize}, nil
+}
+
+// transportError marks a failure of the transport itself — a refused dial, a
+// dropped connection mid-round-trip — as opposed to the server answering with
+// a statement error. The sharding layer promotes transport errors to
+// ShardError so analyses can tell a dead shard from a bad query; the message
+// is unchanged, so non-sharded callers see exactly the errors they always
+// did.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
+
+// isTransportError reports whether err originated in the transport layer.
+func isTransportError(err error) bool {
+	var te *transportError
+	return errors.As(err, &te)
 }
 
 // SetFetchSize sets the number of rows per fetch round trip (JDBC's
@@ -88,12 +106,12 @@ func (c *Conn) roundTrip(req *wire.Request) (*wire.Response, error) {
 	}
 	if err := c.codec.WriteRequest(req); err != nil {
 		c.broken = true
-		return nil, fmt.Errorf("godbc: send: %w", err)
+		return nil, &transportError{fmt.Errorf("godbc: send: %w", err)}
 	}
 	resp, err := c.codec.ReadResponse()
 	if err != nil {
 		c.broken = true
-		return nil, fmt.Errorf("godbc: receive: %w", err)
+		return nil, &transportError{fmt.Errorf("godbc: receive: %w", err)}
 	}
 	return resp, nil
 }

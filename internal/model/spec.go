@@ -215,6 +215,19 @@ property FrequentFineGrainedCalls(FunctionCall Call, TestRun t, Region Basis) {
 }
 `
 
+// RunPartitioned returns the classes of the canonical specification whose
+// instances belong wholly to one test run and may therefore be partitioned
+// run-wise across database shards (sqlgen.RoutedLoadPlan). Every canonical
+// property touches TypedTiming and CallTiming rows only through a
+// "Run == t" filter, so a shard holding just its own runs' rows answers
+// their queries exactly. TotalTiming is NOT partitionable: SublinearSpeedup
+// and UnmeasuredCost compare a run's summary against the minimum-PE run's
+// (MIN(s.Run.NoPe WHERE s IN r.TotTimes)), so every shard needs the full
+// TotTimes sets; TotalTiming and all structural classes replicate.
+func RunPartitioned() map[string]bool {
+	return map[string]bool{"TypedTiming": true, "CallTiming": true}
+}
+
 // PaperProperties lists the property names given explicitly in the paper.
 var PaperProperties = []string{"SublinearSpeedup", "MeasuredCost", "SyncCost", "LoadImbalance"}
 

@@ -1,0 +1,96 @@
+package wire_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/godbc"
+	"repro/internal/sqldb"
+	"repro/internal/sqldb/wire"
+)
+
+// startCapped launches a server with a statement-execution capacity bound.
+func startCapped(t *testing.T, profile wire.Profile, maxConcurrent int) *wire.Server {
+	t.Helper()
+	srv, err := wire.NewServer(sqldb.NewDB(), profile, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetMaxConcurrent(maxConcurrent)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// TestMaxConcurrentSerializes: with capacity 1, two concurrent requests
+// cannot overlap their statement processing, so the pair takes at least two
+// per-statement delays end to end. (Only the lower bound is asserted; upper
+// bounds are scheduler noise.)
+func TestMaxConcurrentSerializes(t *testing.T) {
+	const perStatement = 20 * time.Millisecond
+	srv := startCapped(t, wire.Profile{Name: "slow", PerStatement: perStatement}, 1)
+
+	conns := make([]*godbc.Conn, 2)
+	for i := range conns {
+		c, err := godbc.Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		conns[i] = c
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, c := range conns {
+		wg.Add(1)
+		go func(c *godbc.Conn) {
+			defer wg.Done()
+			if err := c.Ping(); err != nil {
+				t.Error(err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed < 2*perStatement-5*time.Millisecond {
+		t.Errorf("capacity 1 overlapped: two %v statements finished in %v", perStatement, elapsed)
+	}
+}
+
+// TestMaxConcurrentCorrectUnderLoad: a bounded server must still answer
+// every request correctly — the gate queues work, it never drops or
+// corrupts it.
+func TestMaxConcurrentCorrectUnderLoad(t *testing.T) {
+	srv := startCapped(t, wire.ProfileFast, 2)
+	pool, err := godbc.NewPool(srv.Addr(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if _, err := pool.Exec("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Exec("INSERT INTO t (id, v) VALUES (?, ?)", &sqldb.Params{
+		Positional: []sqldb.Value{sqldb.NewInt(1), sqldb.NewInt(42)}}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			set, err := pool.ExecQuery("SELECT v FROM t WHERE id = ?", &sqldb.Params{
+				Positional: []sqldb.Value{sqldb.NewInt(1)}})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(set.Rows) != 1 || set.Rows[0][0].Int() != 42 {
+				t.Errorf("rows: %v", set.Rows)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -31,6 +31,10 @@ type Server struct {
 	// noBatch makes the server answer ReqExecBatch like a pre-batch server
 	// (an unknown-request-kind error), for exercising client fallback.
 	noBatch atomic.Bool
+
+	// sem, when non-nil, bounds how many statements the server executes
+	// simultaneously (see SetMaxConcurrent).
+	sem chan struct{}
 }
 
 // NewServer returns a server for db with the given vendor profile. If logger
@@ -180,8 +184,29 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
+// SetMaxConcurrent bounds the number of statements the server executes
+// simultaneously; n <= 0 removes the bound (the default). The vendor
+// profiles model per-statement cost but not server capacity — as if the
+// server scaled to any number of concurrent clients. A real 1999 database
+// host did not, and a capacity bound is what makes one saturated server
+// observable: requests beyond the bound queue, which is exactly the regime
+// the client-side sharding layer exists to relieve. The bound gates
+// statement execution only; the round-trip (network) delay is charged
+// outside it. Call before Listen.
+func (s *Server) SetMaxConcurrent(n int) {
+	if n <= 0 {
+		s.sem = nil
+		return
+	}
+	s.sem = make(chan struct{}, n)
+}
+
 func (s *Server) serve(req *Request, cursors map[int64]*cursor, stmts map[int64]*sqldb.PreparedStmt) *Response {
 	s.sleep(s.profile.RoundTrip)
+	if s.sem != nil {
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+	}
 	switch req.Kind {
 	case ReqPing:
 		s.sleep(s.profile.PerStatement)
