@@ -49,11 +49,22 @@ func embeddedExecutor(db *sqldb.DB) sqlgen.ExecutorFunc {
 	}
 }
 
-// startServer launches a wire server over a fresh database with the COSY
-// schema created, and returns a connected client.
+// uncachedDB returns a fresh database with the result cache disabled. Every
+// benchmark that measures repeated executions of the same statements uses it:
+// with the cache on, iterations after the first would be answered from the
+// result cache and the benchmark would measure the cache instead of the
+// pipeline it exists for. Only E11 (BenchmarkCachedAnalyze) runs cache-on.
+func uncachedDB() *sqldb.DB {
+	db := sqldb.NewDB()
+	db.SetResultCacheSize(0)
+	return db
+}
+
+// startServer launches a wire server over a fresh cache-disabled database
+// with the COSY schema created, and returns a connected client.
 func startServer(b *testing.B, profile wire.Profile) (*sqldb.DB, *godbc.Conn) {
 	b.Helper()
-	db := sqldb.NewDB()
+	db := uncachedDB()
 	if err := sqlgen.CreateSchema(model.MustCompileSpec(), embeddedExecutor(db)); err != nil {
 		b.Fatal(err)
 	}
@@ -152,7 +163,7 @@ func BenchmarkInsertionByBackend(b *testing.B) {
 
 	b.Run("access-embedded", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			db := sqldb.NewDB()
+			db := uncachedDB()
 			if err := sqlgen.CreateSchema(world, embeddedExecutor(db)); err != nil {
 				b.Fatal(err)
 			}
@@ -260,7 +271,7 @@ func BenchmarkRecordFetch(b *testing.B) {
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(records)/float64(b.N), "ns/record")
 	})
 	b.Run("direct-embedded", func(b *testing.B) {
-		db := sqldb.NewDB()
+		db := uncachedDB()
 		exec := embeddedExecutor(db)
 		if err := sqlgen.CreateSchema(model.MustCompileSpec(), exec); err != nil {
 			b.Fatal(err)
@@ -406,7 +417,7 @@ func BenchmarkParallelAnalyze(b *testing.B) {
 		})
 	}
 
-	db := sqldb.NewDB()
+	db := uncachedDB()
 	exec := embeddedExecutor(db)
 	if err := sqlgen.CreateSchema(g.World, exec); err != nil {
 		b.Fatal(err)
@@ -440,7 +451,7 @@ func BenchmarkParallelAnalyze(b *testing.B) {
 	for _, profile := range []wire.Profile{wire.ProfilePostgres, wire.ProfileOracleRemote} {
 		for _, workers := range []int{1, 2, 4, 8} {
 			b.Run(fmt.Sprintf("sql-wire-%s/workers=%d", profile.Name, workers), func(b *testing.B) {
-				wdb := sqldb.NewDB()
+				wdb := uncachedDB()
 				if err := sqlgen.CreateSchema(g.World, embeddedExecutor(wdb)); err != nil {
 					b.Fatal(err)
 				}
@@ -496,7 +507,7 @@ func BenchmarkPreparedAnalyze(b *testing.B) {
 		for _, mode := range []string{"text", "prepared"} {
 			for _, workers := range []int{1, 4} {
 				b.Run(fmt.Sprintf("%s/%s/workers=%d", profile.Name, mode, workers), func(b *testing.B) {
-					db := sqldb.NewDB()
+					db := uncachedDB()
 					if mode == "text" {
 						db.SetPlanCacheSize(0)
 					}
@@ -567,7 +578,7 @@ func BenchmarkBatchedAnalyze(b *testing.B) {
 	for _, mode := range modes {
 		for _, workers := range []int{1, 4} {
 			b.Run(fmt.Sprintf("oracle-remote/%s/workers=%d", mode.name, workers), func(b *testing.B) {
-				db := sqldb.NewDB()
+				db := uncachedDB()
 				if err := sqlgen.CreateSchema(g.World, embeddedExecutor(db)); err != nil {
 					b.Fatal(err)
 				}
@@ -630,7 +641,7 @@ func BenchmarkShardedAnalyze(b *testing.B) {
 			addrs := make([]string, shards)
 			execs := make([]sqlgen.Executor, shards)
 			for i := 0; i < shards; i++ {
-				db := sqldb.NewDB()
+				db := uncachedDB()
 				execs[i] = embeddedExecutor(db)
 				if err := sqlgen.CreateSchema(g.World, execs[i]); err != nil {
 					b.Fatal(err)
@@ -675,6 +686,77 @@ func BenchmarkShardedAnalyze(b *testing.B) {
 				wg.Wait()
 			}
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(len(runs))/float64(b.N), "ns/run")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E11 — the result cache: the tuning-cycle workload of repeated analyses.
+// The user inspects hypotheses over an immutable run history, so the second
+// and later analyses of the same run repeat exactly the (statement × binding)
+// executions of the first. With the server's data-versioned result cache on,
+// those repeats are answered without executing — no vendor statement or
+// per-row cost, just the round trip — versus re-executing everything with the
+// cache off. Both legs warm up with one untimed analysis, so the measured
+// iterations are the "second analysis" of the cycle; reports are
+// byte-identical in both modes (see internal/core TestCached*).
+// ---------------------------------------------------------------------------
+
+func BenchmarkCachedAnalyze(b *testing.B) {
+	// The partition sweep is what the tuning cycle accumulates: a database
+	// holding many runs makes every uncached property query scan real
+	// history, which is exactly the work the cache elides on the repeat
+	// analyses. Batches of 64 keep the round-trip count (identical in both
+	// modes) small enough that execution, not latency, is the denominator.
+	g := mustGraph(b, apprentice.ScaledStencil(15, 16), 2, 4, 8, 16, 32, 64)
+	runs := g.Dataset.Versions[0].Runs
+	run := runs[len(runs)-1]
+
+	// The tuning cycle is a serial loop — the user inspects one hypothesis at
+	// a time — so the on/off comparison runs at workers=1. (Parallel workers
+	// overlap the same round-trip latency the cache elides, so they narrow
+	// the measured gap without changing what the cache saves; E7 covers the
+	// worker axis.)
+	for _, mode := range []string{"cache=off", "cache=on"} {
+		b.Run(fmt.Sprintf("oracle-remote/second-analysis/%s", mode), func(b *testing.B) {
+			db := sqldb.NewDB()
+			if mode == "cache=off" {
+				db.SetResultCacheSize(0)
+			}
+			if err := sqlgen.CreateSchema(g.World, embeddedExecutor(db)); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sqlgen.Load(g.Store, embeddedExecutor(db)); err != nil {
+				b.Fatal(err)
+			}
+			srv, err := wire.NewServer(db, wire.ProfileOracleRemote, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := srv.Listen("127.0.0.1:0"); err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			pool, err := godbc.NewPool(srv.Addr(), 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer pool.Close()
+			a := core.New(g, core.WithWorkers(1), core.WithBatchSize(wire.MaxBatch))
+			// Warm-up: the first analysis of the cycle (pays the misses).
+			if _, err := a.AnalyzeSQL(run, pool); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := a.AnalyzeSQL(run, pool)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Bottleneck() == nil {
+					b.Fatal("no bottleneck")
+				}
+			}
 		})
 	}
 }
@@ -796,7 +878,7 @@ func BenchmarkCompileProperty(b *testing.B) {
 
 func BenchmarkCompiledQueryExec(b *testing.B) {
 	g := mustGraph(b, apprentice.Stencil(), 2, 8, 32)
-	db := sqldb.NewDB()
+	db := uncachedDB()
 	exec := embeddedExecutor(db)
 	if err := sqlgen.CreateSchema(g.World, exec); err != nil {
 		b.Fatal(err)

@@ -53,6 +53,7 @@ func main() {
 	preloaded := flag.Bool("preloaded", false, "assume the -db servers already hold the dataset (e.g. ingested by apprentice with the same workload, sizes, and seed); skip schema creation and loading")
 	fetchSize := flag.Int("fetchsize", 0, "rows per cursor fetch on pooled connections (the JDBC row-at-a-time default is 1); omit to keep the default")
 	batchSize := flag.Int("batchsize", 0, "context instances per batched request on the sql engine; 1 disables batching, omit for the default (32)")
+	cache := flag.String("cache", "on", "result cache of the in-process database: on or off (kojakdb servers configure theirs with -cache-size)")
 	flag.Parse()
 
 	validateFlags()
@@ -107,6 +108,9 @@ func main() {
 	if *preloaded && len(shardAddrs) == 0 {
 		usageError("-preloaded requires -db (the in-process database starts empty)")
 	}
+	if *cache == "off" && len(shardAddrs) > 0 {
+		usageError("-cache=off only reaches the in-process database; configure the servers with kojakdb -cache-size 0")
+	}
 
 	// The SQL engines need a loaded database: in process by default, a
 	// pooled kojakdb server, or a set of kojakdb shards loaded run-wise.
@@ -153,6 +157,9 @@ func main() {
 			q = pool
 		default:
 			db := sqldb.NewDB()
+			if *cache == "off" {
+				db.SetResultCacheSize(0)
+			}
 			exec := sqlgen.ExecutorFunc(func(s string, p *sqldb.Params) (int, error) {
 				res, err := db.Exec(s, p)
 				if err != nil {
@@ -218,6 +225,7 @@ func validateFlags() {
 	check("batchsize", atLeast1, "must be at least 1 (1 disables batching; omit the flag for the default)")
 	check("fetchsize", atLeast1, "must be at least 1 (omit the flag for the default)")
 	check("db", func(s string) bool { return strings.TrimSpace(s) != "" }, "must name at least one kojakdb address")
+	check("cache", func(s string) bool { return s == "on" || s == "off" }, "must be on or off")
 	check("nope", atLeast1, "must be at least 1 (omit the flag for the largest run)")
 	nonNegative := func(s string) bool { var f float64; _, err := fmt.Sscanf(s, "%g", &f); return err == nil && f >= 0 }
 	check("threshold", nonNegative, "must not be negative")

@@ -40,6 +40,7 @@ func main() {
 	shardID := flag.Int("shard-id", 0, "this instance's shard index in a sharded deployment (0-based)")
 	shards := flag.Int("shards", 1, "total shard count of the deployment this instance belongs to")
 	maxConcurrent := flag.Int("max-concurrent", 0, "statements executed simultaneously; 0 means unbounded")
+	cacheSize := flag.Int("cache-size", sqldb.DefaultResultCacheSize, "result-cache capacity in cached SELECT results; 0 disables the cache")
 	flag.Parse()
 
 	switch {
@@ -53,6 +54,8 @@ func main() {
 		usageError("-shard-id %d outside the shard range [0,%d)", *shardID, *shards)
 	case *maxConcurrent < 0:
 		usageError("-max-concurrent must not be negative, got %d", *maxConcurrent)
+	case *cacheSize < 0:
+		usageError("-cache-size must not be negative, got %d (0 disables the cache)", *cacheSize)
 	case *drain < 0:
 		usageError("-drain must not be negative, got %v", *drain)
 	}
@@ -63,6 +66,7 @@ func main() {
 	}
 
 	db := sqldb.NewDB()
+	db.SetResultCacheSize(*cacheSize)
 	if *schema {
 		world := model.MustCompileSpec()
 		exec := sqlgen.ExecutorFunc(func(q string, p *sqldb.Params) (int, error) {
@@ -124,6 +128,8 @@ func main() {
 		st.PreparedLive, st.Replans)
 	fmt.Printf("kojakdb: batched execution: %d batches carrying %d bindings\n",
 		st.BatchExecs, st.BatchBindings)
+	fmt.Printf("kojakdb: result cache: %d hits, %d misses, %d invalidations, %d evictions (%d cached results)\n",
+		st.ResultCacheHits, st.ResultCacheMisses, st.ResultCacheInvalidations, st.ResultCacheEvictions, st.ResultCacheEntries)
 }
 
 // usageError reports a bad flag value and exits with the conventional usage

@@ -211,6 +211,9 @@ func (s profiledStmt) ExecQueryBatch(bindings []*sqldb.Params) ([]sqlgen.BatchQu
 	}
 	var delay time.Duration
 	for _, r := range results {
+		if r.Err == nil && r.Res.Cached {
+			continue // the cache answered; no vendor work to charge
+		}
 		delay += s.profile.PerStatement
 		if r.Err == nil && r.Res.Set != nil {
 			delay += time.Duration(len(r.Res.Set.Rows)) * s.profile.PerRowRead

@@ -1,0 +1,118 @@
+package godbc
+
+// Result-cache statistics. The cache itself lives server side (one per sqldb
+// engine, so every kojakdb shard caches independently); this file surfaces
+// its counters to clients through the ReqCacheStats protocol extension, with
+// a graceful answer when the server predates it.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqldb"
+	"repro/internal/sqldb/wire"
+)
+
+// CacheStats is a snapshot of a database's result-cache counters. For a
+// sharded database it is the sum over all shards.
+type CacheStats struct {
+	Hits          int64
+	Misses        int64
+	Invalidations int64
+	Evictions     int64
+	Entries       int
+}
+
+func (cs *CacheStats) add(w *wire.CacheStats) {
+	cs.Hits += w.Hits
+	cs.Misses += w.Misses
+	cs.Invalidations += w.Invalidations
+	cs.Evictions += w.Evictions
+	cs.Entries += w.Entries
+}
+
+// cacheUnsupported recognizes the error a server without ReqCacheStats
+// returns for the unknown request kind.
+func cacheUnsupported(errText string) bool {
+	return strings.Contains(errText, "unknown request kind")
+}
+
+// CacheStats fetches the server's result-cache counters. ok is false when
+// the server predates the cache extension; the zero stats are then returned
+// without error, so callers degrade to "no cache visibility" rather than
+// failing.
+func (c *Conn) CacheStats() (stats CacheStats, ok bool, err error) {
+	resp, err := c.roundTrip(&wire.Request{Kind: wire.ReqCacheStats})
+	if err != nil {
+		return CacheStats{}, false, err
+	}
+	if resp.Err != "" {
+		if cacheUnsupported(resp.Err) {
+			return CacheStats{}, false, nil
+		}
+		return CacheStats{}, false, fmt.Errorf("godbc: %s", resp.Err)
+	}
+	if resp.Cache == nil {
+		return CacheStats{}, false, nil
+	}
+	stats.add(resp.Cache)
+	return stats, true, nil
+}
+
+// CacheStats fetches the server's result-cache counters on a pooled
+// connection.
+func (p *Pool) CacheStats() (CacheStats, bool, error) {
+	c, err := p.Get()
+	if err != nil {
+		return CacheStats{}, false, err
+	}
+	defer p.Put(c)
+	return c.CacheStats()
+}
+
+// CacheStats sums the result-cache counters over every shard — each shard
+// caches independently, so the merged snapshot is simply the total. ok is
+// false when any shard predates the cache extension; transport failures are
+// tagged with the dead shard's address.
+func (s *ShardedDB) CacheStats() (CacheStats, bool, error) {
+	var total CacheStats
+	ok := true
+	for i, p := range s.pools {
+		st, shardOK, err := p.CacheStats()
+		if err != nil {
+			return CacheStats{}, false, s.tag(i, err)
+		}
+		if !shardOK {
+			ok = false
+			continue
+		}
+		total.Hits += st.Hits
+		total.Misses += st.Misses
+		total.Invalidations += st.Invalidations
+		total.Evictions += st.Evictions
+		total.Entries += st.Entries
+	}
+	return total, ok, nil
+}
+
+// fromEngine converts the embedded engine's counters.
+func fromEngine(db *sqldb.DB) CacheStats {
+	st := db.Stats()
+	return CacheStats{
+		Hits:          st.ResultCacheHits,
+		Misses:        st.ResultCacheMisses,
+		Invalidations: st.ResultCacheInvalidations,
+		Evictions:     st.ResultCacheEvictions,
+		Entries:       st.ResultCacheEntries,
+	}
+}
+
+// CacheStats reads the in-process engine's result-cache counters directly.
+func (e Embedded) CacheStats() (CacheStats, bool, error) {
+	return fromEngine(e.DB), true, nil
+}
+
+// CacheStats reads the in-process engine's result-cache counters directly.
+func (e ProfiledEmbedded) CacheStats() (CacheStats, bool, error) {
+	return fromEngine(e.DB), true, nil
+}

@@ -337,11 +337,14 @@ func (e ProfiledEmbedded) Exec(query string, params *sqldb.Params) (Result, erro
 	if err != nil {
 		return Result{}, err
 	}
-	wire.Delay(e.Profile.PerPrepare + e.Profile.PerStatement + time.Duration(res.Affected)*e.Profile.PerRowWrite)
+	if !res.Cached {
+		wire.Delay(e.Profile.PerPrepare + e.Profile.PerStatement + time.Duration(res.Affected)*e.Profile.PerRowWrite)
+	}
 	return Result{Affected: res.Affected}, nil
 }
 
-// ExecQuery implements Executor.
+// ExecQuery implements Executor. A result the engine's cache answered skips
+// the vendor delays — the modeled driver never compiled or executed anything.
 func (e ProfiledEmbedded) ExecQuery(query string, params *sqldb.Params) (*sqldb.ResultSet, error) {
 	res, err := e.DB.Exec(query, params)
 	if err != nil {
@@ -350,7 +353,9 @@ func (e ProfiledEmbedded) ExecQuery(query string, params *sqldb.Params) (*sqldb.
 	if res.Set == nil {
 		return nil, fmt.Errorf("godbc: statement produced no result set")
 	}
-	wire.Delay(e.Profile.PerPrepare + e.Profile.PerStatement + time.Duration(len(res.Set.Rows))*e.Profile.PerRowRead)
+	if !res.Cached {
+		wire.Delay(e.Profile.PerPrepare + e.Profile.PerStatement + time.Duration(len(res.Set.Rows))*e.Profile.PerRowRead)
+	}
 	return res.Set, nil
 }
 

@@ -244,7 +244,9 @@ func (s profiledStmt) ExecQuery(params *sqldb.Params) (*sqldb.ResultSet, error) 
 	if res.Set == nil {
 		return nil, fmt.Errorf("godbc: statement produced no result set")
 	}
-	wire.Delay(s.profile.PerStatement + time.Duration(len(res.Set.Rows))*s.profile.PerRowRead)
+	if !res.Cached {
+		wire.Delay(s.profile.PerStatement + time.Duration(len(res.Set.Rows))*s.profile.PerRowRead)
+	}
 	return res.Set, nil
 }
 

@@ -70,14 +70,29 @@ func (db *DB) execBatch(plan *stmtPlan, bindings []*Params, out []BatchResult) e
 		if err := db.planFresh(plan); err != nil {
 			return err
 		}
+		// The batch is the natural cache unit: each binding is looked up in
+		// the result cache individually, and only the misses execute. All
+		// bindings share one data-version snapshot — the shared statement
+		// lock is held for the whole batch, so no DML can move the versions
+		// between the first lookup and the last store.
 		for i, params := range bindings {
+			key, dataVer, cacheable := db.cacheKeyFor(plan, params)
+			if cacheable {
+				if set, hit := db.lookupResult(key, plan.version, dataVer); hit {
+					out[i] = BatchResult{Res: &Result{Set: set, Cached: true}}
+					continue
+				}
+			}
 			ec := &execCtx{db: db, params: params, plan: plan}
 			set, err := ec.execSelect(st, nil)
 			if err != nil {
 				out[i] = BatchResult{Err: err}
-			} else {
-				out[i] = BatchResult{Res: &Result{Set: set}}
+				continue
 			}
+			if cacheable {
+				db.storeResult(key, plan.version, dataVer, set)
+			}
+			out[i] = BatchResult{Res: &Result{Set: set}}
 		}
 		return nil
 	case *InsertStmt, *UpdateStmt, *DeleteStmt:

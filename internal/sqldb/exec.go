@@ -26,6 +26,10 @@ type Result struct {
 	Set *ResultSet
 	// Affected counts inserted, updated, or deleted rows.
 	Affected int
+	// Cached reports that Set was served from the result cache instead of
+	// being executed (see resultcache.go). Cached sets are shared; treat
+	// them as read-only.
+	Cached bool
 }
 
 // Exec executes one SQL statement. Statement plans are cached by query text
@@ -95,6 +99,7 @@ func (db *DB) execStmt(stmt Stmt, params *Params, plan *stmtPlan) (*Result, erro
 		db.ddl.Add(1)
 		db.mu.Unlock()
 		db.clearPlanCache()
+		db.clearResultCache()
 		return &Result{}, nil
 	case *InsertStmt:
 		return db.execInsert(st, params, plan)
@@ -109,9 +114,21 @@ func (db *DB) execStmt(stmt Stmt, params *Params, plan *stmtPlan) (*Result, erro
 		if err := db.planFresh(plan); err != nil {
 			return nil, err
 		}
+		// The result cache: the data-version stamps are read under the same
+		// shared lock the execution runs under, so a stored result is never
+		// stamped newer than the rows it was computed from.
+		key, dataVer, cacheable := db.cacheKeyFor(plan, params)
+		if cacheable {
+			if set, hit := db.lookupResult(key, plan.version, dataVer); hit {
+				return &Result{Set: set, Cached: true}, nil
+			}
+		}
 		set, err := ec.execSelect(st, nil)
 		if err != nil {
 			return nil, err
+		}
+		if cacheable {
+			db.storeResult(key, plan.version, dataVer, set)
 		}
 		return &Result{Set: set}, nil
 	}
@@ -152,6 +169,13 @@ func (db *DB) execInsertLocked(st *InsertStmt, params *Params, plan *stmtPlan) (
 	}
 	ec := &execCtx{db: db, params: params, plan: plan}
 	n := 0
+	// A multi-row INSERT that fails midway leaves its earlier rows inserted,
+	// so the data version must move whenever anything landed — error or not.
+	defer func() {
+		if n > 0 {
+			db.bumpData(t)
+		}
+	}()
 	for _, exprs := range st.Rows {
 		if len(exprs) != len(colPos) {
 			return nil, fmt.Errorf("sqldb: INSERT has %d values for %d columns", len(exprs), len(colPos))
@@ -240,6 +264,7 @@ func (db *DB) execUpdateLocked(st *UpdateStmt, params *Params, plan *stmtPlan) (
 		}
 		t.mu.Unlock()
 		t.rebuildIndexes()
+		db.bumpData(t)
 	}
 	return &Result{Affected: len(patches)}, nil
 }
@@ -293,6 +318,7 @@ func (db *DB) execDeleteLocked(st *DeleteStmt, params *Params, plan *stmtPlan) (
 		t.rows = kept
 		t.mu.Unlock()
 		t.rebuildIndexes()
+		db.bumpData(t)
 	}
 	return &Result{Affected: n}, nil
 }

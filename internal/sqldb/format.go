@@ -14,6 +14,15 @@ func FormatExpr(e Expr) string {
 	return b.String()
 }
 
+// FormatSelect renders a SELECT statement to canonical SQL text. The planner
+// uses it as the statement component of result-cache keys, so two spellings
+// of the same query share one cache slot.
+func FormatSelect(st *SelectStmt) string {
+	var b strings.Builder
+	formatSelect(&b, st)
+	return b.String()
+}
+
 func formatExpr(b *strings.Builder, e Expr) {
 	switch x := e.(type) {
 	case nil:

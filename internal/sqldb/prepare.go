@@ -3,6 +3,7 @@ package sqldb
 import (
 	"container/list"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -41,6 +42,25 @@ type stmtPlan struct {
 	// selects holds the per-SELECT plans, keyed by AST node (the statement
 	// tree may nest SELECTs in subqueries and IN clauses).
 	selects map[*SelectStmt]*selectPlan
+	// canonKey is the interned identity of the statement's canonical text,
+	// rendered as a result-cache key prefix; empty for statements the result
+	// cache does not serve (DML). Interning keeps keys compact — property
+	// queries run to kilobytes of SQL (see DB.canonicalID).
+	canonKey string
+	// tables lists every table the plan references (FROM and JOIN clauses of
+	// the statement and all its subqueries, deduplicated); the result cache
+	// derives an entry's freshness from their data versions.
+	tables []*Table
+}
+
+// addTable records a referenced table, deduplicating by identity.
+func (p *stmtPlan) addTable(t *Table) {
+	for _, have := range p.tables {
+		if have == t {
+			return
+		}
+	}
+	p.tables = append(p.tables, t)
 }
 
 // accessPath is a candidate index lookup for the first table of a SELECT:
@@ -195,6 +215,7 @@ func (db *DB) buildPlan(stmt Stmt) (*stmtPlan, error) {
 		if err := p.planSelect(db, st); err != nil {
 			return nil, err
 		}
+		p.canonKey = strconv.FormatInt(db.canonicalID(FormatSelect(st)), 10) + "\x1f"
 	case *InsertStmt:
 		if db.tables[strings.ToLower(st.Table)] == nil {
 			return nil, fmt.Errorf("sqldb: no table %s", st.Table)
@@ -245,6 +266,7 @@ func (p *stmtPlan) planSelect(db *DB, st *SelectStmt) error {
 		}
 		sp.from = t
 		sp.fromBinding = strings.ToLower(st.From.Binding())
+		p.addTable(t)
 		// Access paths: index-lookup candidates among the WHERE conjuncts.
 		// Whether the column is actually indexed is checked at execution,
 		// so plans stay valid when the join planner builds indexes lazily.
@@ -264,6 +286,7 @@ func (p *stmtPlan) planSelect(db *DB, st *SelectStmt) error {
 				return fmt.Errorf("sqldb: no table %s", j.Table.Table)
 			}
 			jp := joinPlan{table: jt, binding: strings.ToLower(j.Table.Binding())}
+			p.addTable(jt)
 			jbt := &boundTable{binding: jp.binding, table: jt}
 			jp.eqCol, jp.outer, jp.rest = joinStrategy(j.On, jbt)
 			sp.joins = append(sp.joins, jp)
@@ -488,6 +511,17 @@ type Stats struct {
 	// they carried (bindings/execs is the achieved amortization factor).
 	BatchExecs    int64
 	BatchBindings int64
+	// ResultCacheHits / Misses count SELECT executions answered from (or
+	// stored into) the result cache; ResultCacheInvalidations counts entries
+	// found stale at lookup because a referenced table's data version moved
+	// (every invalidation is also counted as a miss); ResultCacheEvictions
+	// counts LRU capacity evictions. ResultCacheEntries is the current cache
+	// population (see resultcache.go).
+	ResultCacheHits          int64
+	ResultCacheMisses        int64
+	ResultCacheInvalidations int64
+	ResultCacheEvictions     int64
+	ResultCacheEntries       int
 }
 
 // Stats returns current prepared-statement and plan-cache counters.
@@ -498,6 +532,12 @@ func (db *DB) Stats() Stats {
 		entries = db.planLRU.Len()
 	}
 	db.planMu.Unlock()
+	db.resMu.Lock()
+	resEntries := 0
+	if db.resLRU != nil {
+		resEntries = db.resLRU.Len()
+	}
+	db.resMu.Unlock()
 	return Stats{
 		PlanCacheHits:      db.planHits.Load(),
 		PlanCacheMisses:    db.planMisses.Load(),
@@ -507,6 +547,12 @@ func (db *DB) Stats() Stats {
 		Replans:            db.replans.Load(),
 		BatchExecs:         db.batchExecs.Load(),
 		BatchBindings:      db.batchBindings.Load(),
+
+		ResultCacheHits:          db.resHits.Load(),
+		ResultCacheMisses:        db.resMisses.Load(),
+		ResultCacheInvalidations: db.resInvalid.Load(),
+		ResultCacheEvictions:     db.resEvicts.Load(),
+		ResultCacheEntries:       resEntries,
 	}
 }
 

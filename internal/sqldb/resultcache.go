@@ -1,0 +1,280 @@
+package sqldb
+
+import (
+	"container/list"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// The result cache. Property outcomes in the COSY tuning cycle are pure
+// functions of (query text, parameter bindings, data version): the analyzer
+// re-evaluates the same ASL property queries against an immutable run history
+// while the user inspects hypotheses, so a repeated (statement × binding) can
+// be answered from its previous result as long as no referenced table changed.
+//
+// Mutation visibility is tracked per table: every DML statement that changes
+// a table's rows stamps the table with a fresh value of the database's global
+// DML counter (bumpData), the same way DDL bumps the schema version. Because
+// the stamps come from one monotonically increasing counter, the maximum
+// stamp over a plan's referenced tables changes whenever ANY of those tables
+// is mutated — so one int64 per cache entry captures the freshness of an
+// arbitrary join. DML to one table invalidates only the entries whose plans
+// reference it; entries over other tables keep their stamps and keep hitting.
+//
+// Cache keys combine the canonical statement text (the parser's own
+// rendering, so spelling differences share an entry), a type-tagged parameter
+// fingerprint, and the schema version the plan was built against. Entries
+// store the version stamps they were computed at; a lookup that finds an
+// entry with stale stamps removes it and counts an invalidation. Only SELECT
+// statements executed through a plan are cached — DML is never cached, and
+// the dynamic (unplannable) path bypasses the cache entirely.
+//
+// Cached ResultSets are shared between the cache and every caller that hits
+// it; like the row snapshots returned by scan, they must be treated as
+// read-only.
+
+// DefaultResultCacheSize is the capacity of the per-DB result cache. An
+// analysis produces one entry per property instance (a few thousand on a
+// large region tree), and entries are small (property queries return one
+// row), so the default is sized to hold a whole tuning-cycle working set; a
+// capacity below the instance count would thrash the LRU and hit nothing on
+// the repeat analysis.
+const DefaultResultCacheSize = 4096
+
+// resultCacheEntry is one LRU slot: the result and the versions it was
+// computed at.
+type resultCacheEntry struct {
+	key       string
+	schemaVer int64 // schema version of the plan that produced the result
+	dataVer   int64 // max data-version stamp of the plan's referenced tables
+	set       *ResultSet
+}
+
+// cacheFields groups the DB's result-cache state; embedded in DB.
+type cacheFields struct {
+	// dml is the global DML counter: every mutating statement stamps its
+	// table with dml.Add(1), making per-table data versions comparable.
+	dml atomic.Int64
+
+	resMu  sync.Mutex
+	resCap int
+	resLRU *list.List
+	resIdx map[string]*list.Element
+	// resOn mirrors resCap > 0 for a lock-free disabled-path check.
+	resOn atomic.Bool
+
+	resHits    atomic.Int64
+	resMisses  atomic.Int64
+	resInvalid atomic.Int64
+	resEvicts  atomic.Int64
+
+	// canonMu guards the canonical-text intern table. Property queries run to
+	// many kilobytes of SQL; hashing that per lookup (under resMu, on every
+	// binding of every batch) would serialize the cache, so each distinct
+	// canonical text is interned to a small integer once, at plan time, and
+	// cache keys carry the integer. nextCanon is the id source; it never
+	// resets, so an id never names two different texts even across table
+	// resets (see canonicalID).
+	canonMu   sync.Mutex
+	canonIDs  map[string]int64
+	nextCanon int64
+}
+
+// canonInternCap bounds the intern table. Ad-hoc SELECTs with inline
+// literals produce unboundedly many distinct texts on a long-running server;
+// when the table fills, it is reset rather than grown. Plans built earlier
+// keep their already-derived keys, and a re-planned text re-interning to a
+// fresh id merely orphans its old cache entries for the LRU to evict.
+const canonInternCap = 8192
+
+// initResultCache sets up the cache containers; called from NewDB.
+func (db *DB) initResultCache() {
+	db.resCap = DefaultResultCacheSize
+	db.resOn.Store(true)
+	db.resLRU = list.New()
+	db.resIdx = make(map[string]*list.Element)
+	db.canonIDs = make(map[string]int64)
+}
+
+// canonicalID interns a canonical statement text, returning its stable
+// small-integer identity. Exact string match in the table guarantees two
+// distinct texts never share an id, and the monotone id source guarantees an
+// id never names two different texts, so compact keys stay collision-free.
+// Called once per plan build.
+func (db *DB) canonicalID(text string) int64 {
+	db.canonMu.Lock()
+	defer db.canonMu.Unlock()
+	if id, ok := db.canonIDs[text]; ok {
+		return id
+	}
+	if len(db.canonIDs) >= canonInternCap {
+		clear(db.canonIDs)
+	}
+	db.nextCanon++
+	db.canonIDs[text] = db.nextCanon
+	return db.nextCanon
+}
+
+// SetResultCacheSize bounds the result cache; n <= 0 disables caching and
+// clears it (every SELECT then executes from scratch, the cache-off baseline
+// configuration the E11 benchmarks compare against).
+func (db *DB) SetResultCacheSize(n int) {
+	db.resMu.Lock()
+	defer db.resMu.Unlock()
+	db.resCap = n
+	db.resOn.Store(n > 0)
+	for db.resLRU.Len() > max(db.resCap, 0) {
+		last := db.resLRU.Back()
+		entry := last.Value.(*resultCacheEntry)
+		db.resLRU.Remove(last)
+		delete(db.resIdx, entry.key)
+		db.resEvicts.Add(1)
+	}
+}
+
+// clearResultCache drops every cached result. Called on DDL: entries built
+// against the old schema could never hit again (the schema version is part of
+// every freshness check), so reclaiming their memory at once beats letting
+// them age out of the LRU one stale lookup at a time.
+func (db *DB) clearResultCache() {
+	db.resMu.Lock()
+	defer db.resMu.Unlock()
+	db.resLRU.Init()
+	clear(db.resIdx)
+}
+
+// bumpData stamps a table with a fresh data version. Called by every DML
+// statement that changed the table's rows, under the exclusive statement
+// lock, so readers holding the shared lock always see stamps consistent with
+// the data.
+func (db *DB) bumpData(t *Table) {
+	t.dataVer.Store(db.dml.Add(1))
+}
+
+// cacheKeyFor derives the result-cache key and the current data-version
+// stamp of a planned SELECT, or ok=false when the statement is not cacheable
+// (no plan, not a SELECT, or the cache is disabled). Must be called with
+// db.mu held at least shared, so the stamps read here are consistent with
+// the rows the execution will see.
+func (db *DB) cacheKeyFor(plan *stmtPlan, params *Params) (key string, dataVer int64, ok bool) {
+	if plan == nil || plan.canonKey == "" || !db.resOn.Load() {
+		return "", 0, false
+	}
+	for _, t := range plan.tables {
+		if v := t.dataVer.Load(); v > dataVer {
+			dataVer = v
+		}
+	}
+	return plan.canonKey + fingerprintParams(params), dataVer, true
+}
+
+// lookupResult returns the cached result for the key if its versions are
+// still current. A present-but-stale entry is removed and counted as an
+// invalidation (and a miss); an absent entry is just a miss.
+func (db *DB) lookupResult(key string, schemaVer, dataVer int64) (*ResultSet, bool) {
+	db.resMu.Lock()
+	defer db.resMu.Unlock()
+	el, found := db.resIdx[key]
+	if found {
+		entry := el.Value.(*resultCacheEntry)
+		if entry.schemaVer == schemaVer && entry.dataVer == dataVer {
+			db.resLRU.MoveToFront(el)
+			db.resHits.Add(1)
+			return entry.set, true
+		}
+		db.resLRU.Remove(el)
+		delete(db.resIdx, key)
+		db.resInvalid.Add(1)
+	}
+	db.resMisses.Add(1)
+	return nil, false
+}
+
+// storeResult inserts a freshly computed result. The versions must be the
+// ones read by cacheKeyFor before the execution ran (under the same shared
+// statement lock), so a result never gets stamped newer than the data it was
+// computed from.
+func (db *DB) storeResult(key string, schemaVer, dataVer int64, set *ResultSet) {
+	db.resMu.Lock()
+	defer db.resMu.Unlock()
+	if db.resCap <= 0 {
+		return
+	}
+	if el, ok := db.resIdx[key]; ok {
+		// A concurrent execution of the same (statement × binding) stored
+		// first; adopt its entry.
+		el.Value.(*resultCacheEntry).set = set
+		el.Value.(*resultCacheEntry).schemaVer = schemaVer
+		el.Value.(*resultCacheEntry).dataVer = dataVer
+		db.resLRU.MoveToFront(el)
+		return
+	}
+	db.resIdx[key] = db.resLRU.PushFront(&resultCacheEntry{key: key, schemaVer: schemaVer, dataVer: dataVer, set: set})
+	for db.resLRU.Len() > db.resCap {
+		last := db.resLRU.Back()
+		entry := last.Value.(*resultCacheEntry)
+		db.resLRU.Remove(last)
+		delete(db.resIdx, entry.key)
+		db.resEvicts.Add(1)
+	}
+}
+
+// fingerprintParams renders a parameter set to a deterministic, type-tagged
+// key fragment. Unlike Value.Key (which folds 1 and 1.0 together to match
+// comparison semantics), the fingerprint keeps types distinct: an INTEGER and
+// an integral REAL binding can behave differently in type-sensitive
+// expressions (%, ||), so they must not share a cache slot.
+func fingerprintParams(p *Params) string {
+	if p == nil || (len(p.Positional) == 0 && len(p.Named) == 0) {
+		return ""
+	}
+	var b strings.Builder
+	for _, v := range p.Positional {
+		fingerprintValue(&b, v)
+	}
+	if len(p.Named) > 0 {
+		names := make([]string, 0, len(p.Named))
+		for name := range p.Named {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		b.WriteByte('$')
+		for _, name := range names {
+			b.WriteString(name)
+			b.WriteByte('=')
+			fingerprintValue(&b, p.Named[name])
+		}
+	}
+	return b.String()
+}
+
+func fingerprintValue(b *strings.Builder, v Value) {
+	switch {
+	case v.IsNull():
+		b.WriteByte('n')
+	case v.IsInt():
+		b.WriteByte('i')
+		b.WriteString(strconv.FormatInt(v.Int(), 10))
+	case v.IsNumeric():
+		b.WriteByte('f')
+		b.WriteString(strconv.FormatFloat(v.Float(), 'b', -1, 64))
+	case v.IsText():
+		// Length-prefixed: text may contain any byte, including the value
+		// terminator, and must not be able to impersonate a value sequence.
+		b.WriteByte('t')
+		b.WriteString(strconv.Itoa(len(v.Text())))
+		b.WriteByte(':')
+		b.WriteString(v.Text())
+	default:
+		b.WriteByte('b')
+		if v.Bool() {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	b.WriteByte(0)
+}

@@ -1,0 +1,278 @@
+package sqldb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// resultCacheDB builds a two-table database standing in for one partitioned
+// and one replicated COSY table.
+func resultCacheDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	db.MustExec(`CREATE TABLE typed (id INTEGER PRIMARY KEY, run_id INTEGER, time REAL)`, nil)
+	db.MustExec(`CREATE TABLE total (id INTEGER PRIMARY KEY, run_id INTEGER, excl REAL)`, nil)
+	db.MustExec(`INSERT INTO typed (id, run_id, time) VALUES (1, 1, 1.0), (2, 1, 2.0), (3, 2, 4.0)`, nil)
+	db.MustExec(`INSERT INTO total (id, run_id, excl) VALUES (1, 1, 10.0), (2, 2, 20.0)`, nil)
+	return db
+}
+
+func resultCacheStats(db *DB) (hits, misses, invalidations int64) {
+	st := db.Stats()
+	return st.ResultCacheHits, st.ResultCacheMisses, st.ResultCacheInvalidations
+}
+
+func TestResultCacheHitsRepeatedExec(t *testing.T) {
+	db := resultCacheDB(t)
+	const q = `SELECT SUM(time) FROM typed WHERE run_id = $r`
+	params := &Params{Named: map[string]Value{"r": NewInt(1)}}
+	first := db.MustExec(q, params)
+	if first.Cached {
+		t.Fatal("first execution reported as cached")
+	}
+	second := db.MustExec(q, params)
+	if !second.Cached {
+		t.Fatal("second execution missed the cache")
+	}
+	if got, want := second.Set.Rows[0][0].Float(), 3.0; got != want {
+		t.Fatalf("cached sum = %g, want %g", got, want)
+	}
+	if hits, _, _ := resultCacheStats(db); hits != 1 {
+		t.Fatalf("hits = %d, want 1", hits)
+	}
+}
+
+func TestResultCachePreparedAndAdHocShareEntries(t *testing.T) {
+	db := resultCacheDB(t)
+	const q = `SELECT SUM(time) FROM typed WHERE run_id = $r`
+	params := &Params{Named: map[string]Value{"r": NewInt(2)}}
+	ps, err := db.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	if res, err := ps.Execute(params); err != nil || res.Cached {
+		t.Fatalf("prepared warm-up: cached=%v err=%v", res != nil && res.Cached, err)
+	}
+	// The ad-hoc execution of the same text and binding must hit the entry
+	// the prepared execution stored: the key is the canonical statement, not
+	// the handle.
+	if res := db.MustExec(q, params); !res.Cached {
+		t.Fatal("ad-hoc execution after prepared execution missed the cache")
+	}
+}
+
+// TestDMLInvalidatesOnlyMutatedTable is the per-table granularity contract:
+// DML to one table invalidates that table's cached results while entries over
+// other tables keep hitting.
+func TestDMLInvalidatesOnlyMutatedTable(t *testing.T) {
+	for _, dml := range []string{
+		`INSERT INTO typed (id, run_id, time) VALUES (9, 2, 8.0)`,
+		`UPDATE typed SET time = time * 2 WHERE run_id = 1`,
+		`DELETE FROM typed WHERE id = 3`,
+	} {
+		t.Run(dml[:6], func(t *testing.T) {
+			db := resultCacheDB(t)
+			const qTyped = `SELECT SUM(time) FROM typed`
+			const qTotal = `SELECT SUM(excl) FROM total`
+			before := db.MustExec(qTyped, nil).Set.Rows[0][0].Float()
+			db.MustExec(qTotal, nil)
+
+			db.MustExec(dml, nil)
+
+			typed := db.MustExec(qTyped, nil)
+			if typed.Cached {
+				t.Fatalf("%s: stale typed result served from cache", dml)
+			}
+			if typed.Set.Rows[0][0].Float() == before {
+				t.Fatalf("%s: DML did not change the observed sum; the test is vacuous", dml)
+			}
+			total := db.MustExec(qTotal, nil)
+			if !total.Cached {
+				t.Fatalf("%s: the untouched table's entry did not survive", dml)
+			}
+			if _, _, inv := resultCacheStats(db); inv != 1 {
+				t.Fatalf("%s: invalidations = %d, want 1", dml, inv)
+			}
+		})
+	}
+}
+
+func TestJoinInvalidatedByEitherTable(t *testing.T) {
+	db := resultCacheDB(t)
+	const q = `SELECT COUNT(*) FROM typed ty JOIN total to2 ON to2.run_id = ty.run_id`
+	db.MustExec(q, nil)
+	if !db.MustExec(q, nil).Cached {
+		t.Fatal("join did not cache")
+	}
+	db.MustExec(`INSERT INTO total (id, run_id, excl) VALUES (3, 1, 5.0)`, nil)
+	res := db.MustExec(q, nil)
+	if res.Cached {
+		t.Fatal("join served stale result after mutating the second table")
+	}
+	if got := res.Set.Rows[0][0].Int(); got != 5 {
+		t.Fatalf("post-DML join count = %d, want 5", got)
+	}
+}
+
+func TestDDLClearsResultCache(t *testing.T) {
+	db := resultCacheDB(t)
+	const q = `SELECT COUNT(*) FROM typed`
+	db.MustExec(q, nil)
+	db.MustExec(`CREATE TABLE other (id INTEGER)`, nil)
+	if st := db.Stats(); st.ResultCacheEntries != 0 {
+		t.Fatalf("entries after DDL = %d, want 0", st.ResultCacheEntries)
+	}
+	if db.MustExec(q, nil).Cached {
+		t.Fatal("cache hit straight after DDL cleared it")
+	}
+	if !db.MustExec(q, nil).Cached {
+		t.Fatal("cache did not repopulate after DDL")
+	}
+}
+
+func TestResultCacheParamTypeSensitivity(t *testing.T) {
+	db := resultCacheDB(t)
+	// 1 and 1.0 compare equal, but type-sensitive expressions can tell them
+	// apart, so the fingerprints must differ.
+	const q = `SELECT COUNT(*) FROM typed WHERE run_id = $r`
+	db.MustExec(q, &Params{Named: map[string]Value{"r": NewInt(1)}})
+	res := db.MustExec(q, &Params{Named: map[string]Value{"r": NewFloat(1.0)}})
+	if res.Cached {
+		t.Fatal("REAL binding hit the INTEGER binding's entry")
+	}
+	if res := db.MustExec(q, &Params{Named: map[string]Value{"r": NewInt(1)}}); !res.Cached {
+		t.Fatal("INTEGER binding's own entry was lost")
+	}
+}
+
+func TestResultCacheDisabled(t *testing.T) {
+	db := resultCacheDB(t)
+	db.SetResultCacheSize(0)
+	const q = `SELECT COUNT(*) FROM typed`
+	db.MustExec(q, nil)
+	if db.MustExec(q, nil).Cached {
+		t.Fatal("disabled cache served a result")
+	}
+	if hits, misses, _ := resultCacheStats(db); hits != 0 || misses != 0 {
+		t.Fatalf("disabled cache counted traffic: hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestResultCacheEviction(t *testing.T) {
+	db := resultCacheDB(t)
+	db.SetResultCacheSize(2)
+	for i := 0; i < 3; i++ {
+		q := fmt.Sprintf(`SELECT COUNT(*) FROM typed WHERE run_id = %d`, i)
+		db.MustExec(q, nil)
+	}
+	st := db.Stats()
+	if st.ResultCacheEntries != 2 {
+		t.Fatalf("entries = %d, want 2", st.ResultCacheEntries)
+	}
+	if st.ResultCacheEvictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.ResultCacheEvictions)
+	}
+	// The oldest entry (run_id = 0) was evicted; the newest still hits.
+	if !db.MustExec(`SELECT COUNT(*) FROM typed WHERE run_id = 2`, nil).Cached {
+		t.Fatal("newest entry evicted")
+	}
+	if db.MustExec(`SELECT COUNT(*) FROM typed WHERE run_id = 0`, nil).Cached {
+		t.Fatal("evicted entry still present")
+	}
+}
+
+func TestExecuteBatchCachesPerBinding(t *testing.T) {
+	db := resultCacheDB(t)
+	ps, err := db.Prepare(`SELECT SUM(time) FROM typed WHERE run_id = $r`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	bindings := []*Params{
+		{Named: map[string]Value{"r": NewInt(1)}},
+		{Named: map[string]Value{"r": NewInt(2)}},
+		{Named: map[string]Value{"r": NewInt(1)}}, // repeat within the batch
+	}
+	first, err := ps.ExecuteBatch(bindings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The repeated binding hits within its own batch; the distinct ones miss.
+	if first[0].Res.Cached || first[1].Res.Cached || !first[2].Res.Cached {
+		t.Fatalf("first batch cached flags: %v %v %v", first[0].Res.Cached, first[1].Res.Cached, first[2].Res.Cached)
+	}
+	second, err := ps.ExecuteBatch(bindings[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range second {
+		if r.Err != nil || !r.Res.Cached {
+			t.Fatalf("second batch binding %d not cached: %+v", i, r)
+		}
+	}
+	if second[0].Res.Set.Rows[0][0].Float() != 3.0 || second[1].Res.Set.Rows[0][0].Float() != 4.0 {
+		t.Fatalf("cached batch values wrong: %v", second)
+	}
+}
+
+func TestCanonicalInternTableBounded(t *testing.T) {
+	db := NewDB()
+	first := db.canonicalID("SELECT 1")
+	for i := 0; i < canonInternCap; i++ {
+		db.canonicalID(fmt.Sprintf("SELECT %d FROM x", i))
+	}
+	if len(db.canonIDs) > canonInternCap {
+		t.Fatalf("intern table grew to %d entries, cap is %d", len(db.canonIDs), canonInternCap)
+	}
+	// The reset dropped "SELECT 1"; re-interning must yield a fresh id, never
+	// reuse one — an id naming two texts would alias cache entries.
+	if again := db.canonicalID("SELECT 1"); again <= first {
+		t.Fatalf("id %d reused or reissued after reset (first was %d)", again, first)
+	}
+}
+
+func TestResultCacheConcurrentReadersAndWriters(t *testing.T) {
+	db := resultCacheDB(t)
+	ps, err := db.Prepare(`SELECT SUM(time) FROM typed`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				res, err := ps.Execute(nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Whether cached or not, the sum must be one the table
+				// actually held at some point: monotone under inserts.
+				if res.Set.Rows[0][0].Float() < 7.0 {
+					t.Errorf("sum went backwards: %v", res.Set.Rows[0][0])
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			db.MustExec(fmt.Sprintf(`INSERT INTO typed (id, run_id, time) VALUES (%d, 3, 1.0)`, 100+i), nil)
+		}
+	}()
+	wg.Wait()
+	res, err := ps.Execute(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Set.Rows[0][0].Float(), 7.0+20.0; got != want {
+		t.Fatalf("final sum = %g, want %g", got, want)
+	}
+}

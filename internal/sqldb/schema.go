@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Column describes one table column.
@@ -48,6 +49,11 @@ type Table struct {
 	indexes map[int]map[string][]int
 	// primary is the position of the primary-key column, or -1.
 	primary int
+	// dataVer is the table's data version: every DML statement that changed
+	// this table's rows stamps it with a fresh value of the database's global
+	// DML counter (see DB.bumpData and resultcache.go). Index builds do not
+	// touch it — they change access paths, not results.
+	dataVer atomic.Int64
 }
 
 func newTable(name string, cols []Column) (*Table, error) {
@@ -201,12 +207,17 @@ type DB struct {
 	// planFields carries the prepared-statement machinery: the schema
 	// version, the ad-hoc plan cache, and its counters (see prepare.go).
 	planFields
+	// cacheFields carries the result cache: the global DML counter behind
+	// the per-table data versions, the LRU of cached SELECT results, and its
+	// counters (see resultcache.go).
+	cacheFields
 }
 
 // NewDB returns an empty database.
 func NewDB() *DB {
 	db := &DB{tables: make(map[string]*Table)}
 	db.initPlanCache()
+	db.initResultCache()
 	return db
 }
 
@@ -243,6 +254,7 @@ func (db *DB) createTable(name string, cols []Column) error {
 	db.tables[key] = t
 	db.ddl.Add(1)
 	db.clearPlanCache()
+	db.clearResultCache()
 	return nil
 }
 
@@ -256,5 +268,6 @@ func (db *DB) dropTable(name string) error {
 	delete(db.tables, key)
 	db.ddl.Add(1)
 	db.clearPlanCache()
+	db.clearResultCache()
 	return nil
 }

@@ -28,6 +28,7 @@ const (
 	ReqExecPrepared                     // execute a prepared handle, inline result
 	ReqClosePrepared                    // discard a statement handle
 	ReqExecBatch                        // execute a prepared handle once per binding, inline results
+	ReqCacheStats                       // fetch the server's result-cache counters
 )
 
 // MaxBatch is the largest number of parameter bindings one ReqExecBatch may
@@ -109,6 +110,19 @@ type BatchItem struct {
 	Columns  []string
 	Rows     [][]WireValue
 	Affected int
+	// Cached marks a binding answered from the server's result cache. Gob
+	// drops fields the receiver does not know, so pre-cache clients decode
+	// these items unchanged.
+	Cached bool
+}
+
+// CacheStats is the result-cache counter snapshot a ReqCacheStats returns.
+type CacheStats struct {
+	Hits          int64
+	Misses        int64
+	Invalidations int64
+	Evictions     int64
+	Entries       int
 }
 
 // Response is a server message.
@@ -124,6 +138,13 @@ type Response struct {
 	Done bool
 	// Items holds the per-binding outcomes of a ReqExecBatch.
 	Items []BatchItem
+	// CacheHits counts how many of this reply's results were served from the
+	// server's result cache (0 or 1 for single executions, up to the binding
+	// count for a batch). Pre-cache servers never set it; pre-cache clients
+	// ignore it — gob tolerates the field being absent on either side.
+	CacheHits int
+	// Cache is the counter snapshot answering a ReqCacheStats.
+	Cache *CacheStats
 }
 
 // Codec frames gob messages on a stream.

@@ -31,6 +31,9 @@ type Server struct {
 	// noBatch makes the server answer ReqExecBatch like a pre-batch server
 	// (an unknown-request-kind error), for exercising client fallback.
 	noBatch atomic.Bool
+	// noCacheStats does the same for ReqCacheStats, for exercising the
+	// pre-cache fallback of godbc's CacheStats.
+	noCacheStats atomic.Bool
 
 	// sem, when non-nil, bounds how many statements the server executes
 	// simultaneously (see SetMaxConcurrent).
@@ -235,6 +238,18 @@ func (s *Server) serve(req *Request, cursors map[int64]*cursor, stmts map[int64]
 			break // answer as a server without the batch extension would
 		}
 		return s.serveExecBatch(req, stmts)
+	case ReqCacheStats:
+		if s.noCacheStats.Load() {
+			break // answer as a server without the cache extension would
+		}
+		st := s.db.Stats()
+		return &Response{Cache: &CacheStats{
+			Hits:          st.ResultCacheHits,
+			Misses:        st.ResultCacheMisses,
+			Invalidations: st.ResultCacheInvalidations,
+			Evictions:     st.ResultCacheEvictions,
+			Entries:       st.ResultCacheEntries,
+		}}
 	}
 	return &Response{Err: fmt.Sprintf("wire: unknown request kind %d", req.Kind)}
 }
@@ -243,6 +258,11 @@ func (s *Server) serve(req *Request, cursors map[int64]*cursor, stmts map[int64]
 // pre-batch server produces for an unknown request kind; clients then fall
 // back to per-execution round trips. Used to test that fallback.
 func (s *Server) DisableBatch() { s.noBatch.Store(true) }
+
+// DisableCacheStats makes the server reject ReqCacheStats like a server that
+// predates the result cache; godbc's CacheStats then reports the counters as
+// unavailable. Used to test that fallback.
+func (s *Server) DisableCacheStats() { s.noCacheStats.Store(true) }
 
 func toParams(req *Request) *sqldb.Params {
 	return bindParams(req.Pos, req.Named)
@@ -267,10 +287,18 @@ func (s *Server) serveExec(req *Request) *Response {
 	if err != nil {
 		return &Response{Err: err.Error()}
 	}
+	resp := &Response{Affected: res.Affected, Done: true}
+	if res.Cached {
+		// The result cache answered before the vendor's compiler or executor
+		// ran: only the round trip (already charged in serve) applies.
+		resp.CacheHits = 1
+		resp.Columns = res.Set.Columns
+		resp.Rows = encodeRows(res.Set.Rows)
+		return resp
+	}
 	// A text-protocol execution compiles the statement anew every time, so
 	// it is charged the prepare cost on top of the per-statement overhead.
 	s.sleep(s.profile.PerPrepare + s.profile.PerStatement + time.Duration(res.Affected)*s.profile.PerRowWrite)
-	resp := &Response{Affected: res.Affected, Done: true}
 	if res.Set != nil {
 		resp.Columns = res.Set.Columns
 		resp.Rows = encodeRows(res.Set.Rows)
@@ -299,10 +327,18 @@ func (s *Server) serveExecPrepared(req *Request, stmts map[int64]*sqldb.Prepared
 	if err != nil {
 		return &Response{Err: err.Error()}
 	}
+	resp := &Response{Affected: res.Affected, Done: true}
+	if res.Cached {
+		// Served from the result cache: no statement or row work happened in
+		// the modeled vendor server, so no delay beyond the round trip.
+		resp.CacheHits = 1
+		resp.Columns = res.Set.Columns
+		resp.Rows = encodeRows(res.Set.Rows)
+		return resp
+	}
 	// Executing a prepared handle skips the compile cost; only the fixed
 	// per-statement overhead and the row costs apply.
 	s.sleep(s.profile.PerStatement + time.Duration(res.Affected)*s.profile.PerRowWrite)
-	resp := &Response{Affected: res.Affected, Done: true}
 	if res.Set != nil {
 		resp.Columns = res.Set.Columns
 		resp.Rows = encodeRows(res.Set.Rows)
@@ -341,6 +377,16 @@ func (s *Server) serveExecBatch(req *Request, stmts map[int64]*sqldb.PreparedStm
 			continue
 		}
 		item := BatchItem{Affected: r.Res.Affected}
+		if r.Res.Cached {
+			// A binding the result cache answered costs the vendor server
+			// nothing beyond the (already charged, batch-wide) round trip.
+			item.Cached = true
+			item.Columns = r.Res.Set.Columns
+			item.Rows = encodeRows(r.Res.Set.Rows)
+			resp.Items[i] = item
+			resp.CacheHits++
+			continue
+		}
 		delay += s.profile.PerStatement + time.Duration(r.Res.Affected)*s.profile.PerRowWrite
 		if r.Res.Set != nil {
 			item.Columns = r.Res.Set.Columns
@@ -361,10 +407,16 @@ func (s *Server) serveQueryCursor(req *Request, cursors map[int64]*cursor) *Resp
 	if res.Set == nil {
 		return &Response{Err: "wire: statement produced no result set"}
 	}
-	s.sleep(s.profile.PerPrepare + s.profile.PerStatement)
+	if !res.Cached {
+		s.sleep(s.profile.PerPrepare + s.profile.PerStatement)
+	}
 	id := atomic.AddInt64(&s.nextCursor, 1)
 	cursors[id] = &cursor{set: res.Set}
-	return &Response{CursorID: id, Columns: res.Set.Columns}
+	resp := &Response{CursorID: id, Columns: res.Set.Columns}
+	if res.Cached {
+		resp.CacheHits = 1
+	}
+	return resp
 }
 
 func (s *Server) serveFetch(req *Request, cursors map[int64]*cursor) *Response {
