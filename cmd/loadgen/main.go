@@ -1,0 +1,185 @@
+// Command loadgen drives a cosyd server with an open-loop request stream and
+// reports latency percentiles and sustained throughput — the measurement
+// harness of the resident-service experiment (E12 in EXPERIMENTS.md).
+//
+// Open loop means arrivals are scheduled by a fixed rate, not by completions:
+// a slow server does not slow the generator down, it grows the in-flight
+// population — exactly how a group of impatient tool users behaves, and the
+// regime admission control exists for.
+//
+// The -min-throughput and -max-p99 flags turn a run into an assertion for CI:
+// the exit status is nonzero when the measured values miss them.
+//
+// Usage:
+//
+//	loadgen -addr 127.0.0.1:7075 -duration 10s -rate 50 -tenants 8
+//	loadgen -addr 127.0.0.1:7075 -duration 10s -rate 50 -deadline 500ms -min-throughput 5 -max-p99 2s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7075", "cosyd server address")
+	duration := flag.Duration("duration", 10*time.Second, "how long to generate load")
+	rate := flag.Float64("rate", 20, "request arrivals per second (open loop)")
+	tenants := flag.Int("tenants", 1, "synthetic tenants (tenant-0..tenant-N-1, arrivals round-robin)")
+	nope := flag.Int("nope", 0, "test run to analyze, by processor count (0 selects the largest)")
+	deadline := flag.Duration("deadline", 0, "per-request deadline; 0 means none")
+	minThroughput := flag.Float64("min-throughput", 0, "fail (exit 1) when completed analyses/sec fall below this")
+	maxP99 := flag.Duration("max-p99", 0, "fail (exit 1) when the p99 latency exceeds this")
+	flag.Parse()
+
+	switch {
+	case flag.NArg() > 0:
+		usageError("unexpected arguments: %v", flag.Args())
+	case *addr == "":
+		usageError("-addr must not be empty")
+	case *duration <= 0:
+		usageError("-duration must be positive, got %v", *duration)
+	case *rate <= 0:
+		usageError("-rate must be positive, got %g", *rate)
+	case *tenants < 1:
+		usageError("-tenants must be at least 1, got %d", *tenants)
+	case *deadline < 0:
+		usageError("-deadline must not be negative, got %v", *deadline)
+	}
+
+	// One multiplexed connection per tenant: tenants are independent clients
+	// of the shared service, not goroutines sharing one socket's fate.
+	clients := make([]*service.Client, *tenants)
+	for i := range clients {
+		c, err := service.Dial(*addr)
+		if err != nil {
+			fatal(err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		canceled  int
+		rejected  int
+		failed    int
+	)
+	record := func(d time.Duration, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch {
+		case err == nil:
+			latencies = append(latencies, d)
+		case err == context.DeadlineExceeded || err == context.Canceled ||
+			strings.Contains(err.Error(), service.ErrCanceled):
+			canceled++
+		case strings.Contains(err.Error(), service.ErrRejected.Error()):
+			rejected++
+		default:
+			failed++
+		}
+	}
+
+	interval := time.Duration(float64(time.Second) / *rate)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	stop := time.After(*duration)
+	var wg sync.WaitGroup
+	start := time.Now()
+	offered := 0
+
+launch:
+	for {
+		select {
+		case <-stop:
+			break launch
+		case <-ticker.C:
+			i := offered % *tenants
+			offered++
+			wg.Add(1)
+			go func(c *service.Client, tenant string) {
+				defer wg.Done()
+				ctx := context.Background()
+				if *deadline > 0 {
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, *deadline)
+					defer cancel()
+				}
+				t0 := time.Now()
+				_, err := c.Analyze(ctx, tenant, *nope)
+				record(time.Since(t0), err)
+			}(clients[i], fmt.Sprintf("tenant-%d", i))
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	completed := len(latencies)
+	throughput := float64(completed) / elapsed.Seconds()
+	fmt.Printf("loadgen: %d offered in %.1fs (%d tenants, rate %.1f/s)\n", offered, elapsed.Seconds(), *tenants, *rate)
+	fmt.Printf("loadgen: %d completed (%.2f analyses/sec), %d canceled, %d rejected, %d failed\n",
+		completed, throughput, canceled, rejected, failed)
+	if completed > 0 {
+		fmt.Printf("loadgen: latency p50 %v, p99 %v, max %v\n",
+			percentile(latencies, 0.50), percentile(latencies, 0.99), latencies[completed-1])
+	}
+
+	ok := true
+	if *minThroughput > 0 && throughput < *minThroughput {
+		fmt.Fprintf(os.Stderr, "loadgen: FAIL: throughput %.2f analyses/sec below the %.2f floor\n", throughput, *minThroughput)
+		ok = false
+	}
+	if *maxP99 > 0 {
+		if completed == 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: FAIL: no completed analyses to measure p99 against the %v ceiling\n", *maxP99)
+			ok = false
+		} else if p99 := percentile(latencies, 0.99); p99 > *maxP99 {
+			fmt.Fprintf(os.Stderr, "loadgen: FAIL: p99 %v above the %v ceiling\n", p99, *maxP99)
+			ok = false
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: FAIL: %d requests failed outright\n", failed)
+		ok = false
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// percentile reads the p-quantile from sorted latencies (nearest-rank).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+	fmt.Fprintln(os.Stderr, "run loadgen -h for usage")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

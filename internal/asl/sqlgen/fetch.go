@@ -1,6 +1,7 @@
 package sqlgen
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -46,6 +47,28 @@ type BatchQueryResult struct {
 type BatchPreparedQuery interface {
 	PreparedQuery
 	ExecQueryBatch(bindings []*sqldb.Params) ([]BatchQueryResult, error)
+}
+
+// ContextQueryExecutor is implemented by executors whose text-protocol
+// executions observe a context: pool checkout, the wire round trip, and the
+// profiled vendor delays all return early when the context is canceled.
+// Analysis code probes for it and falls back to the uncancellable call when
+// absent — cancellation then takes effect between executions instead.
+type ContextQueryExecutor interface {
+	ExecQueryContext(ctx context.Context, query string, params *sqldb.Params) (*sqldb.ResultSet, error)
+}
+
+// ContextPreparedQuery is the context-observing execution of a prepared
+// handle; see ContextQueryExecutor.
+type ContextPreparedQuery interface {
+	ExecQueryContext(ctx context.Context, params *sqldb.Params) (*sqldb.ResultSet, error)
+}
+
+// ContextBatchPreparedQuery is the context-observing array-binding execution
+// of a prepared handle; a canceled batch fails as a whole (no partial result
+// slice), mirroring the transport-failure contract of ExecQueryBatch.
+type ContextBatchPreparedQuery interface {
+	ExecQueryBatchContext(ctx context.Context, bindings []*sqldb.Params) ([]BatchQueryResult, error)
 }
 
 // ReadStore reconstructs a complete object store from its relational

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 
+	"repro/internal/asl/sqlgen"
 	"repro/internal/sqldb"
 )
 
@@ -81,10 +83,15 @@ func (a *Analyzer) batchChunks(items []evalItem) []chunk {
 // partial report whose missing instances hide as diagnostics.
 type abortSentinel interface{ ShardAddr() string }
 
-// fatalExecErr reports whether an execution error is a shard loss.
+// fatalExecErr reports whether an execution error must abort the analysis:
+// a shard loss, or the analysis context being canceled — a canceled caller
+// has stopped waiting, so executing the remaining instances would spend
+// capacity on a report nobody reads.
 func fatalExecErr(err error) bool {
 	var se abortSentinel
-	return errors.As(err, &se)
+	return errors.As(err, &se) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
 }
 
 // analysisAbort collects the first fatal execution failure of an analysis.
@@ -126,18 +133,24 @@ func (f *analysisAbort) Err() error {
 // contexts are diagnosed without executing — the analysis is already doomed
 // to abort, and issuing more requests at a dead shard would pay a timeout
 // apiece for a report that will be discarded.
-func (a *Analyzer) evalSQLCtxs(q QueryExec, c *compiledProp, prop string, ctxs []instCtx, out []Instance, fail *analysisAbort) {
+func (a *Analyzer) evalSQLCtxs(ctx context.Context, q QueryExec, c *compiledProp, prop string, ctxs []instCtx, out []Instance, fail *analysisAbort) {
+	if err := ctx.Err(); err != nil {
+		fail.record(err)
+	}
 	if aborted(prop, ctxs, out, fail) {
 		return
 	}
 	size := a.BatchSize()
 	if c.bq == nil || size <= 1 {
-		for i, ctx := range ctxs {
+		for i, ictx := range ctxs {
+			if err := ctx.Err(); err != nil {
+				fail.record(err)
+			}
 			if aborted(prop, ctxs[i:], out[i:], fail) {
 				return
 			}
-			in := Instance{Property: prop, Context: ctx.label}
-			set, err := c.exec(q, ctx.params)
+			in := Instance{Property: prop, Context: ictx.label}
+			set, err := c.exec(ctx, q, ictx.params)
 			if err != nil {
 				fail.record(err)
 				in.Diagnostic = err.Error()
@@ -150,10 +163,13 @@ func (a *Analyzer) evalSQLCtxs(q QueryExec, c *compiledProp, prop string, ctxs [
 	}
 	for start := 0; start < len(ctxs); start += size {
 		end := min(start+size, len(ctxs))
+		if err := ctx.Err(); err != nil {
+			fail.record(err)
+		}
 		if aborted(prop, ctxs[start:], out[start:], fail) {
 			return
 		}
-		a.evalSQLBatch(c, prop, ctxs[start:end], out[start:end], fail)
+		a.evalSQLBatch(ctx, c, prop, ctxs[start:end], out[start:end], fail)
 	}
 }
 
@@ -176,18 +192,24 @@ func aborted(prop string, ctxs []instCtx, out []Instance, fail *analysisAbort) b
 // the chunk, mirroring what per-instance execution of the same failing
 // statement would report; per-binding failures diagnose only their own
 // context.
-func (a *Analyzer) evalSQLBatch(c *compiledProp, prop string, ctxs []instCtx, out []Instance, fail *analysisAbort) {
+func (a *Analyzer) evalSQLBatch(ctx context.Context, c *compiledProp, prop string, ctxs []instCtx, out []Instance, fail *analysisAbort) {
 	bindings := make([]*sqldb.Params, len(ctxs))
-	for i, ctx := range ctxs {
-		bindings[i] = ctx.params
+	for i, ictx := range ctxs {
+		bindings[i] = ictx.params
 	}
-	results, err := c.bq.ExecQueryBatch(bindings)
+	var results []sqlgen.BatchQueryResult
+	var err error
+	if cb, ok := c.bq.(sqlgen.ContextBatchPreparedQuery); ok && ctx.Done() != nil {
+		results, err = cb.ExecQueryBatchContext(ctx, bindings)
+	} else {
+		results, err = c.bq.ExecQueryBatch(bindings)
+	}
 	if err == nil && len(results) != len(ctxs) {
 		err = fmt.Errorf("core: batch returned %d results for %d bindings", len(results), len(ctxs))
 	}
 	fail.record(err)
-	for i, ctx := range ctxs {
-		in := Instance{Property: prop, Context: ctx.label}
+	for i, ictx := range ctxs {
+		in := Instance{Property: prop, Context: ictx.label}
 		switch {
 		case err != nil:
 			in.Diagnostic = err.Error()

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -402,15 +403,7 @@ func (a *Analyzer) finish(engine string, nope int, instances []Instance) *Report
 // AnalyzeObject evaluates all properties for the run using the ASL object
 // interpreter over the in-memory graph.
 func (a *Analyzer) AnalyzeObject(run *model.TestRun) (*Report, error) {
-	sc, err := a.scopeFromGraph(run)
-	if err != nil {
-		return nil, err
-	}
-	instances, err := a.evalScope(sc)
-	if err != nil {
-		return nil, err
-	}
-	return a.finish("object", run.NoPe, instances), nil
+	return a.AnalyzeObjectCtx(context.Background(), run)
 }
 
 // objectEvaluator builds the object engine with the configured constant
@@ -496,13 +489,23 @@ func (a *Analyzer) compileProp(prop string, preparer sqlgen.QueryPreparer) (*com
 }
 
 // exec runs the property query for one context's parameters, routing by run
-// on sharded executors when no prepared handle exists.
-func (c *compiledProp) exec(q QueryExec, params *sqldb.Params) (*sqldb.ResultSet, error) {
+// on sharded executors when no prepared handle exists. When ctx can be
+// canceled and the handle (or executor) offers a context-observing execution,
+// the call goes through it; otherwise cancellation takes effect between
+// executions instead (the caller checks).
+func (c *compiledProp) exec(ctx context.Context, q QueryExec, params *sqldb.Params) (*sqldb.ResultSet, error) {
+	cancelable := ctx.Done() != nil
 	if c.pq != nil {
+		if cq, ok := c.pq.(sqlgen.ContextPreparedQuery); ok && cancelable {
+			return cq.ExecQueryContext(ctx, params)
+		}
 		return c.pq.ExecQuery(params)
 	}
 	if re, ok := q.(sqlgen.RoutedExecutor); ok && c.runParam != "" {
 		return re.ExecQueryRouted(c.sql, c.runParam, params)
+	}
+	if ce, ok := q.(sqlgen.ContextQueryExecutor); ok && cancelable {
+		return ce.ExecQueryContext(ctx, c.sql, params)
 	}
 	return q.ExecQuery(c.sql, params)
 }
@@ -548,8 +551,9 @@ func (a *Analyzer) enumerate(sc *scope, perProp func(prop string) (evalItem, err
 // evalScope runs the object engine over a scope, fanning the instances out
 // across the worker pool. The ASL evaluator caches constants and tracks call
 // depth, so each worker interprets with its own Evaluator; the object graph
-// itself is read-only during evaluation.
-func (a *Analyzer) evalScope(sc *scope) ([]Instance, error) {
+// itself is read-only during evaluation. Cancellation is observed between
+// instances: a canceled scope returns ctx's error, never a partial result.
+func (a *Analyzer) evalScope(ctx context.Context, sc *scope) ([]Instance, error) {
 	items, err := a.enumerate(sc, nil)
 	if err != nil {
 		return nil, err
@@ -558,6 +562,9 @@ func (a *Analyzer) evalScope(sc *scope) ([]Instance, error) {
 	evs := make([]*eval.Evaluator, min(workers, max(len(items), 1)))
 	instances := make([]Instance, len(items))
 	runPool(workers, len(items), func(worker, i int) {
+		if ctx.Err() != nil {
+			return
+		}
 		ev := evs[worker]
 		if ev == nil {
 			ev = a.objectEvaluator()
@@ -575,6 +582,9 @@ func (a *Analyzer) evalScope(sc *scope) ([]Instance, error) {
 		}
 		instances[i] = in
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return instances, nil
 }
 
@@ -603,6 +613,16 @@ type QueryExec = sqlgen.QueryExecutor
 // queries the in-process engine, whose readers run concurrently). With a
 // plain godbc.Conn the evaluation stays serial on the one socket.
 func (a *Analyzer) AnalyzeSQL(run *model.TestRun, q QueryExec) (*Report, error) {
+	return a.AnalyzeSQLCtx(context.Background(), run, q)
+}
+
+// AnalyzeSQLCtx is AnalyzeSQL observing a context. Cancellation propagates
+// into every layer the executor supports it in — pool checkout, the wire
+// round trip, per-binding batch progress, profiled vendor delays — and is
+// additionally checked between chunks here, so executors without context
+// support still stop within one chunk of the cancel. A canceled analysis
+// returns the context's error, never a partial report.
+func (a *Analyzer) AnalyzeSQLCtx(ctx context.Context, run *model.TestRun, q QueryExec) (*Report, error) {
 	sc, err := a.scopeFromGraph(run)
 	if err != nil {
 		return nil, err
@@ -635,10 +655,15 @@ func (a *Analyzer) AnalyzeSQL(run *model.TestRun, q QueryExec) (*Report, error) 
 			ctxs[j] = items[ch.start+j].ctx
 		}
 		it := items[ch.start]
-		a.evalSQLCtxs(q, it.sqlProp, it.prop, ctxs, instances[ch.start:ch.start+ch.n], fail)
+		a.evalSQLCtxs(ctx, q, it.sqlProp, it.prop, ctxs, instances[ch.start:ch.start+ch.n], fail)
 	})
 	// A lost shard aborts the analysis: a report missing one shard's answers
-	// is not a smaller report, it is a wrong one.
+	// is not a smaller report, it is a wrong one. Cancellation aborts the
+	// same way (fatalExecErr matches context errors); prefer reporting the
+	// context's own error so callers can errors.Is against it.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := fail.Err(); err != nil {
 		return nil, err
 	}
@@ -753,23 +778,7 @@ func interpretRow(cp *sqlgen.CompiledProperty, set *sqldb.ResultSet) Outcome {
 // configuration of the paper's Section 5 ("first accessing the data
 // components and evaluating the expressions in the analysis tool").
 func (a *Analyzer) AnalyzeClientSide(run *model.TestRun, q QueryExec) (*Report, error) {
-	store, err := sqlgen.ReadStore(a.world, q)
-	if err != nil {
-		return nil, err
-	}
-	version := a.versionOf(run)
-	if version == nil {
-		return nil, fmt.Errorf("core: run not part of the analyzed dataset")
-	}
-	sc, err := a.scopeFromStore(store, version, run.NoPe)
-	if err != nil {
-		return nil, err
-	}
-	instances, err := a.evalScope(sc)
-	if err != nil {
-		return nil, err
-	}
-	return a.finish("client-sql", run.NoPe, instances), nil
+	return a.AnalyzeClientSideCtx(context.Background(), run, q)
 }
 
 // versionOf returns the dataset version containing the run.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -173,7 +174,7 @@ func (a *Analyzer) AnalyzeGuidedSQL(run *model.TestRun, h Hierarchy, q QueryExec
 			}
 			return out
 		}
-		a.evalSQLCtxs(q, c, prop, ctxs, out, fail)
+		a.evalSQLCtxs(context.Background(), q, c, prop, ctxs, out, fail)
 		return out
 	}
 	rep, stats, err := a.analyzeGuided(run, h, "guided-sql", evalGroup)

@@ -1,0 +1,466 @@
+package godbc
+
+// MuxConn multiplexes concurrent requests over one wire connection. Where a
+// Pool gives N concurrent callers N sockets, a MuxConn gives them one: every
+// request is tagged with a fresh nonzero ID, a single reader goroutine
+// demultiplexes the replies by their echoed IDs, and a canceled caller sends
+// a ReqCancel so the server stops the request's work — the connection itself
+// survives cancellation, unlike the deadline-snapping fallback of a plain
+// Conn.
+//
+// Interop is the protocol's usual gob discipline: a pre-mux server drops the
+// unknown ID field and answers requests one at a time, in order. The MuxConn
+// detects this from the first reply (a mux server echoes the nonzero ID, a
+// pre-mux server leaves it zero) and falls back to serial pairing: requests
+// take turns, replies are matched to requests by order, and cancellation
+// degrades to abandoning the reply (a tombstone keeps the pairing aligned).
+// Either way the caller sees the same results.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/asl/sqlgen"
+	"repro/internal/sqldb"
+	"repro/internal/sqldb/wire"
+)
+
+// mux-mode detection states.
+const (
+	muxUnknown = iota // no reply seen yet; requests serialize until one arrives
+	muxYes            // server echoes IDs: full multiplexing
+	muxNo             // pre-mux server: serial turns, order-based pairing
+)
+
+// MuxConn is a multiplexed connection: one socket, many concurrent requests.
+// It is safe for concurrent use. It implements Executor, sqlgen.QueryPreparer
+// and the context-observing execution interfaces, so it drops into every
+// place a Pool does.
+type MuxConn struct {
+	nc    net.Conn
+	codec *wire.Codec
+
+	// writeMu serializes request encoding on the shared gob stream.
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	mode    int
+	nextID  int64
+	pending map[int64]chan *wire.Response
+	// fifo holds the IDs of in-flight requests in send order — the pairing
+	// key for serial mode, where replies carry no ID. An abandoned request
+	// stays in the fifo with a nil channel (a tombstone) so the reply that
+	// eventually arrives for it is swallowed instead of shifting every later
+	// pairing by one.
+	fifo []int64
+	// serialTurn serializes whole round trips while the mode is not yet
+	// known to be mux: serial servers answer in order, so requests must not
+	// interleave. Held as a channel so waiters can observe ctx.
+	serialTurn chan struct{}
+	err        error
+	closed     bool
+
+	stmtMu sync.Mutex
+	stmts  map[string]*MuxStmt
+
+	fetchSize int
+	noBatch   bool
+}
+
+// DialMux connects a multiplexed connection to a wire server.
+func DialMux(addr string) (*MuxConn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, &transportError{fmt.Errorf("godbc: dial %s: %w", addr, err)}
+	}
+	m := &MuxConn{
+		nc:         nc,
+		codec:      wire.NewCodec(nc),
+		pending:    make(map[int64]chan *wire.Response),
+		serialTurn: make(chan struct{}, 1),
+		fetchSize:  DefaultFetchSize,
+	}
+	m.serialTurn <- struct{}{}
+	go m.readLoop()
+	return m, nil
+}
+
+// readLoop is the demultiplexer: it owns the read side of the codec for the
+// connection's whole life, routing each reply to its waiting request — by
+// echoed ID against a mux server, by send order against a serial one.
+func (m *MuxConn) readLoop() {
+	for {
+		resp, err := m.codec.ReadResponse()
+		if err != nil {
+			m.fail(&transportError{fmt.Errorf("godbc: receive: %w", err)})
+			return
+		}
+		m.mu.Lock()
+		if m.mode == muxUnknown {
+			if resp.ID != 0 {
+				m.mode = muxYes
+			} else {
+				m.mode = muxNo
+			}
+		}
+		var ch chan *wire.Response
+		if m.mode == muxYes {
+			ch = m.pending[resp.ID]
+			delete(m.pending, resp.ID)
+			for i, id := range m.fifo {
+				if id == resp.ID {
+					m.fifo = append(m.fifo[:i], m.fifo[i+1:]...)
+					break
+				}
+			}
+		} else if len(m.fifo) > 0 {
+			id := m.fifo[0]
+			m.fifo = m.fifo[1:]
+			ch = m.pending[id] // nil for a tombstone: reply swallowed
+			delete(m.pending, id)
+		}
+		m.mu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+}
+
+// fail poisons the connection: every pending and future request gets err.
+func (m *MuxConn) fail(err error) {
+	m.mu.Lock()
+	if m.err == nil {
+		m.err = err
+	}
+	pending := m.pending
+	m.pending = make(map[int64]chan *wire.Response)
+	m.fifo = nil
+	m.mu.Unlock()
+	for _, ch := range pending {
+		if ch != nil {
+			close(ch)
+		}
+	}
+}
+
+// Close terminates the connection. In-flight requests fail with a transport
+// error.
+func (m *MuxConn) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	err := m.nc.Close()
+	m.fail(&transportError{fmt.Errorf("godbc: connection closed")})
+	return err
+}
+
+// SetFetchSize sets the cursor fetch size used by Query.
+func (m *MuxConn) SetFetchSize(n int) {
+	if n < 1 {
+		n = 1
+	}
+	m.mu.Lock()
+	m.fetchSize = n
+	m.mu.Unlock()
+}
+
+// ConcurrentQuery marks the multiplexed connection as safe for concurrent
+// querying: requests interleave on the shared socket instead of taking turns.
+func (m *MuxConn) ConcurrentQuery() bool { return true }
+
+// register allocates an ID for a request and parks its reply channel.
+func (m *MuxConn) register() (int64, chan *wire.Response, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return 0, nil, m.err
+	}
+	if m.closed {
+		return 0, nil, &transportError{fmt.Errorf("godbc: connection closed")}
+	}
+	m.nextID++
+	id := m.nextID
+	ch := make(chan *wire.Response, 1)
+	m.pending[id] = ch
+	m.fifo = append(m.fifo, id)
+	return id, ch, nil
+}
+
+// abandon gives up on a registered request whose caller stopped waiting. In
+// mux mode the entry is removed and a best-effort ReqCancel tells the server
+// to stop the work (its ack, carrying a fresh unregistered ID, is swallowed
+// by the demultiplexer). In serial or undetermined mode the reply must still
+// be consumed to keep order-pairing aligned, so the entry becomes a
+// tombstone: the ID stays in the fifo, the channel goes nil, and the reply is
+// discarded when it arrives.
+func (m *MuxConn) abandon(id int64) {
+	m.mu.Lock()
+	if _, ok := m.pending[id]; !ok {
+		m.mu.Unlock()
+		return // reply already routed (or connection failed)
+	}
+	if m.mode == muxYes {
+		delete(m.pending, id)
+		for i, fid := range m.fifo {
+			if fid == id {
+				m.fifo = append(m.fifo[:i], m.fifo[i+1:]...)
+				break
+			}
+		}
+		m.nextID++
+		cancelID := m.nextID // deliberately not registered: ack is dropped
+		m.mu.Unlock()
+		m.writeMu.Lock()
+		m.codec.WriteRequest(&wire.Request{Kind: wire.ReqCancel, ID: cancelID, CancelID: id})
+		m.writeMu.Unlock()
+		return
+	}
+	m.pending[id] = nil
+	m.mu.Unlock()
+}
+
+// roundTrip performs one tagged request/response exchange, observing ctx.
+func (m *MuxConn) roundTrip(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Until the first reply proves the server multiplexes, round trips take
+	// strict turns — a serial server interleaving two requests would answer
+	// them in order, which is exactly what turn-taking preserves.
+	m.mu.Lock()
+	serial := m.mode != muxYes
+	m.mu.Unlock()
+	if serial {
+		select {
+		case <-m.serialTurn:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		defer func() { m.serialTurn <- struct{}{} }()
+		// The mode may have been decided while we waited for the turn; mux
+		// turns are harmless (just slower), so no re-check is needed.
+	}
+
+	id, ch, err := m.register()
+	if err != nil {
+		return nil, err
+	}
+	req.ID = id
+	m.writeMu.Lock()
+	werr := m.codec.WriteRequest(req)
+	m.writeMu.Unlock()
+	if werr != nil {
+		werr = &transportError{fmt.Errorf("godbc: send: %w", werr)}
+		m.fail(werr)
+		return nil, werr
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			m.mu.Lock()
+			err := m.err
+			m.mu.Unlock()
+			return nil, err
+		}
+		return resp, nil
+	case <-ctx.Done():
+		m.abandon(id)
+		return nil, ctx.Err()
+	}
+}
+
+// Ping performs a protocol round trip.
+func (m *MuxConn) Ping() error {
+	resp, err := m.roundTrip(context.Background(), &wire.Request{Kind: wire.ReqPing})
+	if err != nil {
+		return err
+	}
+	if resp.Err != "" {
+		return fmt.Errorf("godbc: %s", resp.Err)
+	}
+	return nil
+}
+
+// Exec runs a statement and returns the affected-row count.
+func (m *MuxConn) Exec(query string, params *sqldb.Params) (Result, error) {
+	return m.ExecContext(context.Background(), query, params)
+}
+
+// ExecContext is Exec observing a context.
+func (m *MuxConn) ExecContext(ctx context.Context, query string, params *sqldb.Params) (Result, error) {
+	req := &wire.Request{Kind: wire.ReqExec, SQL: query}
+	encodeParams(req, params)
+	resp, err := m.roundTrip(ctx, req)
+	if err != nil {
+		return Result{}, err
+	}
+	if resp.Err != "" {
+		return Result{}, fmt.Errorf("godbc: %s", resp.Err)
+	}
+	return Result{Affected: resp.Affected}, nil
+}
+
+// ExecQuery runs a SELECT and returns the complete result set.
+func (m *MuxConn) ExecQuery(query string, params *sqldb.Params) (*sqldb.ResultSet, error) {
+	return m.ExecQueryContext(context.Background(), query, params)
+}
+
+// ExecQueryContext is ExecQuery observing a context.
+func (m *MuxConn) ExecQueryContext(ctx context.Context, query string, params *sqldb.Params) (*sqldb.ResultSet, error) {
+	req := &wire.Request{Kind: wire.ReqExec, SQL: query}
+	encodeParams(req, params)
+	resp, err := m.roundTrip(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("godbc: %s", resp.Err)
+	}
+	return decodeSet(resp), nil
+}
+
+// MuxStmt is a prepared statement on a multiplexed connection. It is safe
+// for concurrent use: executions are independent tagged requests sharing the
+// server-side handle (sqldb plans are immutable). Statements are cached per
+// connection by SQL text, so Close is a no-op — the server releases handles
+// with the connection.
+type MuxStmt struct {
+	m   *MuxConn
+	id  int64
+	sql string
+}
+
+// PrepareQuery implements sqlgen.QueryPreparer, returning the connection's
+// cached handle for the query (preparing it on first use).
+func (m *MuxConn) PrepareQuery(query string) (sqlgen.PreparedQuery, error) {
+	m.stmtMu.Lock()
+	defer m.stmtMu.Unlock()
+	if st, ok := m.stmts[query]; ok {
+		return st, nil
+	}
+	resp, err := m.roundTrip(context.Background(), &wire.Request{Kind: wire.ReqPrepare, SQL: query})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("godbc: %s", resp.Err)
+	}
+	st := &MuxStmt{m: m, id: resp.StmtID, sql: query}
+	if m.stmts == nil {
+		m.stmts = make(map[string]*MuxStmt)
+	}
+	m.stmts[query] = st
+	return st, nil
+}
+
+// Close is a no-op: the handle is shared via the connection's statement
+// cache and released by the server when the connection closes.
+func (st *MuxStmt) Close() error { return nil }
+
+// ExecQuery executes the prepared statement.
+func (st *MuxStmt) ExecQuery(params *sqldb.Params) (*sqldb.ResultSet, error) {
+	return st.ExecQueryContext(context.Background(), params)
+}
+
+// ExecQueryContext executes the prepared statement observing a context.
+func (st *MuxStmt) ExecQueryContext(ctx context.Context, params *sqldb.Params) (*sqldb.ResultSet, error) {
+	req := &wire.Request{Kind: wire.ReqExecPrepared, StmtID: st.id}
+	encodeParams(req, params)
+	resp, err := st.m.roundTrip(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("godbc: %s", resp.Err)
+	}
+	return decodeSet(resp), nil
+}
+
+// ExecQueryBatch implements sqlgen.BatchPreparedQuery.
+func (st *MuxStmt) ExecQueryBatch(bindings []*sqldb.Params) ([]sqlgen.BatchQueryResult, error) {
+	return st.ExecQueryBatchContext(context.Background(), bindings)
+}
+
+// ExecQueryBatchContext executes the statement once per binding, shipping
+// wire.MaxBatch bindings per tagged request. Against a server without the
+// batch extension it falls back to per-binding prepared executions.
+func (st *MuxStmt) ExecQueryBatchContext(ctx context.Context, bindings []*sqldb.Params) ([]sqlgen.BatchQueryResult, error) {
+	out := make([]sqlgen.BatchQueryResult, 0, len(bindings))
+	for start := 0; start < len(bindings); start += wire.MaxBatch {
+		end := min(start+wire.MaxBatch, len(bindings))
+		chunk, err := st.execBatchChunk(ctx, bindings[start:end])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+func (st *MuxStmt) execBatchChunk(ctx context.Context, bindings []*sqldb.Params) ([]sqlgen.BatchQueryResult, error) {
+	if len(bindings) == 0 {
+		return nil, nil
+	}
+	st.m.mu.Lock()
+	noBatch := st.m.noBatch
+	st.m.mu.Unlock()
+	if !noBatch {
+		req := &wire.Request{Kind: wire.ReqExecBatch, StmtID: st.id, Batch: make([]wire.BatchBinding, len(bindings))}
+		for i, p := range bindings {
+			req.Batch[i] = toBinding(p)
+		}
+		resp, err := st.m.roundTrip(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case resp.Err == "":
+			if len(resp.Items) != len(bindings) {
+				return nil, fmt.Errorf("godbc: batch returned %d results for %d bindings", len(resp.Items), len(bindings))
+			}
+			out := make([]sqlgen.BatchQueryResult, len(resp.Items))
+			for i, item := range resp.Items {
+				if item.Err != "" {
+					out[i] = sqlgen.BatchQueryResult{Err: fmt.Errorf("godbc: %s", item.Err)}
+					continue
+				}
+				out[i] = sqlgen.BatchQueryResult{Set: decodeItem(item)}
+			}
+			return out, nil
+		case batchUnsupported(resp.Err):
+			st.m.mu.Lock()
+			st.m.noBatch = true
+			st.m.mu.Unlock()
+		default:
+			return nil, fmt.Errorf("godbc: %s", resp.Err)
+		}
+	}
+	out := make([]sqlgen.BatchQueryResult, len(bindings))
+	for i, p := range bindings {
+		set, err := st.ExecQueryContext(ctx, p)
+		if err != nil {
+			if ctx.Err() != nil || isTransportError(err) {
+				return nil, err
+			}
+			out[i] = sqlgen.BatchQueryResult{Err: err}
+			continue
+		}
+		out[i] = sqlgen.BatchQueryResult{Set: set}
+	}
+	return out, nil
+}
+
+var _ Executor = (*MuxConn)(nil)
+var _ sqlgen.QueryPreparer = (*MuxConn)(nil)
+var _ sqlgen.ContextQueryExecutor = (*MuxConn)(nil)
+var _ sqlgen.PreparedQuery = (*MuxStmt)(nil)
+var _ sqlgen.ContextPreparedQuery = (*MuxStmt)(nil)
+var _ sqlgen.BatchPreparedQuery = (*MuxStmt)(nil)
+var _ sqlgen.ContextBatchPreparedQuery = (*MuxStmt)(nil)

@@ -1,0 +1,262 @@
+package service_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/testutil"
+)
+
+func TestAdmissionImmediateGrant(t *testing.T) {
+	a := service.NewAdmission(2, 0)
+	r1, err := a.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Acquire(context.Background(), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := a.Stats(); st.InFlight != 2 || st.Queued != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	r1()
+	r2()
+	if st := a.Stats(); st.InFlight != 0 || st.Admitted != 2 {
+		t.Fatalf("stats after release: %+v", st)
+	}
+}
+
+func TestAdmissionQueuesAtCapacity(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	a := service.NewAdmission(1, 0)
+	release, err := a.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan func(), 1)
+	go func() {
+		r, err := a.Acquire(context.Background(), "b")
+		if err != nil {
+			t.Error(err)
+			r = func() {}
+		}
+		got <- r
+	}()
+	waitFor(t, func() bool { return a.Stats().Waiting == 1 })
+	select {
+	case <-got:
+		t.Fatal("second acquire granted beyond capacity")
+	case <-time.After(20 * time.Millisecond):
+	}
+	release()
+	select {
+	case r := <-got:
+		r()
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued acquire not granted after release")
+	}
+	if st := a.Stats(); st.Queued != 1 || st.Admitted != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestAdmissionRejectsFullQueue(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	a := service.NewAdmission(1, 1)
+	release, err := a.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := a.Acquire(ctx, "b"); !errors.Is(err, ctx.Err()) {
+			t.Errorf("queued acquire: %v", err)
+		}
+	}()
+	waitFor(t, func() bool { return a.Stats().Waiting == 1 })
+	if _, err := a.Acquire(context.Background(), "c"); !errors.Is(err, service.ErrRejected) {
+		t.Fatalf("acquire on full queue: %v, want ErrRejected", err)
+	}
+	cancel()
+	<-done
+	if st := a.Stats(); st.Rejected != 1 || st.Shed != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestAdmissionPerTenantCap(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	a := service.NewAdmission(4, 0)
+	a.SetTenant("capped", service.TenantConfig{MaxInFlight: 1})
+	release, err := a.Acquire(context.Background(), "capped")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Global capacity is free, but the tenant's cap holds its second request.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := a.Acquire(ctx, "capped"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("second capped acquire: %v, want deadline", err)
+	}
+	// Another tenant is unaffected.
+	r2, err := a.Acquire(context.Background(), "other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2()
+	release()
+}
+
+// TestAdmissionWeightedFairness: two tenants saturate a capacity-4 controller
+// with weights 3:1; under contention the heavy tenant sustains three slots to
+// the light tenant's one.
+func TestAdmissionWeightedFairness(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	a := service.NewAdmission(4, 0)
+	a.SetTenant("heavy", service.TenantConfig{Weight: 3})
+	a.SetTenant("light", service.TenantConfig{Weight: 1})
+
+	var heavy, light atomic.Int64 // peak concurrency samples
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	worker := func(tenant string, n *atomic.Int64) {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			release, err := a.Acquire(context.Background(), tenant)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			n.Add(1)
+			time.Sleep(time.Millisecond)
+			release()
+		}
+	}
+	for i := 0; i < 6; i++ {
+		wg.Add(2)
+		go worker("heavy", &heavy)
+		go worker("light", &light)
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	h, l := heavy.Load(), light.Load()
+	if l == 0 {
+		t.Fatal("light tenant starved: zero completions")
+	}
+	ratio := float64(h) / float64(l)
+	if ratio < 1.5 || ratio > 6 {
+		t.Errorf("heavy/light completion ratio = %.2f (h=%d l=%d), want ~3", ratio, h, l)
+	}
+}
+
+// TestAdmissionNoStarvationAsymmetricLoad: an aggressive tenant offering far
+// more load than a meek one must not lock the meek tenant out — equal
+// weights mean roughly equal service under saturation, and strictly no
+// starvation.
+func TestAdmissionNoStarvationAsymmetricLoad(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	a := service.NewAdmission(2, 0)
+
+	var aggro, meek atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	worker := func(tenant string, n *atomic.Int64) {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			release, err := a.Acquire(context.Background(), tenant)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			n.Add(1)
+			time.Sleep(time.Millisecond)
+			release()
+		}
+	}
+	// 8 aggressive workers vs 1 meek worker: 8x offered load.
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go worker("aggro", &aggro)
+	}
+	wg.Add(1)
+	go worker("meek", &meek)
+
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	m, g := meek.Load(), aggro.Load()
+	if m == 0 {
+		t.Fatal("meek tenant starved under asymmetric load")
+	}
+	// Fair sharing gives the meek tenant one of the two slots whenever it
+	// wants one; with a single worker it can at most use one. It must get a
+	// substantial fraction of the aggressive tenant's throughput, not scraps.
+	if float64(m) < 0.25*float64(g) {
+		t.Errorf("meek/aggro = %d/%d — fair share not enforced", m, g)
+	}
+}
+
+// TestAdmissionFIFOWithinTenant: a tenant's own requests are served in
+// arrival order — later arrivals cannot overtake earlier ones.
+func TestAdmissionFIFOWithinTenant(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	a := service.NewAdmission(1, 0)
+	release, err := a.Acquire(context.Background(), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 5
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		i := i
+		// Enqueue strictly one at a time so arrival order is defined.
+		waitFor(t, func() bool { return a.Stats().Waiting == i })
+		go func() {
+			defer wg.Done()
+			r, err := a.Acquire(context.Background(), "t")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			r()
+		}()
+	}
+	waitFor(t, func() bool { return a.Stats().Waiting == n })
+	release()
+	wg.Wait()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("service order %v, want FIFO", order)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package service
+
+// The cosyd protocol: gob messages over TCP, multiplexed from the start.
+// Unlike the sqldb wire protocol (which grew multiplexing as a compatible
+// extension), both ends of this protocol are current, so every request
+// carries a nonzero ID and the server always executes requests concurrently
+// and echoes the ID on the response. Cancellation follows the wire layer's
+// shape: ReqCancel names an in-flight ID, the target's context is canceled,
+// and the target still answers exactly once so the reply stream stays
+// balanced.
+
+import (
+	"encoding/gob"
+	"io"
+)
+
+// ReqKind selects the operation of a service request.
+type ReqKind int
+
+// Service request kinds.
+const (
+	// ReqAnalyze evaluates one test run and returns the rendered report.
+	ReqAnalyze ReqKind = iota
+	// ReqCancel cancels the in-flight request named by CancelID.
+	ReqCancel
+	// ReqPing is a round-trip probe.
+	ReqPing
+	// ReqStats returns the admission-controller counters.
+	ReqStats
+)
+
+// Request is a client message.
+type Request struct {
+	Kind ReqKind
+	// ID tags the request; the response echoes it. Must be nonzero and
+	// unique among the connection's in-flight requests.
+	ID int64
+	// CancelID names the target of a ReqCancel.
+	CancelID int64
+	// Tenant identifies the requesting tenant for admission control; empty
+	// means the anonymous default tenant.
+	Tenant string
+	// NoPe selects the analyzed test run by processor count; 0 selects the
+	// largest run.
+	NoPe int
+	// DeadlineMillis bounds the server-side work of a ReqAnalyze, measured
+	// from receipt; 0 means no server-imposed deadline. Clients derive it
+	// from their context so the server stops working when nobody is waiting,
+	// even if the cancel message is lost.
+	DeadlineMillis int64
+}
+
+// Response is a server message.
+type Response struct {
+	// ID echoes the request's ID.
+	ID  int64
+	Err string
+	// Report is the rendered analysis report of a ReqAnalyze.
+	Report string
+	// Stats answers a ReqStats.
+	Stats *AdmissionStats
+}
+
+// ErrCanceled is the Response.Err of a request stopped by cancellation or
+// deadline.
+const ErrCanceled = "service: request canceled"
+
+// Codec frames gob messages on a stream.
+type Codec struct {
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+// NewCodec wraps a bidirectional stream.
+func NewCodec(rw io.ReadWriter) *Codec {
+	return &Codec{enc: gob.NewEncoder(rw), dec: gob.NewDecoder(rw)}
+}
+
+// WriteRequest sends a request.
+func (c *Codec) WriteRequest(r *Request) error { return c.enc.Encode(r) }
+
+// ReadRequest receives a request.
+func (c *Codec) ReadRequest() (*Request, error) {
+	var r Request
+	if err := c.dec.Decode(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// WriteResponse sends a response.
+func (c *Codec) WriteResponse(r *Response) error { return c.enc.Encode(r) }
+
+// ReadResponse receives a response.
+func (c *Codec) ReadResponse() (*Response, error) {
+	var r Response
+	if err := c.dec.Decode(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

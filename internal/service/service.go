@@ -1,0 +1,98 @@
+package service
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Config shapes a Service.
+type Config struct {
+	// Capacity bounds the concurrent analyses (below 1 means 1). This caps
+	// the real parallelism of the whole service: every admitted analysis
+	// additionally fans out over Workers evaluation workers.
+	Capacity int
+	// MaxQueue bounds the admission queue (non-positive: unbounded).
+	MaxQueue int
+	// Workers and BatchSize configure every analysis as in core.WithWorkers
+	// and core.WithBatchSize.
+	Workers   int
+	BatchSize int
+	// Threshold is the performance-problem threshold (0 keeps the default).
+	Threshold float64
+	// Tenants holds the per-tenant admission policies.
+	Tenants map[string]TenantConfig
+}
+
+// Service is the resident analyzer: one loaded database and model graph,
+// shared by every request, behind admission control. It is safe for
+// concurrent use — the executor must be too (a godbc.Pool, godbc.MuxConn,
+// godbc.ShardedDB, or godbc.Embedded; a plain Conn serializes).
+type Service struct {
+	graph *model.Graph
+	q     core.QueryExec
+	adm   *Admission
+	cfg   Config
+}
+
+// New assembles a service over a loaded executor. The database behind q must
+// already hold the graph's dataset.
+func New(g *model.Graph, q core.QueryExec, cfg Config) *Service {
+	s := &Service{graph: g, q: q, adm: NewAdmission(cfg.Capacity, cfg.MaxQueue), cfg: cfg}
+	for tenant, tc := range cfg.Tenants {
+		s.adm.SetTenant(tenant, tc)
+	}
+	return s
+}
+
+// Admission exposes the service's admission controller (for stats and tests).
+func (s *Service) Admission() *Admission { return s.adm }
+
+// Run resolves a test run by processor count; nope 0 selects the largest.
+func (s *Service) Run(nope int) (*model.TestRun, error) {
+	var best *model.TestRun
+	for _, v := range s.graph.Dataset.Versions {
+		for _, r := range v.Runs {
+			if nope > 0 {
+				if r.NoPe == nope {
+					return r, nil
+				}
+				continue
+			}
+			if best == nil || r.NoPe > best.NoPe {
+				best = r
+			}
+		}
+	}
+	if nope > 0 {
+		return nil, fmt.Errorf("service: no test run with %d PEs", nope)
+	}
+	if best == nil {
+		return nil, fmt.Errorf("service: dataset has no test runs")
+	}
+	return best, nil
+}
+
+// Analyze evaluates one run on behalf of a tenant: admission first (the
+// request queues or is shed here under load), then a fresh analyzer over the
+// shared graph and executor, with ctx observed at every layer below. The
+// report is byte-identical to what a standalone cosy run over the same data
+// would print — the service changes where analyses run, never what they say.
+func (s *Service) Analyze(ctx context.Context, tenant string, nope int) (*core.Report, error) {
+	run, err := s.Run(nope)
+	if err != nil {
+		return nil, err
+	}
+	release, err := s.adm.Acquire(ctx, tenant)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	opts := []core.Option{core.WithWorkers(s.cfg.Workers), core.WithBatchSize(s.cfg.BatchSize)}
+	if s.cfg.Threshold > 0 {
+		opts = append(opts, core.WithThreshold(s.cfg.Threshold))
+	}
+	return core.New(s.graph, opts...).AnalyzeSQLCtx(ctx, run, s.q)
+}

@@ -1,6 +1,9 @@
 package sqldb
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Batched execution: the array-binding analogue of classic database drivers.
 // A statement that runs many times with only its parameters changing (the ASL
@@ -28,6 +31,15 @@ type BatchResult struct {
 // slice and do not stop later bindings. Batches are restricted to DML — DDL
 // has no parameters to bind and moves the schema under the batch's own plan.
 func (ps *PreparedStmt) ExecuteBatch(bindings []*Params) ([]BatchResult, error) {
+	return ps.ExecuteBatchContext(context.Background(), bindings)
+}
+
+// ExecuteBatchContext is ExecuteBatch observing a context: cancellation is
+// checked between bindings (the per-binding work itself is uninterruptible,
+// so a cancel overshoots by at most one binding), and a canceled batch
+// returns the context's error with no results — partial batches are never
+// reported as success, so callers cannot mistake them for complete ones.
+func (ps *PreparedStmt) ExecuteBatchContext(ctx context.Context, bindings []*Params) ([]BatchResult, error) {
 	if ps.closed.Load() {
 		return nil, fmt.Errorf("sqldb: prepared statement is closed")
 	}
@@ -43,7 +55,7 @@ func (ps *PreparedStmt) ExecuteBatch(bindings []*Params) ([]BatchResult, error) 
 				return nil, err
 			}
 		}
-		err := ps.db.execBatch(plan, bindings, out)
+		err := ps.db.execBatch(ctx, plan, bindings, out)
 		if err == errPlanStale {
 			continue
 		}
@@ -62,7 +74,7 @@ func (ps *PreparedStmt) ExecuteBatch(bindings []*Params) ([]BatchResult, error) 
 // per execution, so DDL racing the batch forces a replan rather than running
 // against stale table storage; once the batch holds the lock no DDL can move
 // the schema mid-batch.
-func (db *DB) execBatch(plan *stmtPlan, bindings []*Params, out []BatchResult) error {
+func (db *DB) execBatch(ctx context.Context, plan *stmtPlan, bindings []*Params, out []BatchResult) error {
 	switch st := plan.stmt.(type) {
 	case *SelectStmt:
 		db.mu.RLock()
@@ -76,6 +88,9 @@ func (db *DB) execBatch(plan *stmtPlan, bindings []*Params, out []BatchResult) e
 		// lock is held for the whole batch, so no DML can move the versions
 		// between the first lookup and the last store.
 		for i, params := range bindings {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			key, dataVer, cacheable := db.cacheKeyFor(plan, params)
 			if cacheable {
 				if set, hit := db.lookupResult(key, plan.version, dataVer); hit {
@@ -102,6 +117,9 @@ func (db *DB) execBatch(plan *stmtPlan, bindings []*Params, out []BatchResult) e
 			return err
 		}
 		for i, params := range bindings {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			var res *Result
 			var err error
 			switch s := st.(type) {

@@ -29,6 +29,7 @@ const (
 	ReqClosePrepared                    // discard a statement handle
 	ReqExecBatch                        // execute a prepared handle once per binding, inline results
 	ReqCacheStats                       // fetch the server's result-cache counters
+	ReqCancel                           // cancel the in-flight multiplexed request named by CancelID
 )
 
 // MaxBatch is the largest number of parameter bindings one ReqExecBatch may
@@ -94,6 +95,22 @@ type Request struct {
 	// Batch carries the parameter bindings of a ReqExecBatch: one entry per
 	// execution of the prepared handle, at most MaxBatch of them.
 	Batch []BatchBinding
+	// ID tags a multiplexed request. A nonzero ID tells the server this
+	// connection may have several requests in flight: the server executes
+	// tagged requests concurrently and echoes the ID on the matching
+	// Response, so the client can demultiplex replies that arrive out of
+	// order. ID 0 is the pre-multiplex protocol — requests are served
+	// one at a time, in order, exactly as every peer behaved before the
+	// extension existed. Gob drops unknown fields, so a pre-mux server
+	// never sees the tag and a pre-mux client never sends one.
+	ID int64
+	// CancelID names the in-flight request a ReqCancel aborts. Cancellation
+	// is cooperative: the server cancels the target's context, the target's
+	// blocking points (capacity queue, profiled vendor delays, per-binding
+	// batch progress) observe it, and the target still produces exactly one
+	// Response (an error) so the reply stream stays balanced. Canceling an
+	// unknown or already-completed ID is a harmless no-op.
+	CancelID int64
 }
 
 // BatchBinding is one parameter set of a batched execution.
@@ -145,7 +162,18 @@ type Response struct {
 	CacheHits int
 	// Cache is the counter snapshot answering a ReqCacheStats.
 	Cache *CacheStats
+	// ID echoes the Request.ID of a multiplexed request so the client can
+	// route the reply. Pre-mux servers never set it (gob tolerates the
+	// absence); a mux client that reads back ID 0 knows it is talking to a
+	// pre-mux peer and falls back to one-request-at-a-time pairing.
+	ID int64
 }
+
+// ErrCanceled is the Response.Err text of a request whose server-side work
+// was stopped by a ReqCancel or a client disconnect. Clients that canceled
+// deliberately have usually stopped waiting already; the text exists so a
+// late reply is self-describing.
+const ErrCanceled = "wire: request canceled"
 
 // Codec frames gob messages on a stream.
 type Codec struct {

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -34,6 +35,10 @@ type Server struct {
 	// noCacheStats does the same for ReqCacheStats, for exercising the
 	// pre-cache fallback of godbc's CacheStats.
 	noCacheStats atomic.Bool
+	// noMux makes the server behave like a pre-multiplex peer: every request
+	// is served serially in arrival order, responses carry no ID, and
+	// ReqCancel is an unknown request kind. Used to test client fallback.
+	noMux atomic.Bool
 
 	// sem, when non-nil, bounds how many statements the server executes
 	// simultaneously (see SetMaxConcurrent).
@@ -154,14 +159,86 @@ type cursor struct {
 	off int
 }
 
-func (s *Server) handle(conn net.Conn) {
-	defer s.wg.Done()
+// connState is the per-connection server state. Pre-mux connections touch it
+// from the one handler goroutine only; multiplexed requests run concurrently,
+// so the cursor and statement tables are guarded by mu and response writes by
+// writeMu (a gob encoder is not safe for concurrent use — and serialized
+// writes are also the backpressure path: a client that stops reading blocks
+// its own connection's writers without affecting any other connection).
+type connState struct {
+	mu      sync.Mutex
+	cursors map[int64]*cursor
 	// stmts holds this connection's prepared statements; like JDBC
 	// PreparedStatements, handles are scoped to the connection and released
 	// when it closes.
-	stmts := make(map[int64]*sqldb.PreparedStmt)
+	stmts map[int64]*sqldb.PreparedStmt
+
+	writeMu sync.Mutex
+
+	// inflight maps the ID of each multiplexed request being served to the
+	// cancel function of its context; ReqCancel fires it.
+	inflMu   sync.Mutex
+	inflight map[int64]context.CancelFunc
+
+	// wg counts the goroutines serving multiplexed requests, so connection
+	// teardown (and server drain) waits for them.
+	wg sync.WaitGroup
+}
+
+// cancel aborts the in-flight request with the given ID, if any.
+func (st *connState) cancel(id int64) {
+	st.inflMu.Lock()
+	cancel := st.inflight[id]
+	st.inflMu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// register records a request's cancel function under its ID.
+func (st *connState) register(id int64, cancel context.CancelFunc) {
+	st.inflMu.Lock()
+	st.inflight[id] = cancel
+	st.inflMu.Unlock()
+}
+
+// unregister removes a completed request and releases its context.
+func (st *connState) unregister(id int64, cancel context.CancelFunc) {
+	st.inflMu.Lock()
+	delete(st.inflight, id)
+	st.inflMu.Unlock()
+	cancel()
+}
+
+// write sends one response on the shared codec, serialized across the
+// connection's request goroutines.
+func (st *connState) write(s *Server, codec *Codec, resp *Response) bool {
+	st.writeMu.Lock()
+	err := codec.WriteResponse(resp)
+	st.writeMu.Unlock()
+	if err != nil {
+		s.logf("wire: write: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	st := &connState{
+		cursors:  make(map[int64]*cursor),
+		stmts:    make(map[int64]*sqldb.PreparedStmt),
+		inflight: make(map[int64]context.CancelFunc),
+	}
+	// connCtx is the parent of every request context on this connection.
+	// When the client disconnects, the read loop returns and the deferred
+	// cancel stops all of the connection's in-flight server-side work —
+	// an abandoned analysis does not keep burning server capacity.
+	connCtx, cancelConn := context.WithCancel(context.Background())
 	defer func() {
-		for _, ps := range stmts {
+		cancelConn()
+		st.wg.Wait()
+		for _, ps := range st.stmts {
 			ps.Close()
 		}
 		s.mu.Lock()
@@ -170,7 +247,6 @@ func (s *Server) handle(conn net.Conn) {
 		conn.Close()
 	}()
 	codec := NewCodec(conn)
-	cursors := make(map[int64]*cursor)
 	for {
 		req, err := codec.ReadRequest()
 		if err != nil {
@@ -179,13 +255,49 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			return
 		}
-		resp := s.serve(req, cursors, stmts)
-		if err := codec.WriteResponse(resp); err != nil {
-			s.logf("wire: write: %v", err)
-			return
+		if s.noMux.Load() {
+			// A pre-multiplex peer: gob would have dropped the unknown ID
+			// field on decode, requests are served strictly in order, and
+			// ReqCancel falls through serve's switch as an unknown kind.
+			req.ID, req.CancelID = 0, 0
+			if !st.write(s, codec, s.serve(connCtx, req, st)) {
+				return
+			}
+			continue
 		}
+		if req.Kind == ReqCancel {
+			st.cancel(req.CancelID)
+			if !st.write(s, codec, &Response{ID: req.ID}) {
+				return
+			}
+			continue
+		}
+		if req.ID == 0 {
+			// Pre-mux client: one request in flight at a time, in order.
+			if !st.write(s, codec, s.serve(connCtx, req, st)) {
+				return
+			}
+			continue
+		}
+		// Multiplexed request: serve concurrently under its own cancelable
+		// context and tag the response with the request's ID.
+		reqCtx, cancel := context.WithCancel(connCtx)
+		st.register(req.ID, cancel)
+		st.wg.Add(1)
+		go func(req *Request) {
+			defer st.wg.Done()
+			resp := s.serve(reqCtx, req, st)
+			resp.ID = req.ID
+			st.unregister(req.ID, cancel)
+			st.write(s, codec, resp)
+		}(req)
 	}
 }
+
+// DisableMux makes the server behave like a peer that predates request
+// multiplexing: IDs are ignored, requests serve in order, and ReqCancel is
+// answered as an unknown request kind. Used to test the client-side fallback.
+func (s *Server) DisableMux() { s.noMux.Store(true) }
 
 // SetMaxConcurrent bounds the number of statements the server executes
 // simultaneously; n <= 0 removes the bound (the default). The vendor
@@ -204,40 +316,58 @@ func (s *Server) SetMaxConcurrent(n int) {
 	s.sem = make(chan struct{}, n)
 }
 
-func (s *Server) serve(req *Request, cursors map[int64]*cursor, stmts map[int64]*sqldb.PreparedStmt) *Response {
-	s.sleep(s.profile.RoundTrip)
+// canceled is the response of a request whose context fired mid-service.
+func canceled() *Response { return &Response{Err: ErrCanceled} }
+
+func (s *Server) serve(ctx context.Context, req *Request, st *connState) *Response {
+	if s.sleep(ctx, s.profile.RoundTrip) != nil {
+		return canceled()
+	}
 	if s.sem != nil {
-		s.sem <- struct{}{}
-		defer func() { <-s.sem }()
+		// The capacity queue is a blocking point: a canceled request must
+		// leave the queue instead of executing work nobody will read.
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-ctx.Done():
+			return canceled()
+		}
 	}
 	switch req.Kind {
 	case ReqPing:
-		s.sleep(s.profile.PerStatement)
+		s.sleep(ctx, s.profile.PerStatement)
 		return &Response{}
 	case ReqExec:
-		return s.serveExec(req)
+		return s.serveExec(ctx, req)
 	case ReqQueryCursor:
-		return s.serveQueryCursor(req, cursors)
+		return s.serveQueryCursor(ctx, req, st)
 	case ReqFetch:
-		return s.serveFetch(req, cursors)
+		return s.serveFetch(ctx, req, st)
 	case ReqCloseCursor:
-		delete(cursors, req.CursorID)
+		st.mu.Lock()
+		delete(st.cursors, req.CursorID)
+		st.mu.Unlock()
 		return &Response{}
 	case ReqPrepare:
-		return s.servePrepare(req, stmts)
+		return s.servePrepare(ctx, req, st)
 	case ReqExecPrepared:
-		return s.serveExecPrepared(req, stmts)
+		return s.serveExecPrepared(ctx, req, st)
 	case ReqClosePrepared:
-		if ps, ok := stmts[req.StmtID]; ok {
+		st.mu.Lock()
+		ps, ok := st.stmts[req.StmtID]
+		if ok {
+			delete(st.stmts, req.StmtID)
+		}
+		st.mu.Unlock()
+		if ok {
 			ps.Close()
-			delete(stmts, req.StmtID)
 		}
 		return &Response{}
 	case ReqExecBatch:
 		if s.noBatch.Load() {
 			break // answer as a server without the batch extension would
 		}
-		return s.serveExecBatch(req, stmts)
+		return s.serveExecBatch(ctx, req, st)
 	case ReqCacheStats:
 		if s.noCacheStats.Load() {
 			break // answer as a server without the cache extension would
@@ -282,7 +412,7 @@ func bindParams(pos []WireValue, named map[string]WireValue) *sqldb.Params {
 	return p
 }
 
-func (s *Server) serveExec(req *Request) *Response {
+func (s *Server) serveExec(ctx context.Context, req *Request) *Response {
 	res, err := s.db.Exec(req.SQL, toParams(req))
 	if err != nil {
 		return &Response{Err: err.Error()}
@@ -298,28 +428,45 @@ func (s *Server) serveExec(req *Request) *Response {
 	}
 	// A text-protocol execution compiles the statement anew every time, so
 	// it is charged the prepare cost on top of the per-statement overhead.
-	s.sleep(s.profile.PerPrepare + s.profile.PerStatement + time.Duration(res.Affected)*s.profile.PerRowWrite)
+	if s.sleep(ctx, s.profile.PerPrepare+s.profile.PerStatement+time.Duration(res.Affected)*s.profile.PerRowWrite) != nil {
+		return canceled()
+	}
 	if res.Set != nil {
 		resp.Columns = res.Set.Columns
 		resp.Rows = encodeRows(res.Set.Rows)
-		s.sleep(time.Duration(len(resp.Rows)) * s.profile.PerRowRead)
+		if s.sleep(ctx, time.Duration(len(resp.Rows))*s.profile.PerRowRead) != nil {
+			return canceled()
+		}
 	}
 	return resp
 }
 
-func (s *Server) servePrepare(req *Request, stmts map[int64]*sqldb.PreparedStmt) *Response {
+func (s *Server) servePrepare(ctx context.Context, req *Request, st *connState) *Response {
 	ps, err := s.db.Prepare(req.SQL)
 	if err != nil {
 		return &Response{Err: err.Error()}
 	}
-	s.sleep(s.profile.PerPrepare + s.profile.PerStatement)
+	if s.sleep(ctx, s.profile.PerPrepare+s.profile.PerStatement) != nil {
+		ps.Close()
+		return canceled()
+	}
 	id := atomic.AddInt64(&s.nextStmt, 1)
-	stmts[id] = ps
+	st.mu.Lock()
+	st.stmts[id] = ps
+	st.mu.Unlock()
 	return &Response{StmtID: id}
 }
 
-func (s *Server) serveExecPrepared(req *Request, stmts map[int64]*sqldb.PreparedStmt) *Response {
-	ps, ok := stmts[req.StmtID]
+// stmt looks up a connection-scoped prepared statement.
+func (st *connState) stmt(id int64) (*sqldb.PreparedStmt, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ps, ok := st.stmts[id]
+	return ps, ok
+}
+
+func (s *Server) serveExecPrepared(ctx context.Context, req *Request, st *connState) *Response {
+	ps, ok := st.stmt(req.StmtID)
 	if !ok {
 		return &Response{Err: fmt.Sprintf("wire: no prepared statement %d", req.StmtID)}
 	}
@@ -338,11 +485,15 @@ func (s *Server) serveExecPrepared(req *Request, stmts map[int64]*sqldb.Prepared
 	}
 	// Executing a prepared handle skips the compile cost; only the fixed
 	// per-statement overhead and the row costs apply.
-	s.sleep(s.profile.PerStatement + time.Duration(res.Affected)*s.profile.PerRowWrite)
+	if s.sleep(ctx, s.profile.PerStatement+time.Duration(res.Affected)*s.profile.PerRowWrite) != nil {
+		return canceled()
+	}
 	if res.Set != nil {
 		resp.Columns = res.Set.Columns
 		resp.Rows = encodeRows(res.Set.Rows)
-		s.sleep(time.Duration(len(resp.Rows)) * s.profile.PerRowRead)
+		if s.sleep(ctx, time.Duration(len(resp.Rows))*s.profile.PerRowRead) != nil {
+			return canceled()
+		}
 	}
 	return resp
 }
@@ -352,11 +503,11 @@ func (s *Server) serveExecPrepared(req *Request, stmts map[int64]*sqldb.Prepared
 // once (in serve); what accumulates per binding is only the per-statement and
 // per-row work the vendor server would really do — the array-binding
 // economics that make batches worthwhile on high-latency links.
-func (s *Server) serveExecBatch(req *Request, stmts map[int64]*sqldb.PreparedStmt) *Response {
+func (s *Server) serveExecBatch(ctx context.Context, req *Request, st *connState) *Response {
 	if len(req.Batch) > MaxBatch {
 		return &Response{Err: fmt.Sprintf("wire: batch of %d bindings exceeds the limit of %d", len(req.Batch), MaxBatch)}
 	}
-	ps, ok := stmts[req.StmtID]
+	ps, ok := st.stmt(req.StmtID)
 	if !ok {
 		return &Response{Err: fmt.Sprintf("wire: no prepared statement %d", req.StmtID)}
 	}
@@ -364,7 +515,12 @@ func (s *Server) serveExecBatch(req *Request, stmts map[int64]*sqldb.PreparedStm
 	for i, b := range req.Batch {
 		bindings[i] = bindParams(b.Pos, b.Named)
 	}
-	results, err := ps.ExecuteBatch(bindings)
+	// The engine observes ctx between bindings, so canceling a multiplexed
+	// batch stops the scan work itself, not just the simulated delays.
+	results, err := ps.ExecuteBatchContext(ctx, bindings)
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return canceled()
+	}
 	if err != nil {
 		return &Response{Err: err.Error()}
 	}
@@ -395,11 +551,13 @@ func (s *Server) serveExecBatch(req *Request, stmts map[int64]*sqldb.PreparedStm
 		}
 		resp.Items[i] = item
 	}
-	s.sleep(delay)
+	if s.sleep(ctx, delay) != nil {
+		return canceled()
+	}
 	return resp
 }
 
-func (s *Server) serveQueryCursor(req *Request, cursors map[int64]*cursor) *Response {
+func (s *Server) serveQueryCursor(ctx context.Context, req *Request, st *connState) *Response {
 	res, err := s.db.Exec(req.SQL, toParams(req))
 	if err != nil {
 		return &Response{Err: err.Error()}
@@ -408,10 +566,14 @@ func (s *Server) serveQueryCursor(req *Request, cursors map[int64]*cursor) *Resp
 		return &Response{Err: "wire: statement produced no result set"}
 	}
 	if !res.Cached {
-		s.sleep(s.profile.PerPrepare + s.profile.PerStatement)
+		if s.sleep(ctx, s.profile.PerPrepare+s.profile.PerStatement) != nil {
+			return canceled()
+		}
 	}
 	id := atomic.AddInt64(&s.nextCursor, 1)
-	cursors[id] = &cursor{set: res.Set}
+	st.mu.Lock()
+	st.cursors[id] = &cursor{set: res.Set}
+	st.mu.Unlock()
 	resp := &Response{CursorID: id, Columns: res.Set.Columns}
 	if res.Cached {
 		resp.CacheHits = 1
@@ -419,9 +581,13 @@ func (s *Server) serveQueryCursor(req *Request, cursors map[int64]*cursor) *Resp
 	return resp
 }
 
-func (s *Server) serveFetch(req *Request, cursors map[int64]*cursor) *Response {
-	cur, ok := cursors[req.CursorID]
+func (s *Server) serveFetch(ctx context.Context, req *Request, st *connState) *Response {
+	// The cursor offset advances under the state lock: two multiplexed
+	// fetches on one cursor each get a distinct, disjoint slice.
+	st.mu.Lock()
+	cur, ok := st.cursors[req.CursorID]
 	if !ok {
+		st.mu.Unlock()
 		return &Response{Err: fmt.Sprintf("wire: no cursor %d", req.CursorID)}
 	}
 	n := req.FetchN
@@ -434,12 +600,15 @@ func (s *Server) serveFetch(req *Request, cursors map[int64]*cursor) *Response {
 	}
 	rows := cur.set.Rows[cur.off:end]
 	cur.off = end
-	s.sleep(time.Duration(len(rows)) * s.profile.PerRowRead)
-	resp := &Response{Rows: encodeRows(rows), Done: cur.off >= len(cur.set.Rows)}
-	if resp.Done {
-		delete(cursors, req.CursorID)
+	done := cur.off >= len(cur.set.Rows)
+	if done {
+		delete(st.cursors, req.CursorID)
 	}
-	return resp
+	st.mu.Unlock()
+	if s.sleep(ctx, time.Duration(len(rows))*s.profile.PerRowRead) != nil {
+		return canceled()
+	}
+	return &Response{Rows: encodeRows(rows), Done: done}
 }
 
 func encodeRows(rows []sqldb.Row) [][]WireValue {
@@ -454,24 +623,40 @@ func encodeRows(rows []sqldb.Row) [][]WireValue {
 	return out
 }
 
-// sleep injects the profile's simulated processing delay. Sub-millisecond
-// delays are spun rather than slept: the OS timer granularity (≈1 ms) would
-// otherwise flatten the differences between vendor profiles that the
-// insertion benchmarks measure.
-func (s *Server) sleep(d time.Duration) {
-	Delay(d)
+// sleep injects the profile's simulated processing delay, observing the
+// request's context. Sub-millisecond delays are spun rather than slept: the
+// OS timer granularity (≈1 ms) would otherwise flatten the differences
+// between vendor profiles that the insertion benchmarks measure.
+func (s *Server) sleep(ctx context.Context, d time.Duration) error {
+	return DelayCtx(ctx, d)
 }
 
 // Delay blocks for d with microsecond precision.
 func Delay(d time.Duration) {
+	DelayCtx(context.Background(), d)
+}
+
+// DelayCtx blocks for d with microsecond precision, returning early with the
+// context's error when it is canceled. Long delays (the sleepable remote
+// round trips a canceled analysis would otherwise sit out in full) select on
+// the context; the sub-2ms spin path checks it once at the end, which bounds
+// the overshoot of a cancellation to less than the OS timer granularity.
+func DelayCtx(ctx context.Context, d time.Duration) error {
 	if d <= 0 {
-		return
+		return ctx.Err()
 	}
 	if d >= 2*time.Millisecond {
-		time.Sleep(d)
-		return
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return ctx.Err()
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
 	deadline := time.Now().Add(d)
 	for time.Now().Before(deadline) {
 	}
+	return ctx.Err()
 }

@@ -1,0 +1,139 @@
+// Package testutil holds shared test infrastructure. Its centerpiece is the
+// goroutine-leak check: cancellation tests are only meaningful if abandoning
+// an analysis actually winds the machinery down, so every cancellation-path
+// test snapshots the goroutines before the scenario and fails if new ones
+// survive it.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// CheckGoroutines snapshots the live goroutines and registers a cleanup that
+// fails the test if, after a grace period, goroutines born during the test are
+// still running. The grace period (polled, up to two seconds) absorbs
+// legitimately asynchronous teardown — a canceled request goroutine observing
+// its context, a read loop noticing its closed socket — while still catching
+// anything genuinely parked forever.
+//
+// Call it first in the test, before the scenario spawns anything.
+func CheckGoroutines(t *testing.T) {
+	t.Helper()
+	before := goroutineStacks()
+	t.Cleanup(func() {
+		var leaked []string
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			leaked = leakedSince(before)
+			if len(leaked) == 0 || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if len(leaked) > 0 {
+			t.Errorf("testutil: %d goroutine(s) leaked:\n%s", len(leaked), strings.Join(leaked, "\n"))
+		}
+	})
+}
+
+// goroutineStacks returns one stack dump per live goroutine.
+func goroutineStacks() map[string]bool {
+	out := make(map[string]bool)
+	for _, g := range dumpGoroutines() {
+		out[g] = true
+	}
+	return out
+}
+
+// leakedSince returns the stacks of goroutines that are live now but were not
+// in the before snapshot, with uninteresting runtime/testing goroutines
+// filtered out.
+func leakedSince(before map[string]bool) []string {
+	var leaked []string
+	for _, g := range dumpGoroutines() {
+		if before[g] || boring(g) {
+			continue
+		}
+		leaked = append(leaked, g)
+	}
+	sort.Strings(leaked)
+	return leaked
+}
+
+// dumpGoroutines splits runtime.Stack(all) into per-goroutine dumps, excluding
+// the calling goroutine.
+func dumpGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var out []string
+	for i, g := range strings.Split(string(buf), "\n\n") {
+		if i == 0 {
+			continue // the goroutine running the dump
+		}
+		out = append(out, normalize(g))
+	}
+	return out
+}
+
+// normalize strips goroutine IDs, argument values, and code addresses so two
+// dumps of the same parked goroutine compare equal across snapshots.
+func normalize(g string) string {
+	lines := strings.Split(g, "\n")
+	for i, line := range lines {
+		if i == 0 {
+			// "goroutine 42 [chan receive]:" → "goroutine [chan receive]:";
+			// wait durations ("[select, 2 minutes]") vary too.
+			if j := strings.Index(line, " ["); j >= 0 {
+				state := line[j+2:]
+				if k := strings.IndexAny(state, ",]"); k >= 0 {
+					state = state[:k]
+				}
+				lines[i] = fmt.Sprintf("goroutine [%s]:", state)
+			}
+			continue
+		}
+		if j := strings.Index(line, "("); j >= 0 && !strings.HasPrefix(line, "\t") {
+			lines[i] = line[:j]
+		}
+		if j := strings.Index(line, " +0x"); j >= 0 {
+			lines[i] = line[:j]
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// boring reports stacks that are the test framework's or runtime's own
+// business: they come and go regardless of what the scenario under test does.
+func boring(g string) bool {
+	for _, frame := range []string{
+		"testing.(*T).Run",
+		"testing.(*M).",
+		"testing.runTests",
+		"testing.runFuzzing",
+		"runtime.gc",
+		"runtime.bgsweep",
+		"runtime.bgscavenge",
+		"runtime/trace",
+		"os/signal.signal_recv",
+		"os/signal.loop",
+	} {
+		if strings.Contains(g, frame) {
+			return true
+		}
+	}
+	// A goroutine in the runtime with no user frames at all (e.g. a freshly
+	// parked GC worker) is noise.
+	return !strings.Contains(g, "repro/")
+}
