@@ -888,6 +888,61 @@ func BenchmarkServiceAnalyze(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// E13 — the execution engine: the cold (cache-off) property sweep of E11's
+// workload analyzed on the embedded database with the vectorized engine
+// versus the row interpreter. The wire benchmarks sleep their round trips, so
+// engine time hides behind latency there; embedded execution is where the
+// paper's "local database" configurations live and where execution cost is
+// the whole denominator. Reports are byte-identical across engines (see
+// internal/core TestVector*).
+// ---------------------------------------------------------------------------
+
+func BenchmarkVectorAnalyze(b *testing.B) {
+	// E11's accumulated tuning-cycle history: every region's timing sets hold
+	// one row per run of the sweep, so the property queries aggregate real
+	// history rather than a handful of rows. The sweep is denser than E11's
+	// (24 partition counts): per-query volume is what batch execution
+	// amortizes, and a long tuning session is exactly where a cold analysis
+	// pays for engine time.
+	g := mustGraph(b, apprentice.ScaledStencil(15, 16),
+		2, 3, 4, 6, 8, 10, 12, 14, 16, 20, 24, 28, 32, 40, 48, 56, 64, 80, 96, 112, 128, 160, 192, 224)
+	runs := g.Dataset.Versions[0].Runs
+	run := runs[len(runs)-1]
+
+	for _, engine := range []string{sqldb.EngineVector, sqldb.EngineRow} {
+		b.Run(fmt.Sprintf("embedded/cache=off/engine=%s", engine), func(b *testing.B) {
+			db := uncachedDB()
+			if err := db.SetEngine(engine); err != nil {
+				b.Fatal(err)
+			}
+			if err := sqlgen.CreateSchema(g.World, embeddedExecutor(db)); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sqlgen.Load(g.Store, embeddedExecutor(db)); err != nil {
+				b.Fatal(err)
+			}
+			q := godbc.Embedded{DB: db}
+			a := core.New(g, core.WithWorkers(1))
+			// Warm-up: lazily built structures (join indexes, row views) and
+			// prepared plans, which both engines share.
+			if _, err := a.AnalyzeSQL(run, q); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := a.AnalyzeSQL(run, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Bottleneck() == nil {
+					b.Fatal("no bottleneck")
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
 // A2 — ablation: specification-driven analysis versus the Paradyn-style
 // fixed bottleneck set.
 // ---------------------------------------------------------------------------

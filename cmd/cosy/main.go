@@ -54,6 +54,7 @@ func main() {
 	fetchSize := flag.Int("fetchsize", 0, "rows per cursor fetch on pooled connections (the JDBC row-at-a-time default is 1); omit to keep the default")
 	batchSize := flag.Int("batchsize", 0, "context instances per batched request on the sql engine; 1 disables batching, omit for the default (32)")
 	cache := flag.String("cache", "on", "result cache of the in-process database: on or off (kojakdb servers configure theirs with -cache-size)")
+	sqlEngineName := flag.String("sql-engine", sqldb.EngineVector, "SELECT execution engine of the in-process database: vector or row (kojakdb servers select theirs with -engine)")
 	flag.Parse()
 
 	validateFlags()
@@ -111,6 +112,9 @@ func main() {
 	if *cache == "off" && len(shardAddrs) > 0 {
 		usageError("-cache=off only reaches the in-process database; configure the servers with kojakdb -cache-size 0")
 	}
+	if *sqlEngineName != sqldb.EngineVector && len(shardAddrs) > 0 {
+		usageError("-sql-engine only reaches the in-process database; select the servers' engine with kojakdb -engine")
+	}
 
 	// The SQL engines need a loaded database: in process by default, a
 	// pooled kojakdb server, or a set of kojakdb shards loaded run-wise.
@@ -159,6 +163,9 @@ func main() {
 			db := sqldb.NewDB()
 			if *cache == "off" {
 				db.SetResultCacheSize(0)
+			}
+			if err := db.SetEngine(*sqlEngineName); err != nil {
+				usageError("%v", err)
 			}
 			exec := sqlgen.ExecutorFunc(func(s string, p *sqldb.Params) (int, error) {
 				res, err := db.Exec(s, p)
@@ -226,6 +233,7 @@ func validateFlags() {
 	check("fetchsize", atLeast1, "must be at least 1 (omit the flag for the default)")
 	check("db", func(s string) bool { return strings.TrimSpace(s) != "" }, "must name at least one kojakdb address")
 	check("cache", func(s string) bool { return s == "on" || s == "off" }, "must be on or off")
+	check("sql-engine", func(s string) bool { return s == sqldb.EngineVector || s == sqldb.EngineRow }, "must be vector or row")
 	check("nope", atLeast1, "must be at least 1 (omit the flag for the largest run)")
 	nonNegative := func(s string) bool { var f float64; _, err := fmt.Sscanf(s, "%g", &f); return err == nil && f >= 0 }
 	check("threshold", nonNegative, "must not be negative")

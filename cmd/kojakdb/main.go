@@ -41,6 +41,7 @@ func main() {
 	shards := flag.Int("shards", 1, "total shard count of the deployment this instance belongs to")
 	maxConcurrent := flag.Int("max-concurrent", 0, "statements executed simultaneously; 0 means unbounded")
 	cacheSize := flag.Int("cache-size", sqldb.DefaultResultCacheSize, "result-cache capacity in cached SELECT results; 0 disables the cache")
+	engine := flag.String("engine", sqldb.EngineVector, "SELECT execution engine: vector (columnar, batch-at-a-time) or row (tuple-at-a-time interpreter)")
 	flag.Parse()
 
 	switch {
@@ -67,6 +68,9 @@ func main() {
 
 	db := sqldb.NewDB()
 	db.SetResultCacheSize(*cacheSize)
+	if err := db.SetEngine(*engine); err != nil {
+		usageError("%v", err)
+	}
 	if *schema {
 		world := model.MustCompileSpec()
 		exec := sqlgen.ExecutorFunc(func(q string, p *sqldb.Params) (int, error) {
@@ -97,7 +101,7 @@ func main() {
 	if *shards > 1 {
 		identity = fmt.Sprintf(", shard %d/%d", *shardID, *shards)
 	}
-	fmt.Printf("kojakdb: serving on %s (profile %s, schema=%v%s)\n", srv.Addr(), profile, *schema, identity)
+	fmt.Printf("kojakdb: serving on %s (profile %s, engine %s, schema=%v%s)\n", srv.Addr(), profile, *engine, *schema, identity)
 
 	// Graceful shutdown on SIGINT and SIGTERM: stop accepting, give the
 	// connected clients up to -drain to finish their in-flight requests and
@@ -130,6 +134,8 @@ func main() {
 		st.BatchExecs, st.BatchBindings)
 	fmt.Printf("kojakdb: result cache: %d hits, %d misses, %d invalidations, %d evictions (%d cached results)\n",
 		st.ResultCacheHits, st.ResultCacheMisses, st.ResultCacheInvalidations, st.ResultCacheEvictions, st.ResultCacheEntries)
+	fmt.Printf("kojakdb: execution engine %s: %d vectorized selects, %d row-engine fallbacks\n",
+		st.Engine, st.VecSelects, st.VecFallbacks)
 }
 
 // usageError reports a bad flag value and exits with the conventional usage

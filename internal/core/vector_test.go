@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/apprentice"
+	"repro/internal/godbc"
+	"repro/internal/model"
+	"repro/internal/sqldb"
+)
+
+// The vectorized-engine determinism suite: the engine selection must be
+// invisible in the output. Reports computed on the columnar engine render
+// byte-identically to the row interpreter's — at any worker count, batch
+// size, and shard count, with the result cache on or off, before and after
+// DML. Run with -race to exercise the pooled batch contexts under the
+// concurrent analysis pipeline.
+
+// rowBaseline renders the row-interpreter reference reports for a run:
+// serial, cache-off, before and after the invalidating DML.
+func rowBaseline(t *testing.T, g *model.Graph, run *model.TestRun) (before, after string) {
+	t.Helper()
+	db := loadDB(t, g)
+	db.SetResultCacheSize(0)
+	if err := db.SetEngine(sqldb.EngineRow); err != nil {
+		t.Fatal(err)
+	}
+	ref := New(g)
+	analyze := func() (*Report, error) { return ref.AnalyzeSQL(run, godbc.Embedded{DB: db}) }
+	before = renderWith(t, ref, 1, analyze)
+	if _, err := db.Exec(halveTypedTiming, nil); err != nil {
+		t.Fatal(err)
+	}
+	after = renderWith(t, ref, 1, analyze)
+	if before == after {
+		t.Fatal("the invalidating DML did not change the report; the test is vacuous")
+	}
+	return before, after
+}
+
+// TestVectorAnalysisDeterminism: on the embedded database, the vectorized
+// engine's report is byte-identical to the row engine's at workers 1/8 ×
+// batch 1/32 × cache on/off, on repeat (cache-warm) analyses, and after DML.
+func TestVectorAnalysisDeterminism(t *testing.T) {
+	g := buildGraph(t, apprentice.Particles())
+	run := lastRun(g)
+	wantBefore, wantAfter := rowBaseline(t, g, run)
+
+	for _, workers := range []int{1, 8} {
+		for _, batch := range []int{1, 32} {
+			for _, cache := range []string{"off", "on"} {
+				db := loadDB(t, g)
+				if cache == "off" {
+					db.SetResultCacheSize(0)
+				}
+				if err := db.SetEngine(sqldb.EngineVector); err != nil {
+					t.Fatal(err)
+				}
+				a := New(g, WithBatchSize(batch))
+				q := godbc.Embedded{DB: db}
+				analyze := func() (*Report, error) { return a.AnalyzeSQL(run, q) }
+				cold := renderWith(t, a, workers, analyze)
+				warm := renderWith(t, a, workers, analyze)
+				if cold != wantBefore || warm != wantBefore {
+					t.Errorf("workers=%d batch=%d cache=%s: vectorized report differs from the row baseline",
+						workers, batch, cache)
+				}
+				if _, err := db.Exec(halveTypedTiming, nil); err != nil {
+					t.Fatal(err)
+				}
+				after := renderWith(t, a, workers, analyze)
+				if after != wantAfter {
+					t.Errorf("workers=%d batch=%d cache=%s: post-DML vectorized report differs from the row baseline:\n--- want ---\n%s--- got ---\n%s",
+						workers, batch, cache, wantAfter, after)
+				}
+				if st := db.Stats(); st.VecSelects == 0 {
+					t.Errorf("workers=%d batch=%d cache=%s: no SELECT took the vectorized path", workers, batch, cache)
+				}
+			}
+		}
+	}
+}
+
+// TestVectorShardedDeterminism: every shard runs the vectorized engine; the
+// merged report matches the embedded row-engine baseline at shards 1/2 ×
+// workers 1/8, and broadcast DML keeps the shards and the report consistent.
+func TestVectorShardedDeterminism(t *testing.T) {
+	g := buildGraph(t, apprentice.Particles())
+	run := lastRun(g)
+	wantBefore, wantAfter := rowBaseline(t, g, run)
+
+	for _, shards := range []int{1, 2} {
+		h := startShardHarness(t, g, shards)
+		for _, db := range h.dbs {
+			if err := db.SetEngine(sqldb.EngineVector); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, workers := range []int{1, 8} {
+			a := New(g)
+			got := renderWith(t, a, workers, func() (*Report, error) { return a.AnalyzeSQL(run, h.sdb) })
+			if got != wantBefore {
+				t.Errorf("shards=%d workers=%d: vectorized report differs from the row baseline", shards, workers)
+			}
+		}
+		if _, err := h.sdb.Exec(halveTypedTiming, nil); err != nil {
+			t.Fatal(err)
+		}
+		a := New(g)
+		after := renderWith(t, a, 8, func() (*Report, error) { return a.AnalyzeSQL(run, h.sdb) })
+		if after != wantAfter {
+			t.Errorf("shards=%d: post-DML vectorized report differs from the row baseline:\n--- want ---\n%s--- got ---\n%s",
+				shards, wantAfter, after)
+		}
+		vec := int64(0)
+		for _, db := range h.dbs {
+			vec += db.Stats().VecSelects
+		}
+		if vec == 0 {
+			t.Errorf("shards=%d: no SELECT took the vectorized path", shards)
+		}
+	}
+}

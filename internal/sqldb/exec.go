@@ -254,14 +254,17 @@ func (db *DB) execUpdateLocked(st *UpdateStmt, params *Params, plan *stmtPlan) (
 		}
 		patches = append(patches, p)
 	}
-	// Phase 2 (write): apply the patches under the table write lock.
+	// Phase 2 (write): apply the patches to the column vectors under the
+	// table write lock, dropping the cached row view (it holds pre-update
+	// values; the next scan rebuilds it).
 	if len(patches) > 0 {
 		t.mu.Lock()
 		for _, p := range patches {
 			for j, cv := range p.values {
-				t.rows[p.pos][cols[j]] = cv
+				t.cols[cols[j]].setVal(p.pos, cv)
 			}
 		}
+		t.rowView = nil
 		t.mu.Unlock()
 		t.rebuildIndexes()
 		db.bumpData(t)
@@ -306,16 +309,15 @@ func (db *DB) execDeleteLocked(st *DeleteStmt, params *Params, plan *stmtPlan) (
 			keep[i] = true
 		}
 	}
-	// Phase 2 (write): compact the row storage under the table write lock.
+	// Phase 2 (write): compact the column vectors under the table write
+	// lock, dropping the cached row view.
 	if n > 0 {
 		t.mu.Lock()
-		kept := t.rows[:0]
-		for i := range t.rows {
-			if keep[i] {
-				kept = append(kept, t.rows[i])
-			}
+		for _, c := range t.cols {
+			c.compact(keep)
 		}
-		t.rows = kept
+		t.nrows -= n
+		t.rowView = nil
 		t.mu.Unlock()
 		t.rebuildIndexes()
 		db.bumpData(t)
@@ -392,6 +394,11 @@ type execCtx struct {
 	free     map[Expr]*freeInfo
 	subCache map[string]Value
 	keyCache map[Expr]string
+	// aggPre, when non-nil, maps aggregate call nodes to precomputed values:
+	// the vectorized engine accumulates aggregates batch-at-a-time and then
+	// evaluates the grouped projection/HAVING scalar parts through the row
+	// evaluator with the aggregates already folded (see vecexec.go).
+	aggPre map[*ECall]Value
 }
 
 // cacheKey returns (memoized) the canonical text of an invariant subquery,
@@ -543,12 +550,37 @@ type groupCtx struct {
 	tuples []tuple
 }
 
+// vecPlanFor returns the select's plan when the vectorized engine will run
+// it: planned, compiled, and the engine selected. Callers on scalar-position
+// paths use it to skip ResultSet materialization (vecExecScalar et al.).
+func (ec *execCtx) vecPlanFor(st *SelectStmt) *selectPlan {
+	if ec.plan == nil || !ec.db.vecOn.Load() {
+		return nil
+	}
+	sp := ec.plan.selects[st]
+	if sp == nil || sp.vec == nil {
+		return nil
+	}
+	return sp
+}
+
 func (ec *execCtx) execSelect(st *SelectStmt, parent *frame) (*ResultSet, error) {
 	// sp is the precomputed strategy of this SELECT node, nil on the
 	// unprepared path.
 	var sp *selectPlan
 	if ec.plan != nil {
 		sp = ec.plan.selects[st]
+	}
+	// Engine dispatch: a planned SELECT with a compiled vectorized form runs
+	// batch-at-a-time when the vectorized engine is selected; everything else
+	// (unplanned statements, shapes the compiler refused) stays on the row
+	// interpreter below.
+	if sp != nil && ec.db.vecOn.Load() {
+		if sp.vec != nil {
+			ec.db.vecSelects.Add(1)
+			return ec.vecExecSelect(st, sp, parent)
+		}
+		ec.db.vecFallbacks.Add(1)
 	}
 	fr := &frame{parent: parent}
 	var tuples []tuple
@@ -623,24 +655,12 @@ func (ec *execCtx) execSelect(st *SelectStmt, parent *frame) (*ResultSet, error)
 	}
 
 	set := &ResultSet{}
-	for _, item := range st.Items {
-		if item.Star {
-			for _, bt := range fr.tables {
-				for _, c := range bt.table.Columns {
-					set.Columns = append(set.Columns, c.Name)
-				}
-			}
-			continue
+	{
+		tables := make([]*Table, len(fr.tables))
+		for i, bt := range fr.tables {
+			tables[i] = bt.table
 		}
-		name := item.Alias
-		if name == "" {
-			if col, ok := item.Expr.(*EColumn); ok {
-				name = col.Name
-			} else {
-				name = fmt.Sprintf("col%d", len(set.Columns)+1)
-			}
-		}
-		set.Columns = append(set.Columns, name)
+		set.Columns = selectColumns(st, tables)
 	}
 
 	project := func(tp tuple) (Row, error) {
@@ -666,10 +686,6 @@ func (ec *execCtx) execSelect(st *SelectStmt, parent *frame) (*ResultSet, error)
 		return out, nil
 	}
 
-	type sortableRow struct {
-		row  Row
-		keys []Value
-	}
 	var rows []sortableRow
 
 	orderKeys := func(tp tuple, out Row) ([]Value, error) {
@@ -756,36 +772,8 @@ func (ec *execCtx) execSelect(st *SelectStmt, parent *frame) (*ResultSet, error)
 		}
 	}
 
-	if len(st.OrderBy) > 0 {
-		var sortErr error
-		sort.SliceStable(rows, func(i, j int) bool {
-			for k, item := range st.OrderBy {
-				a, b := rows[i].keys[k], rows[j].keys[k]
-				// NULLs sort last regardless of direction.
-				if a.IsNull() || b.IsNull() {
-					if a.IsNull() && b.IsNull() {
-						continue
-					}
-					return b.IsNull()
-				}
-				cmp, err := Compare(a, b)
-				if err != nil {
-					sortErr = err
-					return false
-				}
-				if cmp == 0 {
-					continue
-				}
-				if item.Desc {
-					return cmp > 0
-				}
-				return cmp < 0
-			}
-			return false
-		})
-		if sortErr != nil {
-			return nil, sortErr
-		}
+	if err := sortRows(rows, st.OrderBy); err != nil {
+		return nil, err
 	}
 
 	if st.Limit != nil {
@@ -1150,6 +1138,74 @@ func selectShape(st *SelectStmt, tables []*Table) (grouped bool, aliases map[str
 	return grouped, aliases
 }
 
+// selectColumns derives the output column names of a SELECT over its bound
+// tables. Shared by both engines so result shapes match exactly.
+func selectColumns(st *SelectStmt, tables []*Table) []string {
+	var cols []string
+	for _, item := range st.Items {
+		if item.Star {
+			for _, t := range tables {
+				for _, c := range t.Columns {
+					cols = append(cols, c.Name)
+				}
+			}
+			continue
+		}
+		name := item.Alias
+		if name == "" {
+			if col, ok := item.Expr.(*EColumn); ok {
+				name = col.Name
+			} else {
+				name = fmt.Sprintf("col%d", len(cols)+1)
+			}
+		}
+		cols = append(cols, name)
+	}
+	return cols
+}
+
+// sortableRow pairs an output row with its precomputed ORDER BY keys.
+type sortableRow struct {
+	row  Row
+	keys []Value
+}
+
+// sortRows stable-sorts output rows on their ORDER BY keys, NULLs last
+// regardless of direction. Shared by both engines so tie-breaking and
+// incomparable-type errors match exactly.
+func sortRows(rows []sortableRow, order []OrderItem) error {
+	if len(order) == 0 {
+		return nil
+	}
+	var sortErr error
+	sort.SliceStable(rows, func(i, j int) bool {
+		for k, item := range order {
+			a, b := rows[i].keys[k], rows[j].keys[k]
+			// NULLs sort last regardless of direction.
+			if a.IsNull() || b.IsNull() {
+				if a.IsNull() && b.IsNull() {
+					continue
+				}
+				return b.IsNull()
+			}
+			cmp, err := Compare(a, b)
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if cmp == 0 {
+				continue
+			}
+			if item.Desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		return false
+	})
+	return sortErr
+}
+
 // matchJoinCol matches "jbt.col = expr" where expr does not reference jbt.
 func matchJoinCol(bin *EBinary, jbt *boundTable) (int, Expr) {
 	try := func(colE, otherE Expr) (int, Expr) {
@@ -1225,22 +1281,7 @@ func (ec *execCtx) eval(e Expr, fr *frame) (Value, error) {
 		if err != nil {
 			return Null, err
 		}
-		if v.IsNull() {
-			return Null, nil
-		}
-		if x.Neg {
-			switch {
-			case v.IsInt():
-				return NewInt(-v.Int()), nil
-			case v.IsNumeric():
-				return NewFloat(-v.Float()), nil
-			}
-			return Null, fmt.Errorf("sqldb: unary - on %s", v)
-		}
-		if !v.IsBool() {
-			return Null, fmt.Errorf("sqldb: NOT on %s", v)
-		}
-		return NewBool(!v.Bool()), nil
+		return applyUnary(x.Neg, v)
 	case *EBinary:
 		return ec.evalBinary(x, fr)
 	case *ECall:
@@ -1260,21 +1301,33 @@ func (ec *execCtx) eval(e Expr, fr *frame) (Value, error) {
 				return v, nil
 			}
 		}
-		set, err := ec.execSelect(x.Select, fr)
-		if err != nil {
-			return Null, err
-		}
-		if len(set.Columns) != 1 {
-			return Null, fmt.Errorf("sqldb: scalar subquery returns %d columns", len(set.Columns))
-		}
 		var v Value
-		switch len(set.Rows) {
-		case 0:
-			v = Null
-		case 1:
-			v = set.Rows[0][0]
-		default:
-			return Null, fmt.Errorf("sqldb: scalar subquery returned %d rows", len(set.Rows))
+		if sp := ec.vecPlanFor(x.Select); sp != nil {
+			ec.db.vecSelects.Add(1)
+			if n := len(sp.vec.columns); n != 1 {
+				return Null, fmt.Errorf("sqldb: scalar subquery returns %d columns", n)
+			}
+			sv, err := ec.vecExecScalar(x.Select, sp, fr)
+			if err != nil {
+				return Null, err
+			}
+			v = sv
+		} else {
+			set, err := ec.execSelect(x.Select, fr)
+			if err != nil {
+				return Null, err
+			}
+			if len(set.Columns) != 1 {
+				return Null, fmt.Errorf("sqldb: scalar subquery returns %d columns", len(set.Columns))
+			}
+			switch len(set.Rows) {
+			case 0:
+				v = Null
+			case 1:
+				v = set.Rows[0][0]
+			default:
+				return Null, fmt.Errorf("sqldb: scalar subquery returned %d rows", len(set.Rows))
+			}
 		}
 		if cacheable {
 			if ec.subCache == nil {
@@ -1292,11 +1345,21 @@ func (ec *execCtx) eval(e Expr, fr *frame) (Value, error) {
 				return v, nil
 			}
 		}
-		set, err := ec.execSelect(x.Select, fr)
-		if err != nil {
-			return Null, err
+		var v Value
+		if sp := ec.vecPlanFor(x.Select); sp != nil {
+			ec.db.vecSelects.Add(1)
+			ev, err := ec.vecExecExists(x.Select, sp, fr)
+			if err != nil {
+				return Null, err
+			}
+			v = ev
+		} else {
+			set, err := ec.execSelect(x.Select, fr)
+			if err != nil {
+				return Null, err
+			}
+			v = NewBool(len(set.Rows) > 0)
 		}
-		v := NewBool(len(set.Rows) > 0)
 		if cacheable {
 			if ec.subCache == nil {
 				ec.subCache = make(map[string]Value)
@@ -1336,27 +1399,7 @@ func (ec *execCtx) evalIn(x *EIn, fr *frame) (Value, error) {
 			candidates = append(candidates, v)
 		}
 	}
-	if lv.IsNull() {
-		return Null, nil
-	}
-	sawNull := false
-	for _, c := range candidates {
-		if c.IsNull() {
-			sawNull = true
-			continue
-		}
-		cmp, err := Compare(lv, c)
-		if err != nil {
-			continue // incomparable values never match
-		}
-		if cmp == 0 {
-			return NewBool(!x.Not), nil
-		}
-	}
-	if sawNull {
-		return Null, nil
-	}
-	return NewBool(x.Not), nil
+	return applyInList(lv, candidates, x.Not)
 }
 
 func (ec *execCtx) evalBinary(x *EBinary, fr *frame) (Value, error) {
@@ -1366,41 +1409,14 @@ func (ec *execCtx) evalBinary(x *EBinary, fr *frame) (Value, error) {
 			return Null, err
 		}
 		// Kleene three-valued logic with short-circuiting.
-		if !lv.IsNull() && lv.IsBool() {
-			if x.Op == OpAnd && !lv.Bool() {
-				return NewBool(false), nil
-			}
-			if x.Op == OpOr && lv.Bool() {
-				return NewBool(true), nil
-			}
+		if decided, v := logicalShortCircuit(x.Op, lv); decided {
+			return v, nil
 		}
 		rv, err := ec.eval(x.R, fr)
 		if err != nil {
 			return Null, err
 		}
-		lb, lok := boolOrNull(lv)
-		rb, rok := boolOrNull(rv)
-		if (lv.IsNull() || lok) && (rv.IsNull() || rok) {
-			switch x.Op {
-			case OpAnd:
-				if lok && rok {
-					return NewBool(lb && rb), nil
-				}
-				if (lok && !lb) || (rok && !rb) {
-					return NewBool(false), nil
-				}
-				return Null, nil
-			case OpOr:
-				if lok && rok {
-					return NewBool(lb || rb), nil
-				}
-				if (lok && lb) || (rok && rb) {
-					return NewBool(true), nil
-				}
-				return Null, nil
-			}
-		}
-		return Null, fmt.Errorf("sqldb: %s on non-boolean operands", x.Op)
+		return combineAndOr(x.Op, lv, rv)
 	}
 
 	lv, err := ec.eval(x.L, fr)
@@ -1411,18 +1427,67 @@ func (ec *execCtx) evalBinary(x *EBinary, fr *frame) (Value, error) {
 	if err != nil {
 		return Null, err
 	}
+	return applyBinary(x.Op, lv, rv)
+}
+
+// logicalShortCircuit reports whether the left operand alone decides an
+// AND/OR, and the decided value. Shared by both engines so they skip the
+// right operand (and any error it would raise) for exactly the same rows.
+func logicalShortCircuit(op BinOp, lv Value) (bool, Value) {
+	if !lv.IsNull() && lv.IsBool() {
+		if op == OpAnd && !lv.Bool() {
+			return true, NewBool(false)
+		}
+		if op == OpOr && lv.Bool() {
+			return true, NewBool(true)
+		}
+	}
+	return false, Null
+}
+
+// combineAndOr applies three-valued AND/OR to two evaluated operands.
+func combineAndOr(op BinOp, lv, rv Value) (Value, error) {
+	lb, lok := boolOrNull(lv)
+	rb, rok := boolOrNull(rv)
+	if (lv.IsNull() || lok) && (rv.IsNull() || rok) {
+		switch op {
+		case OpAnd:
+			if lok && rok {
+				return NewBool(lb && rb), nil
+			}
+			if (lok && !lb) || (rok && !rb) {
+				return NewBool(false), nil
+			}
+			return Null, nil
+		case OpOr:
+			if lok && rok {
+				return NewBool(lb || rb), nil
+			}
+			if (lok && lb) || (rok && rb) {
+				return NewBool(true), nil
+			}
+			return Null, nil
+		}
+	}
+	return Null, fmt.Errorf("sqldb: %s on non-boolean operands", op)
+}
+
+// applyBinary applies a non-logical binary operator to two evaluated
+// operands, including the NULL propagation. Both engines evaluate binary
+// expressions through this single kernel, so semantics — and error texts —
+// cannot drift between them.
+func applyBinary(op BinOp, lv, rv Value) (Value, error) {
 	if lv.IsNull() || rv.IsNull() {
 		return Null, nil
 	}
-
-	switch x.Op {
+	switch op {
 	case OpEq, OpNeq, OpLt, OpLeq, OpGt, OpGeq:
 		cmp, err := Compare(lv, rv)
 		if err != nil {
 			return Null, err
 		}
 		var b bool
-		switch x.Op {
+		switch op {
 		case OpEq:
 			b = cmp == 0
 		case OpNeq:
@@ -1444,9 +1509,9 @@ func (ec *execCtx) evalBinary(x *EBinary, fr *frame) (Value, error) {
 		return NewText(lv.Text() + rv.Text()), nil
 	case OpAdd, OpSub, OpMul, OpDiv, OpMod:
 		if !lv.IsNumeric() || !rv.IsNumeric() {
-			return Null, fmt.Errorf("sqldb: %s on %s and %s", x.Op, lv, rv)
+			return Null, fmt.Errorf("sqldb: %s on %s and %s", op, lv, rv)
 		}
-		if x.Op == OpMod {
+		if op == OpMod {
 			if !lv.IsInt() || !rv.IsInt() {
 				return Null, fmt.Errorf("sqldb: %% on non-integers")
 			}
@@ -1455,14 +1520,14 @@ func (ec *execCtx) evalBinary(x *EBinary, fr *frame) (Value, error) {
 			}
 			return NewInt(lv.Int() % rv.Int()), nil
 		}
-		if x.Op == OpDiv {
+		if op == OpDiv {
 			if rv.Float() == 0 {
 				return Null, fmt.Errorf("sqldb: division by zero")
 			}
 			return NewFloat(lv.Float() / rv.Float()), nil
 		}
 		if lv.IsInt() && rv.IsInt() {
-			switch x.Op {
+			switch op {
 			case OpAdd:
 				return NewInt(lv.Int() + rv.Int()), nil
 			case OpSub:
@@ -1472,7 +1537,7 @@ func (ec *execCtx) evalBinary(x *EBinary, fr *frame) (Value, error) {
 			}
 		}
 		var f float64
-		switch x.Op {
+		switch op {
 		case OpAdd:
 			f = lv.Float() + rv.Float()
 		case OpSub:
@@ -1485,7 +1550,7 @@ func (ec *execCtx) evalBinary(x *EBinary, fr *frame) (Value, error) {
 		}
 		return NewFloat(f), nil
 	}
-	return Null, fmt.Errorf("sqldb: unhandled operator %s", x.Op)
+	return Null, fmt.Errorf("sqldb: unhandled operator %s", op)
 }
 
 func boolOrNull(v Value) (bool, bool) {
@@ -1495,8 +1560,60 @@ func boolOrNull(v Value) (bool, bool) {
 	return false, false
 }
 
+// applyUnary applies unary minus (neg) or NOT to an evaluated operand.
+// Shared by both engines.
+func applyUnary(neg bool, v Value) (Value, error) {
+	if v.IsNull() {
+		return Null, nil
+	}
+	if neg {
+		switch {
+		case v.IsInt():
+			return NewInt(-v.Int()), nil
+		case v.IsNumeric():
+			return NewFloat(-v.Float()), nil
+		}
+		return Null, fmt.Errorf("sqldb: unary - on %s", v)
+	}
+	if !v.IsBool() {
+		return Null, fmt.Errorf("sqldb: NOT on %s", v)
+	}
+	return NewBool(!v.Bool()), nil
+}
+
+// applyInList applies IN/NOT IN membership to an evaluated needle and an
+// evaluated candidate list, with SQL NULL semantics. Shared by both engines.
+func applyInList(lv Value, candidates []Value, not bool) (Value, error) {
+	if lv.IsNull() {
+		return Null, nil
+	}
+	sawNull := false
+	for _, c := range candidates {
+		if c.IsNull() {
+			sawNull = true
+			continue
+		}
+		cmp, err := Compare(lv, c)
+		if err != nil {
+			continue // incomparable values never match
+		}
+		if cmp == 0 {
+			return NewBool(!not), nil
+		}
+	}
+	if sawNull {
+		return Null, nil
+	}
+	return NewBool(not), nil
+}
+
 func (ec *execCtx) evalCall(x *ECall, fr *frame) (Value, error) {
 	if x.IsAggregate() {
+		if ec.aggPre != nil {
+			if v, ok := ec.aggPre[x]; ok {
+				return v, nil
+			}
+		}
 		return ec.evalAggregate(x, fr)
 	}
 	args := make([]Value, len(x.Args))
@@ -1507,7 +1624,13 @@ func (ec *execCtx) evalCall(x *ECall, fr *frame) (Value, error) {
 		}
 		args[i] = v
 	}
-	name := strings.ToUpper(x.Name)
+	return applyScalarFunc(x.Name, args)
+}
+
+// applyScalarFunc applies a scalar SQL function to evaluated arguments.
+// Shared by both engines, so function semantics and error texts match.
+func applyScalarFunc(rawName string, args []Value) (Value, error) {
+	name := strings.ToUpper(rawName)
 	switch name {
 	case "ABS":
 		if len(args) != 1 {
@@ -1583,7 +1706,7 @@ func (ec *execCtx) evalCall(x *ECall, fr *frame) (Value, error) {
 		}
 		return NewText(strings.ToLower(args[0].Text())), nil
 	}
-	return Null, fmt.Errorf("sqldb: unknown function %s", x.Name)
+	return Null, fmt.Errorf("sqldb: unknown function %s", rawName)
 }
 
 func (ec *execCtx) evalAggregate(x *ECall, fr *frame) (Value, error) {
@@ -1607,61 +1730,85 @@ func (ec *execCtx) evalAggregate(x *ECall, fr *frame) (Value, error) {
 		return Null, fmt.Errorf("sqldb: aggregate %s takes 1 argument", x.Name)
 	}
 
-	count := int64(0)
-	sum := 0.0
-	allInt := true
-	var best Value
+	acc := newAggAcc()
 	for _, tp := range g.tuples {
 		setTuple(g.fr, tp)
 		v, err := ec.eval(x.Args[0], g.fr)
 		if err != nil {
 			return Null, err
 		}
-		if v.IsNull() {
-			continue
-		}
-		count++
-		switch name {
-		case "SUM", "AVG":
-			if !v.IsNumeric() {
-				return Null, fmt.Errorf("sqldb: %s over non-numeric %s", name, v)
-			}
-			if !v.IsInt() {
-				allInt = false
-			}
-			sum += v.Float()
-		case "MIN", "MAX":
-			if best.IsNull() {
-				best = v
-				continue
-			}
-			cmp, err := Compare(v, best)
-			if err != nil {
-				return Null, err
-			}
-			if (name == "MIN" && cmp < 0) || (name == "MAX" && cmp > 0) {
-				best = v
-			}
+		if err := acc.add(name, v); err != nil {
+			return Null, err
 		}
 	}
+	return acc.final(name, x.Name)
+}
+
+// aggAcc accumulates one aggregate over non-NULL inputs. Both engines feed
+// values through add in storage (row) order, so float summation — and with it
+// SUM/AVG results — is bit-identical across them.
+type aggAcc struct {
+	count  int64
+	sum    float64
+	allInt bool
+	best   Value
+}
+
+func newAggAcc() aggAcc { return aggAcc{allInt: true} }
+
+// add folds one input value into the accumulator for the (upper-cased)
+// aggregate name. NULL inputs are skipped, per SQL.
+func (a *aggAcc) add(name string, v Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	a.count++
+	switch name {
+	case "SUM", "AVG":
+		if !v.IsNumeric() {
+			return fmt.Errorf("sqldb: %s over non-numeric %s", name, v)
+		}
+		if !v.IsInt() {
+			a.allInt = false
+		}
+		a.sum += v.Float()
+	case "MIN", "MAX":
+		if a.best.IsNull() {
+			a.best = v
+			return nil
+		}
+		cmp, err := Compare(v, a.best)
+		if err != nil {
+			return err
+		}
+		if (name == "MIN" && cmp < 0) || (name == "MAX" && cmp > 0) {
+			a.best = v
+		}
+	}
+	return nil
+}
+
+// final produces the aggregate result. name is upper-cased; rawName is the
+// source spelling, used in error texts.
+func (a *aggAcc) final(name, rawName string) (Value, error) {
 	switch name {
 	case "COUNT":
-		return NewInt(count), nil
+		return NewInt(a.count), nil
 	case "SUM":
-		if count == 0 {
+		if a.count == 0 {
 			return Null, nil
 		}
-		if allInt {
-			return NewInt(int64(sum)), nil
+		if a.allInt {
+			return NewInt(int64(a.sum)), nil
 		}
-		return NewFloat(sum), nil
+		return NewFloat(a.sum), nil
 	case "AVG":
-		if count == 0 {
+		if a.count == 0 {
 			return Null, nil
 		}
-		return NewFloat(sum / float64(count)), nil
+		return NewFloat(a.sum / float64(a.count)), nil
 	case "MIN", "MAX":
-		return best, nil
+		return a.best, nil
 	}
-	return Null, fmt.Errorf("sqldb: unhandled aggregate %s", x.Name)
+	return Null, fmt.Errorf("sqldb: unhandled aggregate %s", rawName)
 }

@@ -85,7 +85,10 @@ type joinPlan struct {
 	rest []Expr
 }
 
-// selectPlan is the precomputed execution strategy of one SELECT node.
+// selectPlan is the precomputed execution strategy of one SELECT node: the
+// logical plan (resolved tables, access paths, join strategies, shape) plus,
+// when the node's shape is covered, the compiled physical operator pipeline
+// of the vectorized engine.
 type selectPlan struct {
 	from        *Table // nil for table-less SELECT
 	fromBinding string
@@ -93,6 +96,10 @@ type selectPlan struct {
 	joins       []joinPlan
 	grouped     bool
 	aliases     map[string]int // select alias -> output column (read-only)
+	// vec is the compiled vectorized form, nil when the node falls back to
+	// the row interpreter (see the criteria in vec.go). Compiled once per
+	// plan, immutable, shared across concurrent executions.
+	vec *vecSelectPlan
 }
 
 // PreparedStmt is a reusable handle for one statement. It is safe for
@@ -248,6 +255,13 @@ func (db *DB) buildPlan(stmt Stmt) (*stmtPlan, error) {
 		}
 	case *CreateTableStmt, *DropTableStmt, *CreateIndexStmt:
 		// DDL has nothing to precompute; Execute runs the dynamic path.
+	}
+	// Second pass: compile the physical operator pipeline of every SELECT
+	// node the vectorized engine covers. This runs after the logical pass so
+	// the free-column analyses of all subqueries are available (the compiler
+	// vectorizes only closed subqueries, evaluated lazily as constants).
+	for st, sp := range p.selects {
+		sp.vec = compileVecSelect(p, st, sp)
 	}
 	return p, nil
 }
@@ -522,6 +536,14 @@ type Stats struct {
 	ResultCacheInvalidations int64
 	ResultCacheEvictions     int64
 	ResultCacheEntries       int
+	// Engine is the selected SELECT execution engine ("vector" or "row").
+	// VecSelects counts planned SELECT nodes executed on the vectorized
+	// operators; VecFallbacks counts planned SELECT nodes that ran on the row
+	// interpreter because their shape is not vectorized, while the vectorized
+	// engine was selected (see vec.go).
+	Engine       string
+	VecSelects   int64
+	VecFallbacks int64
 }
 
 // Stats returns current prepared-statement and plan-cache counters.
@@ -553,6 +575,10 @@ func (db *DB) Stats() Stats {
 		ResultCacheInvalidations: db.resInvalid.Load(),
 		ResultCacheEvictions:     db.resEvicts.Load(),
 		ResultCacheEntries:       resEntries,
+
+		Engine:       db.Engine(),
+		VecSelects:   db.vecSelects.Load(),
+		VecFallbacks: db.vecFallbacks.Load(),
 	}
 }
 

@@ -19,14 +19,10 @@ type Column struct {
 // Row is a tuple of values, one per column.
 type Row []Value
 
-// clone returns a copy of the row.
-func (r Row) clone() Row {
-	out := make(Row, len(r))
-	copy(out, r)
-	return out
-}
-
-// Table is the storage for one relation.
+// Table is the storage for one relation. Data is stored column-major: one
+// typed vector per column (see column.go). The vectorized operators read the
+// vectors directly; the row interpreter and the DML read paths go through
+// scan, which materializes (and caches) a row view of the same data.
 //
 // Every table carries its own RWMutex so that readers of different tables
 // never contend and concurrent readers of the same table only serialize
@@ -37,12 +33,19 @@ type Table struct {
 	Name    string
 	Columns []Column
 	colIdx  map[string]int // lower-cased column name -> position
-	// mu guards rows and indexes. Writers (insert, update, delete, index
-	// builds) take the write lock; row scans and index lookups take the read
-	// lock, which makes the lazily built join indexes safe under concurrent
-	// SELECTs.
-	mu   sync.RWMutex
-	rows []Row
+	// mu guards the derived read structures (indexes and the cached row
+	// view). The column vectors themselves mutate only under the exclusive
+	// DB statement lock, which excludes all SELECT readers, so batch reads
+	// off cols need no table lock; mu makes the lazily built join indexes
+	// and the lazily built row view safe under concurrent SELECTs.
+	mu sync.RWMutex
+	// cols holds one typed vector per column; nrows is the row count.
+	cols  []*colVec
+	nrows int
+	// rowView is the cached row-major view served by scan. Inserts extend it
+	// in place while it is live; updates and deletes drop it, and the next
+	// scan rebuilds it. nil means stale/never built.
+	rowView []Row
 	// indexes maps column position to a hash index from value key to row
 	// positions. Indexes are maintained incrementally on insert and rebuilt
 	// on update/delete.
@@ -63,6 +66,9 @@ func newTable(name string, cols []Column) (*Table, error) {
 		colIdx:  make(map[string]int, len(cols)),
 		indexes: make(map[int]map[string][]int),
 		primary: -1,
+	}
+	for _, c := range cols {
+		t.cols = append(t.cols, newColVec(c.Type))
 	}
 	for i, c := range cols {
 		key := strings.ToLower(c.Name)
@@ -95,17 +101,57 @@ func (t *Table) ColumnIndex(name string) int {
 func (t *Table) NumRows() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return len(t.rows)
+	return t.nrows
 }
 
-// scan returns the current row storage for a full scan. The returned slice
-// header is a snapshot: inserts append (never reallocating under a reader's
-// feet in a way that changes visible elements), and updates and deletes hold
-// the write lock while they mutate.
+// scan returns a row-major view of the table for the row interpreter. The
+// view is materialized from the column vectors once and cached: repeat scans
+// return the cached slice with no per-row allocation, inserts extend the live
+// view in place, and updates/deletes invalidate it. The returned slice header
+// is a snapshot — the rows visible through it never change under a reader's
+// feet, because all storage mutation happens under the exclusive DB statement
+// lock, which excludes every SELECT reader.
 func (t *Table) scan() []Row {
 	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.rows
+	view := t.rowView
+	t.mu.RUnlock()
+	if view != nil || t.nrows == 0 {
+		return view
+	}
+	// Build under the write lock; concurrent SELECTs racing here serialize
+	// and the losers return the winner's view (same double-checked pattern
+	// as createIndex).
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.rowView == nil {
+		t.rowView = t.materializeRows()
+	}
+	return t.rowView
+}
+
+// materializeRows builds the row-major view of the column vectors. Caller
+// holds t.mu exclusively (or the exclusive DB statement lock).
+func (t *Table) materializeRows() []Row {
+	rows := make([]Row, t.nrows)
+	cells := make(Row, t.nrows*len(t.cols)) // one backing array for all rows
+	for i := range rows {
+		row := cells[i*len(t.cols) : (i+1)*len(t.cols) : (i+1)*len(t.cols)]
+		for j, c := range t.cols {
+			row[j] = c.value(i)
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// row materializes one stored row. Intended for read paths that hold the DB
+// statement lock.
+func (t *Table) row(pos int) Row {
+	out := make(Row, len(t.cols))
+	for j, c := range t.cols {
+		out[j] = c.value(pos)
+	}
+	return out
 }
 
 func (t *Table) insert(r Row) error {
@@ -130,8 +176,14 @@ func (t *Table) insert(r Row) error {
 			return fmt.Errorf("sqldb: table %s: duplicate primary key %s", t.Name, r[t.primary])
 		}
 	}
-	pos := len(t.rows)
-	t.rows = append(t.rows, r)
+	pos := t.nrows
+	for i, c := range t.cols {
+		c.appendVal(r[i])
+	}
+	t.nrows++
+	if t.rowView != nil {
+		t.rowView = append(t.rowView, r)
+	}
 	for col, idx := range t.indexes {
 		key := r[col].Key()
 		idx[key] = append(idx[key], pos)
@@ -154,12 +206,19 @@ func (t *Table) createIndex(col int) {
 	if _, ok := t.indexes[col]; ok {
 		return
 	}
+	t.indexes[col] = t.buildIndex(col)
+}
+
+// buildIndex computes a hash index over one column from the column vector.
+// Caller holds t.mu exclusively (or the exclusive DB statement lock).
+func (t *Table) buildIndex(col int) map[string][]int {
 	idx := make(map[string][]int)
-	for pos, r := range t.rows {
-		key := r[col].Key()
+	cv := t.cols[col]
+	for pos := 0; pos < t.nrows; pos++ {
+		key := cv.key(pos)
 		idx[key] = append(idx[key], pos)
 	}
-	t.indexes[col] = idx
+	return idx
 }
 
 // rebuildIndexes recomputes all indexes after bulk mutation.
@@ -167,12 +226,7 @@ func (t *Table) rebuildIndexes() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for col := range t.indexes {
-		idx := make(map[string][]int)
-		for pos, r := range t.rows {
-			key := r[col].Key()
-			idx[key] = append(idx[key], pos)
-		}
-		t.indexes[col] = idx
+		t.indexes[col] = t.buildIndex(col)
 	}
 }
 
@@ -211,6 +265,13 @@ type DB struct {
 	// the per-table data versions, the LRU of cached SELECT results, and its
 	// counters (see resultcache.go).
 	cacheFields
+	// vecOn selects the SELECT execution engine: true runs planned SELECTs
+	// through the vectorized operators (vecexec.go), false forces the row
+	// interpreter. vecSelects/vecFallbacks count executions of planned SELECT
+	// nodes on each path while the vectorized engine is selected.
+	vecOn        atomic.Bool
+	vecSelects   atomic.Int64
+	vecFallbacks atomic.Int64
 }
 
 // NewDB returns an empty database.
@@ -218,6 +279,7 @@ func NewDB() *DB {
 	db := &DB{tables: make(map[string]*Table)}
 	db.initPlanCache()
 	db.initResultCache()
+	db.vecOn.Store(true)
 	return db
 }
 

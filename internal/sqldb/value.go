@@ -137,22 +137,30 @@ func (v Value) String() string {
 // Integer-valued REALs hash equal to INTEGERs so that 1 and 1.0 group
 // together, matching comparison semantics.
 func (v Value) Key() string {
+	return string(v.AppendKey(nil))
+}
+
+// AppendKey appends the value's Key bytes to buf and returns the extended
+// slice. Probe-heavy paths pair it with a pooled buffer and a string(buf)
+// map access, which the compiler performs without allocating — one index
+// probe then costs no per-value key string.
+func (v Value) AppendKey(buf []byte) []byte {
 	switch v.kind {
 	case kindNull:
-		return "n"
+		return append(buf, 'n')
 	case kindInt:
-		return "i" + strconv.FormatInt(v.i, 10)
+		return strconv.AppendInt(append(buf, 'i'), v.i, 10)
 	case kindFloat:
 		if v.f == math.Trunc(v.f) && !math.IsInf(v.f, 0) {
-			return "i" + strconv.FormatInt(int64(v.f), 10)
+			return strconv.AppendInt(append(buf, 'i'), int64(v.f), 10)
 		}
-		return "f" + strconv.FormatFloat(v.f, 'b', -1, 64)
+		return strconv.AppendFloat(append(buf, 'f'), v.f, 'b', -1, 64)
 	case kindText:
-		return "t" + v.s
+		return append(append(buf, 't'), v.s...)
 	case kindBool:
-		return "b" + strconv.FormatInt(v.i, 10)
+		return strconv.AppendInt(append(buf, 'b'), v.i, 10)
 	}
-	return "?"
+	return append(buf, '?')
 }
 
 // Compare orders two non-NULL values. It returns an error for incomparable

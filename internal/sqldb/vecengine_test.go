@@ -1,0 +1,345 @@
+package sqldb
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// parityDB builds a dataset with enough shape variety (NULLs, duplicate
+// groups, text, floats, an indexed junction) to exercise every vectorized
+// operator, sized past one batch so the chunked pipeline is covered.
+func parityDB(t testing.TB) *DB {
+	t.Helper()
+	db := NewDB()
+	db.SetResultCacheSize(0)
+	stmts := []string{
+		`CREATE TABLE item (id INTEGER PRIMARY KEY, grp INTEGER, val REAL, tag TEXT)`,
+		`CREATE TABLE grp (id INTEGER PRIMARY KEY, name TEXT, boss INTEGER)`,
+		`INSERT INTO grp (id, name, boss) VALUES
+			(0, 'zero', 4), (1, 'one', 3), (2, 'two', NULL), (3, 'three', 1)`,
+	}
+	for _, s := range stmts {
+		if _, err := db.Exec(s, nil); err != nil {
+			t.Fatalf("setup %q: %v", s, err)
+		}
+	}
+	ins, err := db.Prepare(`INSERT INTO item (id, grp, val, tag) VALUES (?, ?, ?, ?)`)
+	if err != nil {
+		t.Fatalf("prepare insert: %v", err)
+	}
+	defer ins.Close()
+	for i := 0; i < 3000; i++ {
+		grp := NewInt(int64(i % 4))
+		val := NewFloat(float64(i%17) / 4)
+		tag := NewText([]string{"red", "green", "blue"}[i%3])
+		if i%13 == 0 {
+			grp = Null
+		}
+		if i%11 == 0 {
+			val = Null
+		}
+		if _, err := ins.Execute(&Params{Positional: []Value{NewInt(int64(i)), grp, val, tag}}); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	return db
+}
+
+// parityQueries is the battery both engines must agree on, byte for byte.
+var parityQueries = []struct {
+	name   string
+	sql    string
+	params *Params
+}{
+	{"scan", `SELECT id, grp, val, tag FROM item`, nil},
+	{"filter-cmp", `SELECT id FROM item WHERE val > 2.5`, nil},
+	{"filter-and-or", `SELECT id FROM item WHERE (grp = 1 OR grp = 3) AND val <= 3`, nil},
+	{"filter-null-3vl", `SELECT id FROM item WHERE NOT (val > 1)`, nil},
+	{"is-null", `SELECT id FROM item WHERE grp IS NULL`, nil},
+	{"is-not-null", `SELECT COUNT(*) FROM item WHERE val IS NOT NULL`, nil},
+	{"arith", `SELECT id, val * 2 + 1, -val FROM item WHERE id < 50`, nil},
+	{"text-fn", `SELECT id, UPPER(tag), LENGTH(tag) FROM item WHERE id < 40`, nil},
+	{"coalesce", `SELECT id, COALESCE(val, -1) FROM item WHERE id < 100`, nil},
+	{"nullif", `SELECT id, NULLIF(tag, 'red') FROM item WHERE id < 30`, nil},
+	{"in-list", `SELECT id FROM item WHERE grp IN (1, 3)`, nil},
+	{"not-in-list", `SELECT id FROM item WHERE tag NOT IN ('red', 'blue') AND id < 200`, nil},
+	{"in-sub", `SELECT id FROM item WHERE grp IN (SELECT id FROM grp WHERE boss IS NOT NULL)`, nil},
+	{"exists", `SELECT COUNT(*) FROM item WHERE EXISTS (SELECT 1 FROM grp WHERE grp.id = 2)`, nil},
+	{"scalar-sub", `SELECT id, (SELECT MAX(boss) FROM grp) FROM item WHERE id < 20`, nil},
+	{"pk-seek", `SELECT id, val FROM item WHERE id = 1234`, nil},
+	{"pk-seek-param", `SELECT id, val FROM item WHERE id = ?`, &Params{Positional: []Value{NewInt(77)}}},
+	{"named-param", `SELECT COUNT(*) FROM item WHERE grp = $g`, &Params{Named: map[string]Value{"g": NewInt(2)}}},
+	{"join", `SELECT i.id, g.name FROM item i JOIN grp g ON i.grp = g.id WHERE i.id < 300`, nil},
+	{"join-residual", `SELECT i.id, g.name FROM item i JOIN grp g ON i.grp = g.id AND g.boss > 1`, nil},
+	{"join-chain", `SELECT i.id, b.name FROM item i JOIN grp g ON i.grp = g.id JOIN grp b ON g.boss = b.id WHERE i.id < 500`, nil},
+	{"agg-scalar", `SELECT COUNT(*), COUNT(val), SUM(val), AVG(val), MIN(val), MAX(val) FROM item`, nil},
+	{"agg-empty", `SELECT COUNT(*), SUM(val), MIN(tag) FROM item WHERE id < 0`, nil},
+	{"group-by", `SELECT grp, COUNT(*), SUM(val) FROM item GROUP BY grp`, nil},
+	{"group-order-alias", `SELECT grp, COUNT(*) AS n FROM item GROUP BY grp ORDER BY n DESC, grp`, nil},
+	{"group-order-ordinal", `SELECT tag, AVG(val) FROM item GROUP BY tag ORDER BY 2, 1`, nil},
+	{"having", `SELECT grp, COUNT(*) FROM item GROUP BY grp HAVING COUNT(*) > 700`, nil},
+	{"having-sum", `SELECT tag, SUM(val) FROM item GROUP BY tag HAVING SUM(val) > 900 ORDER BY 1`, nil},
+	{"group-expr-key", `SELECT grp + 0, MIN(id) FROM item GROUP BY grp + 0 ORDER BY 2`, nil},
+	{"order-expr", `SELECT id, val FROM item WHERE id < 100 ORDER BY val DESC, id`, nil},
+	{"order-nulls-last", `SELECT id, val FROM item WHERE id < 60 ORDER BY val`, nil},
+	{"limit", `SELECT id FROM item ORDER BY id DESC LIMIT 7`, nil},
+	{"limit-zero", `SELECT id FROM item LIMIT 0`, nil},
+	{"star", `SELECT * FROM grp`, nil},                                                              // row-path shape
+	{"tableless", `SELECT 1 + 2, 'x'`, nil},                                                         // row-path shape
+	{"correlated", `SELECT g.id, (SELECT COUNT(*) FROM item i WHERE i.grp = g.id) FROM grp g`, nil}, // row-path shape
+	{"grouped-order-expr", `SELECT grp, COUNT(*) FROM item GROUP BY grp ORDER BY grp + 0`, nil},     // row-path shape
+}
+
+// runEngine executes one query on the given engine against db.
+func runEngine(t testing.TB, db *DB, engine, sql string, params *Params) (*ResultSet, error) {
+	t.Helper()
+	if err := db.SetEngine(engine); err != nil {
+		t.Fatalf("SetEngine(%s): %v", engine, err)
+	}
+	res, err := db.Exec(sql, params)
+	if err != nil {
+		return nil, err
+	}
+	return res.Set, nil
+}
+
+func TestVecEngineParity(t *testing.T) {
+	db := parityDB(t)
+	for _, q := range parityQueries {
+		t.Run(q.name, func(t *testing.T) {
+			vecSet, vecErr := runEngine(t, db, EngineVector, q.sql, q.params)
+			rowSet, rowErr := runEngine(t, db, EngineRow, q.sql, q.params)
+			if (vecErr == nil) != (rowErr == nil) {
+				t.Fatalf("error divergence: vector=%v row=%v", vecErr, rowErr)
+			}
+			if vecErr != nil {
+				return
+			}
+			if !reflect.DeepEqual(vecSet, rowSet) {
+				t.Fatalf("result divergence:\nvector: %+v\nrow:    %+v", vecSet, rowSet)
+			}
+		})
+	}
+}
+
+// TestVecEngineParityErrors pins down queries that must fail identically on
+// both engines (same error presence; the row engine's message).
+func TestVecEngineParityErrors(t *testing.T) {
+	db := parityDB(t)
+	cases := []string{
+		`SELECT id FROM item WHERE val`,                               // non-boolean predicate
+		`SELECT id FROM item WHERE nosuch = 1`,                        // unknown column
+		`SELECT val + tag FROM item`,                                  // type error in projection
+		`SELECT id FROM item WHERE tag > 5`,                           // incomparable types
+		`SELECT SUM(tag) FROM item`,                                   // SUM over text
+		`SELECT id FROM item LIMIT 'x'`,                               // non-numeric LIMIT
+		`SELECT (SELECT id FROM grp) FROM item`,                       // scalar subquery, many rows
+		`SELECT id FROM item WHERE grp IN (SELECT id, name FROM grp)`, // IN arity
+	}
+	for _, sql := range cases {
+		_, vecErr := runEngine(t, db, EngineVector, sql, nil)
+		_, rowErr := runEngine(t, db, EngineRow, sql, nil)
+		if vecErr == nil || rowErr == nil {
+			t.Errorf("%q: expected both engines to fail, vector=%v row=%v", sql, vecErr, rowErr)
+		}
+	}
+}
+
+// TestVecEngineSelection checks the engine API and that the vectorized path
+// actually executes covered shapes (and falls back on uncovered ones).
+func TestVecEngineSelection(t *testing.T) {
+	db := parityDB(t)
+	if err := db.SetEngine("turbo"); err == nil {
+		t.Fatal("SetEngine(turbo) succeeded")
+	}
+	if err := db.SetEngine(EngineVector); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Engine(); got != EngineVector {
+		t.Fatalf("Engine() = %s, want %s", got, EngineVector)
+	}
+
+	before := db.Stats()
+	if _, err := db.Exec(`SELECT grp, SUM(val) FROM item WHERE id < 100 GROUP BY grp`, nil); err != nil {
+		t.Fatal(err)
+	}
+	after := db.Stats()
+	if after.VecSelects <= before.VecSelects {
+		t.Fatalf("covered query did not run vectorized: %+v -> %+v", before.VecSelects, after.VecSelects)
+	}
+
+	before = after
+	if _, err := db.Exec(`SELECT * FROM grp`, nil); err != nil {
+		t.Fatal(err)
+	}
+	after = db.Stats()
+	if after.VecFallbacks <= before.VecFallbacks {
+		t.Fatalf("star query did not fall back: %+v -> %+v", before.VecFallbacks, after.VecFallbacks)
+	}
+	if after.Engine != EngineVector {
+		t.Fatalf("Stats.Engine = %s, want %s", after.Engine, EngineVector)
+	}
+
+	if err := db.SetEngine(EngineRow); err != nil {
+		t.Fatal(err)
+	}
+	before = db.Stats()
+	if _, err := db.Exec(`SELECT COUNT(*) FROM item`, nil); err != nil {
+		t.Fatal(err)
+	}
+	after = db.Stats()
+	if after.VecSelects != before.VecSelects {
+		t.Fatal("row engine incremented VecSelects")
+	}
+	if after.Engine != EngineRow {
+		t.Fatalf("Stats.Engine = %s, want %s", after.Engine, EngineRow)
+	}
+}
+
+// TestVecPropertyShapeVectorizes pins the tentpole target: the closed
+// COALESCE-wrapped dereference subqueries the ASL property compiler emits
+// must run on the vectorized path, not fall back.
+func TestVecPropertyShapeVectorizes(t *testing.T) {
+	db := parityDB(t)
+	if err := db.SetEngine(EngineVector); err != nil {
+		t.Fatal(err)
+	}
+	before := db.Stats()
+	sql := `SELECT COALESCE((SELECT SUM(i.val) FROM item i WHERE i.grp = 1), 0.0),
+	               COALESCE((SELECT COUNT(*) FROM item i WHERE i.grp = 2), 0)`
+	vecSet, err := db.Exec(sql, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := db.Stats()
+	// The top level is table-less (row path), but each closed dereference
+	// subquery must vectorize.
+	if after.VecSelects < before.VecSelects+2 {
+		t.Fatalf("dereference subqueries did not vectorize: VecSelects %d -> %d", before.VecSelects, after.VecSelects)
+	}
+	if err := db.SetEngine(EngineRow); err != nil {
+		t.Fatal(err)
+	}
+	rowSet, err := db.Exec(sql, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(vecSet.Set, rowSet.Set) {
+		t.Fatalf("property shape diverged:\nvector: %+v\nrow:    %+v", vecSet.Set, rowSet.Set)
+	}
+}
+
+// TestScanNoPerRowAlloc pins the cached row view: after the first
+// materialization, repeat scans must not allocate per row.
+func TestScanNoPerRowAlloc(t *testing.T) {
+	db := parityDB(t)
+	tbl := db.Table("item")
+	if tbl == nil {
+		t.Fatal("no item table")
+	}
+	tbl.scan() // materialize
+	allocs := testing.AllocsPerRun(100, func() {
+		rows := tbl.scan()
+		if len(rows) != 3000 {
+			t.Fatalf("scan rows = %d", len(rows))
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("repeat scan allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestVecDMLVisibility checks that the vectorized read path sees DML
+// immediately: updates, deletes, and inserts between SELECTs.
+func TestVecDMLVisibility(t *testing.T) {
+	db := parityDB(t)
+	if err := db.SetEngine(EngineVector); err != nil {
+		t.Fatal(err)
+	}
+	count := func() int64 {
+		set := mustQuery(t, db, `SELECT COUNT(*) FROM item WHERE tag = 'purple'`, nil)
+		return set.Rows[0][0].Int()
+	}
+	if n := count(); n != 0 {
+		t.Fatalf("purple = %d, want 0", n)
+	}
+	if _, err := db.Exec(`UPDATE item SET tag = 'purple' WHERE grp = 1`, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := mustQuery(t, db, `SELECT COUNT(*) FROM item WHERE grp = 1`, nil).Rows[0][0].Int()
+	if n := count(); n != want {
+		t.Fatalf("purple after update = %d, want %d", n, want)
+	}
+	if _, err := db.Exec(`DELETE FROM item WHERE tag = 'purple'`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := count(); n != 0 {
+		t.Fatalf("purple after delete = %d, want 0", n)
+	}
+	if _, err := db.Exec(`INSERT INTO item (id, grp, val, tag) VALUES (90001, 1, 1.5, 'purple')`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := count(); n != 1 {
+		t.Fatalf("purple after insert = %d, want 1", n)
+	}
+}
+
+// TestVecBatchBoundary exercises predicates whose selectivity straddles the
+// batch size, on a table slightly larger than two batches.
+func TestVecBatchBoundary(t *testing.T) {
+	db := NewDB()
+	db.SetResultCacheSize(0)
+	if _, err := db.Exec(`CREATE TABLE n (id INTEGER PRIMARY KEY, v INTEGER)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	ins, err := db.Prepare(`INSERT INTO n (id, v) VALUES (?, ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ins.Close()
+	total := 2*vecBatchSize + 100
+	for i := 0; i < total; i++ {
+		if _, err := ins.Execute(&Params{Positional: []Value{NewInt(int64(i)), NewInt(int64(i))}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, sql := range []string{
+		`SELECT COUNT(*) FROM n WHERE v >= 1024`,
+		`SELECT SUM(v) FROM n WHERE v < 1025`,
+		`SELECT id FROM n WHERE v = 1023 OR v = 1024 OR v = 2047 OR v = 2048 ORDER BY id`,
+	} {
+		vecSet, vecErr := runEngine(t, db, EngineVector, sql, nil)
+		rowSet, rowErr := runEngine(t, db, EngineRow, sql, nil)
+		if vecErr != nil || rowErr != nil {
+			t.Fatalf("%q: vector=%v row=%v", sql, vecErr, rowErr)
+		}
+		if !reflect.DeepEqual(vecSet, rowSet) {
+			t.Fatalf("%q diverged:\nvector: %+v\nrow:    %+v", sql, vecSet, rowSet)
+		}
+	}
+}
+
+// TestVecSumOrderStable pins bit-identical float aggregation: both engines
+// must fold SUM in storage order, so even order-sensitive float sums match
+// exactly (string formatting included).
+func TestVecSumOrderStable(t *testing.T) {
+	db := parityDB(t)
+	vecSet, err := runEngine(t, db, EngineVector, `SELECT SUM(val), AVG(val) FROM item`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowSet, err := runEngine(t, db, EngineRow, `SELECT SUM(val), AVG(val) FROM item`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vecSet.Rows[0] {
+		v, r := vecSet.Rows[0][i], rowSet.Rows[0][i]
+		if v.String() != r.String() || v.Float() != r.Float() {
+			t.Fatalf("col %d: vector %s (%b) != row %s (%b)", i, v, v.Float(), r, r.Float())
+		}
+	}
+	if !strings.Contains(vecSet.Columns[0], "col") && vecSet.Columns[0] != rowSet.Columns[0] {
+		t.Fatalf("column names diverge: %v vs %v", vecSet.Columns, rowSet.Columns)
+	}
+}
