@@ -51,6 +51,7 @@ func main() {
 	threshold := flag.Float64("threshold", 0, "performance-problem severity threshold; omit for the default")
 	verbose := flag.Bool("v", false, "log connection errors")
 	drain := flag.Duration("drain", 5*time.Second, "how long a SIGINT/SIGTERM shutdown waits for clients to drain before force-closing them")
+	metricsAddr := flag.String("metrics-addr", "", "address serving GET /metrics and GET /healthz over HTTP; empty disables the endpoint")
 	flag.Parse()
 
 	switch {
@@ -158,6 +159,15 @@ func main() {
 	}
 	fmt.Printf("cosyd: serving %s on %s (capacity %d, %d tenants configured)\n",
 		g.Dataset.Program, srv.Addr(), *capacity, len(tenantCfg))
+	var metricsSrv interface{ Close() error }
+	if *metricsAddr != "" {
+		hs, bound, err := srv.ServeMetrics(*metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		metricsSrv = hs
+		fmt.Printf("cosyd: metrics on http://%s/metrics\n", bound)
+	}
 
 	// Graceful shutdown on SIGINT/SIGTERM, as kojakdb does: stop accepting,
 	// drain in-flight analyses up to -drain, then force-close. A second
@@ -181,9 +191,19 @@ func main() {
 		<-done
 	}
 	closeDB()
-	st := svc.Admission().Stats()
+	// The final snapshot is taken only now, strictly after Shutdown (or
+	// Close) returned: that return is the drain barrier — every request
+	// goroutine has finished its admission release and metrics recording —
+	// so these numbers reconcile exactly (nothing in flight, every admitted
+	// analysis classified). Snapshotting before the barrier raced the last
+	// requests and could under-count.
+	snap := srv.MetricsSnapshot()
+	st := snap.Admission
 	fmt.Printf("cosyd: admission: %d admitted (%d queued first), %d shed, %d rejected\n",
 		st.Admitted, st.Queued, st.Shed, st.Rejected)
+	if metricsSrv != nil {
+		metricsSrv.Close()
+	}
 }
 
 // parseTenants parses -tenants: comma-separated name:weight:maxinflight

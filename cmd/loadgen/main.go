@@ -18,14 +18,17 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/service"
 )
 
@@ -38,6 +41,7 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "per-request deadline; 0 means none")
 	minThroughput := flag.Float64("min-throughput", 0, "fail (exit 1) when completed analyses/sec fall below this")
 	maxP99 := flag.Duration("max-p99", 0, "fail (exit 1) when the p99 latency exceeds this")
+	scrape := flag.String("scrape", "", "cosyd metrics address (host:port) to sample during the run; the report then includes the server-side view")
 	flag.Parse()
 
 	switch {
@@ -90,6 +94,18 @@ func main() {
 		}
 	}
 
+	// The scraper samples /metrics while load is in flight — live scrapes are
+	// the point of the endpoint, and the soak gate wants proof they work
+	// under load, not only at the end.
+	var sampler *scraper
+	if *scrape != "" {
+		sampler = newScraper(*scrape)
+		if _, err := sampler.scrapeOnce(); err != nil {
+			fatal(fmt.Errorf("loadgen: scraping %s: %w", *scrape, err))
+		}
+		sampler.start(2 * time.Second)
+	}
+
 	interval := time.Duration(float64(time.Second) / *rate)
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
@@ -134,6 +150,9 @@ launch:
 		fmt.Printf("loadgen: latency p50 %v, p99 %v, max %v\n",
 			percentile(latencies, 0.50), percentile(latencies, 0.99), latencies[completed-1])
 	}
+	if sampler != nil {
+		sampler.stopAndReport()
+	}
 
 	ok := true
 	if *minThroughput > 0 && throughput < *minThroughput {
@@ -155,6 +174,103 @@ launch:
 	}
 	if !ok {
 		os.Exit(1)
+	}
+}
+
+// scraper samples a cosyd /metrics endpoint in the background while load
+// runs, then reports the server-side view next to the client-side one: the
+// same analyses as the server counted and timed them. Mid-run samples are
+// counted (they prove the endpoint answers under load); the report reads the
+// final post-load scrape.
+type scraper struct {
+	addr    string
+	client  *http.Client
+	done    chan struct{}
+	stopped chan struct{}
+
+	mu      sync.Mutex
+	samples int
+	errs    int
+}
+
+func newScraper(addr string) *scraper {
+	return &scraper{
+		addr:    addr,
+		client:  &http.Client{Timeout: 5 * time.Second},
+		done:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+}
+
+// scrapeOnce fetches and decodes one snapshot.
+func (s *scraper) scrapeOnce() (*service.MetricsSnapshot, error) {
+	resp, err := s.client.Get("http://" + s.addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	var snap service.MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// start samples the endpoint every interval until stopAndReport.
+func (s *scraper) start(interval time.Duration) {
+	go func() {
+		defer close(s.stopped)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.done:
+				return
+			case <-t.C:
+				_, err := s.scrapeOnce()
+				s.mu.Lock()
+				if err != nil {
+					s.errs++
+				} else {
+					s.samples++
+				}
+				s.mu.Unlock()
+			}
+		}
+	}()
+}
+
+// stopAndReport ends sampling, takes a final scrape (all client requests have
+// returned by now, so the server-side counters are settled), and prints the
+// server's admission totals and latency percentiles merged over the tenants.
+func (s *scraper) stopAndReport() {
+	close(s.done)
+	<-s.stopped
+	s.mu.Lock()
+	samples, errs := s.samples, s.errs
+	s.mu.Unlock()
+	snap, err := s.scrapeOnce()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: final scrape of %s failed: %v\n", s.addr, err)
+		return
+	}
+	st := snap.Admission
+	fmt.Printf("loadgen: server: admitted %d (%d queued first), %d shed, %d rejected, %d in flight (%d live scrapes, %d failed)\n",
+		st.Admitted, st.Queued, st.Shed, st.Rejected, st.InFlight, samples, errs)
+	lats := make([]metrics.HistogramSnapshot, 0, len(snap.Tenants))
+	waits := make([]metrics.HistogramSnapshot, 0, len(snap.Tenants))
+	for _, t := range snap.Tenants {
+		lats = append(lats, t.Latency)
+		waits = append(waits, t.QueueWait)
+	}
+	lat, wait := metrics.Merge(lats...), metrics.Merge(waits...)
+	if lat.Count > 0 {
+		fmt.Printf("loadgen: server: latency p50 %v, p99 %v, max %v; queue wait p50 %v, p99 %v\n",
+			time.Duration(lat.P50Nanos), time.Duration(lat.P99Nanos), time.Duration(lat.MaxNanos),
+			time.Duration(wait.P50Nanos), time.Duration(wait.P99Nanos))
 	}
 }
 

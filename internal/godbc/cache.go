@@ -14,13 +14,14 @@ import (
 )
 
 // CacheStats is a snapshot of a database's result-cache counters. For a
-// sharded database it is the sum over all shards.
+// sharded database it is the sum over all shards. The JSON tags are the
+// field names of the /metrics endpoint's "cache" section.
 type CacheStats struct {
-	Hits          int64
-	Misses        int64
-	Invalidations int64
-	Evictions     int64
-	Entries       int
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Invalidations int64 `json:"invalidations"`
+	Evictions     int64 `json:"evictions"`
+	Entries       int   `json:"entries"`
 }
 
 func (cs *CacheStats) add(w *wire.CacheStats) {

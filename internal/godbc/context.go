@@ -104,10 +104,8 @@ func (st *Stmt) ExecQueryContext(ctx context.Context, params *sqldb.Params) (*sq
 // GetCtx is Get observing a context while waiting for a free slot: a caller
 // canceled in the checkout queue releases its claim instead of dialing.
 func (p *Pool) GetCtx(ctx context.Context) (*Conn, error) {
-	select {
-	case <-p.slots:
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	if err := p.acquireSlot(ctx); err != nil {
+		return nil, err
 	}
 	p.mu.Lock()
 	if p.closed {
@@ -131,6 +129,7 @@ func (p *Pool) GetCtx(ctx context.Context) (*Conn, error) {
 		p.slots <- struct{}{}
 		return nil, err
 	}
+	p.dialed.Inc()
 	c.SetFetchSize(fetch)
 	return c, nil
 }

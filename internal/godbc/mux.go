@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"repro/internal/asl/sqlgen"
+	"repro/internal/metrics"
 	"repro/internal/sqldb"
 	"repro/internal/sqldb/wire"
 )
@@ -67,6 +68,10 @@ type MuxConn struct {
 
 	fetchSize int
 	noBatch   bool
+
+	// requests and cancels feed Metrics (see metrics.go).
+	requests metrics.Counter
+	cancels  metrics.Counter
 }
 
 // DialMux connects a multiplexed connection to a wire server.
@@ -189,6 +194,7 @@ func (m *MuxConn) register() (int64, chan *wire.Response, error) {
 	ch := make(chan *wire.Response, 1)
 	m.pending[id] = ch
 	m.fifo = append(m.fifo, id)
+	m.requests.Inc()
 	return id, ch, nil
 }
 
@@ -205,6 +211,7 @@ func (m *MuxConn) abandon(id int64) {
 		m.mu.Unlock()
 		return // reply already routed (or connection failed)
 	}
+	m.cancels.Inc()
 	if m.mode == muxYes {
 		delete(m.pending, id)
 		for i, fid := range m.fifo {

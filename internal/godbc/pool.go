@@ -1,9 +1,12 @@
 package godbc
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/sqldb"
 )
 
@@ -24,6 +27,12 @@ type Pool struct {
 	// slots bounds the number of checked-out plus idle connections.
 	slots chan struct{}
 
+	// Checkout instrumentation, surfaced by Metrics (see metrics.go).
+	checkouts    metrics.Counter
+	dialed       metrics.Counter
+	discarded    metrics.Counter
+	checkoutWait *metrics.Histogram
+
 	mu     sync.Mutex
 	idle   []*Conn
 	closed bool
@@ -36,7 +45,12 @@ func NewPool(addr string, size int) (*Pool, error) {
 	if size < 1 {
 		size = 1
 	}
-	p := &Pool{addr: addr, fetchSize: DefaultFetchSize, slots: make(chan struct{}, size)}
+	p := &Pool{
+		addr:         addr,
+		fetchSize:    DefaultFetchSize,
+		slots:        make(chan struct{}, size),
+		checkoutWait: metrics.MustHistogram(),
+	}
 	for i := 0; i < size; i++ {
 		p.slots <- struct{}{}
 	}
@@ -44,6 +58,7 @@ func NewPool(addr string, size int) (*Pool, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.dialed.Inc()
 	c.SetFetchSize(p.fetchSize)
 	p.idle = append(p.idle, c)
 	return p, nil
@@ -65,11 +80,34 @@ func (p *Pool) SetFetchSize(n int) {
 	}
 }
 
+// acquireSlot claims one capacity slot, observing ctx while blocked and
+// recording the wait into the checkout metrics. The common case — a free
+// slot — is recorded as zero wait without consulting the clock, so the fast
+// path stays two atomic adds.
+func (p *Pool) acquireSlot(ctx context.Context) error {
+	select {
+	case <-p.slots:
+		p.checkouts.Inc()
+		p.checkoutWait.Observe(0)
+		return nil
+	default:
+	}
+	start := time.Now()
+	select {
+	case <-p.slots:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	p.checkouts.Inc()
+	p.checkoutWait.Observe(time.Since(start))
+	return nil
+}
+
 // Get checks a connection out of the pool, dialing a new one if no idle
 // connection is available and the capacity is not exhausted; otherwise it
 // blocks until a connection is returned. Return the connection with Put.
 func (p *Pool) Get() (*Conn, error) {
-	<-p.slots
+	p.acquireSlot(context.Background())
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -94,6 +132,7 @@ func (p *Pool) Get() (*Conn, error) {
 		p.slots <- struct{}{}
 		return nil, err
 	}
+	p.dialed.Inc()
 	c.SetFetchSize(fetch)
 	return c, nil
 }
@@ -108,6 +147,7 @@ func (p *Pool) Put(c *Conn) {
 	if c.broken || c.closed || p.closed {
 		p.mu.Unlock()
 		c.Close()
+		p.discarded.Inc()
 		p.slots <- struct{}{}
 		return
 	}

@@ -1,0 +1,222 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBounds is the standard latency bucket layout: factor-2
+// exponential upper bounds from 100µs to ~105s, 21 finite buckets plus the
+// implicit overflow bucket. Factor-2 spacing bounds any quantile estimate to
+// within 2x of the true value (the estimate and the truth share a bucket),
+// which is tight enough to tell "admission is queueing" from "the analysis
+// got slower" — the operational question the histograms exist to answer.
+func DefaultLatencyBounds() []time.Duration {
+	bounds := make([]time.Duration, 21)
+	b := 100 * time.Microsecond
+	for i := range bounds {
+		bounds[i] = b
+		b *= 2
+	}
+	return bounds
+}
+
+// Histogram is a fixed-bucket latency histogram. Recording is a binary
+// search plus two atomic adds — no locks, no allocation — so it can sit on
+// the per-request hot path of the service. The zero value is not usable; use
+// NewHistogram.
+type Histogram struct {
+	// bounds holds the inclusive upper bound of each finite bucket in
+	// nanoseconds, ascending; counts has one extra slot for the overflow
+	// bucket. Both are immutable after construction.
+	bounds []int64
+	counts []atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// NewHistogram returns a histogram over the given finite bucket upper bounds
+// (ascending, positive); an empty argument list selects
+// DefaultLatencyBounds. Observations above the last bound land in an
+// implicit overflow bucket.
+func NewHistogram(bounds ...time.Duration) (*Histogram, error) {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBounds()
+	}
+	h := &Histogram{bounds: make([]int64, len(bounds)), counts: make([]atomic.Int64, len(bounds)+1)}
+	for i, b := range bounds {
+		if b <= 0 {
+			return nil, fmt.Errorf("metrics: bucket bound %v is not positive", b)
+		}
+		if i > 0 && int64(b) <= h.bounds[i-1] {
+			return nil, fmt.Errorf("metrics: bucket bounds not ascending at %v", b)
+		}
+		h.bounds[i] = int64(b)
+	}
+	return h, nil
+}
+
+// MustHistogram is NewHistogram for static bucket layouts.
+func MustHistogram(bounds ...time.Duration) *Histogram {
+	h, err := NewHistogram(bounds...)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	// First bucket whose upper bound fits the observation; len(bounds) is
+	// the overflow bucket. Hand-rolled binary search: sort.Search's closure
+	// may escape, and this path must not allocate.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.bounds[mid] < ns {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	i := lo
+	h.counts[i].Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Snapshot captures the histogram for reading. The per-bucket counts are read
+// once each, and Count is their sum, so a snapshot is always internally
+// consistent (quantiles never see a rank beyond the buckets); Sum and Max may
+// trail concurrent observations by a few records, which is the documented
+// price of never blocking the writers.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		BoundsNanos: h.bounds,
+		Counts:      make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.SumNanos = h.sum.Load()
+	s.MaxNanos = h.max.Load()
+	s.P50Nanos = int64(s.Quantile(0.50))
+	s.P90Nanos = int64(s.Quantile(0.90))
+	s.P99Nanos = int64(s.Quantile(0.99))
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, shaped for JSON:
+// the /metrics endpoint serializes it, and loadgen, cosytop, and the CI soak
+// gate decode it back. BoundsNanos are the finite bucket upper bounds;
+// Counts has one extra trailing slot for observations above the last bound.
+// P50/P90/P99 are precomputed by Snapshot so scrapers need no histogram math.
+type HistogramSnapshot struct {
+	Count       int64   `json:"count"`
+	SumNanos    int64   `json:"sum_ns"`
+	MaxNanos    int64   `json:"max_ns"`
+	P50Nanos    int64   `json:"p50_ns"`
+	P90Nanos    int64   `json:"p90_ns"`
+	P99Nanos    int64   `json:"p99_ns"`
+	BoundsNanos []int64 `json:"bounds_ns"`
+	Counts      []int64 `json:"counts"`
+}
+
+// Mean returns the average observation, zero when empty.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNanos / s.Count)
+}
+
+// Merge combines snapshots into one, bucket-wise — the all-tenants view a
+// scraper wants from per-tenant histograms. Snapshots whose bucket layout
+// differs from the first non-empty one are skipped rather than corrupting the
+// merge; in practice every layout is DefaultLatencyBounds. Percentiles are
+// recomputed over the merged counts.
+func Merge(snaps ...HistogramSnapshot) HistogramSnapshot {
+	var out HistogramSnapshot
+	for _, s := range snaps {
+		if len(s.Counts) == 0 {
+			continue
+		}
+		if out.Counts == nil {
+			out.BoundsNanos = append([]int64(nil), s.BoundsNanos...)
+			out.Counts = make([]int64, len(s.Counts))
+		}
+		if len(s.Counts) != len(out.Counts) {
+			continue
+		}
+		for i, c := range s.Counts {
+			out.Counts[i] += c
+			out.Count += c
+		}
+		out.SumNanos += s.SumNanos
+		if s.MaxNanos > out.MaxNanos {
+			out.MaxNanos = s.MaxNanos
+		}
+	}
+	out.P50Nanos = int64(out.Quantile(0.50))
+	out.P90Nanos = int64(out.Quantile(0.90))
+	out.P99Nanos = int64(out.Quantile(0.99))
+	return out
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// inside the bucket holding the rank. The estimate is always within the
+// rank's bucket, so its error is bounded by the bucket width; the overflow
+// bucket reports the maximum observation. An empty snapshot reports zero.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(s.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		if cum+c < rank {
+			cum += c
+			continue
+		}
+		if i >= len(s.BoundsNanos) {
+			// Overflow bucket: the max is the only bound we have.
+			return time.Duration(s.MaxNanos)
+		}
+		var lower int64
+		if i > 0 {
+			lower = s.BoundsNanos[i-1]
+		}
+		upper := s.BoundsNanos[i]
+		if upper > s.MaxNanos && s.MaxNanos > lower {
+			// Never report beyond the largest observation; it tightens the
+			// common case where all observations share one bucket.
+			upper = s.MaxNanos
+		}
+		return time.Duration(lower + (upper-lower)*(rank-cum)/c)
+	}
+	return time.Duration(s.MaxNanos)
+}

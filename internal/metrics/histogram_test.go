@@ -1,0 +1,234 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewHistogramValidatesBounds(t *testing.T) {
+	if _, err := NewHistogram(0); err == nil {
+		t.Error("zero bound accepted")
+	}
+	if _, err := NewHistogram(-time.Millisecond); err == nil {
+		t.Error("negative bound accepted")
+	}
+	if _, err := NewHistogram(time.Second, time.Millisecond); err == nil {
+		t.Error("descending bounds accepted")
+	}
+	if _, err := NewHistogram(time.Second, time.Second); err == nil {
+		t.Error("duplicate bounds accepted")
+	}
+	if _, err := NewHistogram(); err != nil {
+		t.Errorf("default bounds rejected: %v", err)
+	}
+}
+
+// TestBucketBoundaries: an observation exactly on a bound lands in that
+// bound's bucket (bounds are inclusive upper bounds); one nanosecond above
+// lands in the next; observations beyond the last bound land in overflow.
+func TestBucketBoundaries(t *testing.T) {
+	h := MustHistogram(time.Millisecond, 10*time.Millisecond, 100*time.Millisecond)
+	cases := []struct {
+		d      time.Duration
+		bucket int
+	}{
+		{0, 0},
+		{-time.Second, 0}, // negative clamps to zero
+		{time.Millisecond, 0},
+		{time.Millisecond + time.Nanosecond, 1},
+		{10 * time.Millisecond, 1},
+		{10*time.Millisecond + time.Nanosecond, 2},
+		{100 * time.Millisecond, 2},
+		{100*time.Millisecond + time.Nanosecond, 3},
+		{time.Hour, 3},
+	}
+	for _, c := range cases {
+		before := h.Snapshot()
+		h.Observe(c.d)
+		after := h.Snapshot()
+		for i := range after.Counts {
+			want := before.Counts[i]
+			if i == c.bucket {
+				want++
+			}
+			if after.Counts[i] != want {
+				t.Errorf("Observe(%v): bucket %d count %d, want %d", c.d, i, after.Counts[i], want)
+			}
+		}
+	}
+	s := h.Snapshot()
+	if s.Count != int64(len(cases)) {
+		t.Errorf("Count = %d, want %d", s.Count, len(cases))
+	}
+	if got := time.Duration(s.MaxNanos); got != time.Hour {
+		t.Errorf("Max = %v, want %v", got, time.Hour)
+	}
+}
+
+// TestQuantileErrorBounds: for a known distribution, every quantile estimate
+// must land inside the bucket that holds the true rank — the histogram's
+// documented error bound.
+func TestQuantileErrorBounds(t *testing.T) {
+	h := MustHistogram(DefaultLatencyBounds()...)
+	rng := rand.New(rand.NewSource(7))
+	var obs []time.Duration
+	for i := 0; i < 5000; i++ {
+		// Log-uniform over 120µs..4s, the regime of real analysis latencies.
+		// Everything sits above the first bound (100µs): below it the bucket
+		// spans down to zero and no relative error bound holds.
+		d := time.Duration(float64(120*time.Microsecond) * float64(int64(1)<<uint(rng.Intn(15))) * (1 + rng.Float64()))
+		obs = append(obs, d)
+		h.Observe(d)
+	}
+	sort.Slice(obs, func(i, j int) bool { return obs[i] < obs[j] })
+	s := h.Snapshot()
+	bucketOf := func(d time.Duration) int {
+		for i, b := range s.BoundsNanos {
+			if int64(d) <= b {
+				return i
+			}
+		}
+		return len(s.BoundsNanos)
+	}
+	for _, q := range []float64{0.01, 0.25, 0.50, 0.90, 0.99, 1.0} {
+		rank := int(q*float64(len(obs)) + 0.5)
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(obs) {
+			rank = len(obs)
+		}
+		truth := obs[rank-1]
+		est := s.Quantile(q)
+		if bucketOf(est) != bucketOf(truth) {
+			t.Errorf("q=%.2f: estimate %v in bucket %d, true value %v in bucket %d",
+				q, est, bucketOf(est), truth, bucketOf(truth))
+		}
+		// Factor-2 buckets: the estimate is within 2x either way.
+		if est > 2*truth || truth > 2*est {
+			t.Errorf("q=%.2f: estimate %v is beyond 2x of true %v", q, est, truth)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	h := MustHistogram(time.Millisecond, time.Second)
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	h.Observe(2 * time.Second) // overflow bucket only
+	s := h.Snapshot()
+	if got := s.Quantile(0.99); got != 2*time.Second {
+		t.Errorf("overflow-only p99 = %v, want the max %v", got, 2*time.Second)
+	}
+	h2 := MustHistogram(time.Millisecond, time.Second)
+	h2.Observe(2 * time.Microsecond)
+	h2.Observe(3 * time.Microsecond)
+	s2 := h2.Snapshot()
+	// Both observations share the first bucket; estimates must not report
+	// beyond the observed max.
+	if got := s2.Quantile(1.0); got > 3*time.Microsecond {
+		t.Errorf("p100 = %v beyond the observed max %v", got, 3*time.Microsecond)
+	}
+}
+
+// TestConcurrentObserveConsistency hammers one histogram from many goroutines
+// while snapshotting concurrently: every snapshot must be internally
+// consistent (Count == sum of bucket counts, quantiles defined), and the
+// final snapshot must account for every observation exactly once.
+func TestConcurrentObserveConsistency(t *testing.T) {
+	h := MustHistogram(DefaultLatencyBounds()...)
+	const writers, perWriter = 8, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var snaps sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		snaps.Add(1)
+		go func() {
+			defer snaps.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := h.Snapshot()
+				var sum int64
+				for _, c := range s.Counts {
+					sum += c
+				}
+				if sum != s.Count {
+					t.Errorf("snapshot inconsistent: Count %d != bucket sum %d", s.Count, sum)
+					return
+				}
+				if s.Count > 0 && s.Quantile(0.5) < 0 {
+					t.Error("negative quantile")
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(time.Duration(w*1000+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	snaps.Wait()
+	s := h.Snapshot()
+	if s.Count != writers*perWriter {
+		t.Errorf("final Count = %d, want %d", s.Count, writers*perWriter)
+	}
+}
+
+func TestObserveDoesNotAllocate(t *testing.T) {
+	h := MustHistogram(DefaultLatencyBounds()...)
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(3 * time.Millisecond) }); n != 0 {
+		t.Errorf("Observe allocates %.1f objects per call, want 0", n)
+	}
+}
+
+// TestSnapshotJSONRoundTrip: scrapers (loadgen -scrape, cosytop, the CI soak
+// gate) decode snapshots from JSON; quantile math must survive the trip.
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	h := MustHistogram(DefaultLatencyBounds()...)
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HistogramSnapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count != s.Count || back.Quantile(0.9) != s.Quantile(0.9) {
+		t.Errorf("round trip changed the snapshot: %+v vs %+v", back, s)
+	}
+	if time.Duration(back.P99Nanos) != s.Quantile(0.99) {
+		t.Errorf("precomputed p99 %v != recomputed %v", time.Duration(back.P99Nanos), s.Quantile(0.99))
+	}
+}
+
+func TestMean(t *testing.T) {
+	h := MustHistogram(time.Second)
+	if h.Snapshot().Mean() != 0 {
+		t.Error("empty mean not zero")
+	}
+	h.Observe(time.Millisecond)
+	h.Observe(3 * time.Millisecond)
+	if got := h.Snapshot().Mean(); got != 2*time.Millisecond {
+		t.Errorf("mean = %v, want 2ms", got)
+	}
+}

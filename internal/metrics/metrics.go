@@ -1,0 +1,51 @@
+// Package metrics provides the lock-cheap instrumentation primitives behind
+// cosyd's live observability: counters, gauges, and fixed-bucket latency
+// histograms whose hot paths are a handful of atomic operations and allocate
+// nothing. Reading is snapshot-on-read — an Observe never waits for a scrape
+// and a scrape never blocks an Observe.
+//
+// The paper's premise is that performance properties should be measured, not
+// guessed; this package applies that discipline to the analyzer itself. The
+// service records per-tenant admission outcomes and latencies into these
+// primitives, the driver records pool checkout waits, and the /metrics
+// endpoint serializes snapshots for operators, load generators, and the CI
+// soak gate.
+package metrics
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing count. The zero value is ready to
+// use; all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (callers keep counters monotone; Add never checks).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous value that can move both ways — in-flight
+// requests, checked-out connections. The zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the value by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }

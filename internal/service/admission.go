@@ -43,19 +43,20 @@ type TenantConfig struct {
 	MaxInFlight int
 }
 
-// AdmissionStats is a snapshot of the admission counters.
+// AdmissionStats is a snapshot of the admission counters. The JSON tags are
+// the field names of the /metrics endpoint's "admission" section.
 type AdmissionStats struct {
 	// Admitted counts acquisitions that got capacity (immediately or after
 	// queueing); Queued counts the subset that had to wait.
-	Admitted int64
-	Queued   int64
+	Admitted int64 `json:"admitted"`
+	Queued   int64 `json:"queued"`
 	// Shed counts queued waiters whose context fired before capacity came.
-	Shed int64
+	Shed int64 `json:"shed"`
 	// Rejected counts acquisitions refused because the queue was full.
-	Rejected int64
+	Rejected int64 `json:"rejected"`
 	// InFlight and Waiting are current occupancy, not cumulative counters.
-	InFlight int
-	Waiting  int
+	InFlight int `json:"in_flight"`
+	Waiting  int `json:"waiting"`
 }
 
 // waiter is one queued acquisition. The admission lock guards all fields;
@@ -145,8 +146,16 @@ func (a *Admission) admissible(tenant string) bool {
 // waiting sheds the waiter and returns the context's error; a full queue
 // returns ErrRejected immediately.
 func (a *Admission) Acquire(ctx context.Context, tenant string) (release func(), err error) {
+	release, _, err = a.AcquireTracked(ctx, tenant)
+	return release, err
+}
+
+// AcquireTracked is Acquire reporting whether the acquisition had to queue —
+// the distinction the per-tenant metrics record (an immediate grant and a
+// queued one both count as admitted, only the latter as queued).
+func (a *Admission) AcquireTracked(ctx context.Context, tenant string) (release func(), queued bool, err error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	a.mu.Lock()
 	// Grant immediately only when nobody of the same tenant is already
@@ -154,12 +163,12 @@ func (a *Admission) Acquire(ctx context.Context, tenant string) (release func(),
 	if len(a.queues[tenant]) == 0 && a.admissible(tenant) {
 		a.grantLocked(tenant)
 		a.mu.Unlock()
-		return func() { a.release(tenant) }, nil
+		return func() { a.release(tenant) }, false, nil
 	}
 	if a.maxQueue > 0 && a.waiting >= a.maxQueue {
 		a.stats.Rejected++
 		a.mu.Unlock()
-		return nil, ErrRejected
+		return nil, false, ErrRejected
 	}
 	w := &waiter{ctx: ctx, ready: make(chan struct{})}
 	a.queues[tenant] = append(a.queues[tenant], w)
@@ -169,7 +178,7 @@ func (a *Admission) Acquire(ctx context.Context, tenant string) (release func(),
 
 	select {
 	case <-w.ready:
-		return func() { a.release(tenant) }, nil
+		return func() { a.release(tenant) }, true, nil
 	case <-ctx.Done():
 	}
 	// The context fired — but the grant may have raced it. The lock decides:
@@ -179,7 +188,7 @@ func (a *Admission) Acquire(ctx context.Context, tenant string) (release func(),
 	if w.granted {
 		a.mu.Unlock()
 		a.release(tenant)
-		return nil, ctx.Err()
+		return nil, true, ctx.Err()
 	}
 	if !w.removed {
 		q := a.queues[tenant]
@@ -196,7 +205,7 @@ func (a *Admission) Acquire(ctx context.Context, tenant string) (release func(),
 		a.stats.Shed++
 	}
 	a.mu.Unlock()
-	return nil, ctx.Err()
+	return nil, true, ctx.Err()
 }
 
 // grantLocked books one acquisition. Callers hold a.mu.

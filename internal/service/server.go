@@ -22,10 +22,14 @@ type Server struct {
 	lis    net.Listener
 	logger *log.Logger
 
-	mu     sync.Mutex
-	closed bool
-	conns  map[net.Conn]struct{}
-	wg     sync.WaitGroup
+	mu sync.Mutex
+	// draining is set the moment a graceful Shutdown (or Close) begins and
+	// never cleared: /healthz flips to 503 so load balancers stop sending
+	// work while in-flight analyses finish.
+	draining bool
+	closed   bool
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
 }
 
 // NewServer wraps a Service for network serving. If logger is nil, logging is
@@ -61,6 +65,7 @@ func (s *Server) Close() error {
 	s.mu.Lock()
 	wasClosed := s.closed
 	s.closed = true
+	s.draining = true
 	for c := range s.conns {
 		c.Close()
 	}
@@ -76,8 +81,15 @@ func (s *Server) Close() error {
 // Shutdown closes the listener, then waits up to timeout for connected
 // clients to finish their in-flight requests and disconnect on their own;
 // lingering connections are then closed forcibly.
+//
+// Shutdown returning is the drain barrier: every request goroutine has
+// finished — including its admission release and metrics recording — so a
+// snapshot taken afterwards reconciles exactly (nothing in flight, every
+// admitted analysis classified). cmd/cosyd prints its final stats only after
+// this barrier.
 func (s *Server) Shutdown(timeout time.Duration) error {
 	s.mu.Lock()
+	s.draining = true
 	if s.closed {
 		s.mu.Unlock()
 		return nil
@@ -102,6 +114,22 @@ func (s *Server) Shutdown(timeout time.Duration) error {
 	s.mu.Unlock()
 	<-done
 	return lerr
+}
+
+// Draining reports whether shutdown has begun. It never reverts to false.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// ConnCount is the number of currently connected clients — one of the two
+// drift signals (with the goroutine count) the CI soak gate watches across a
+// drained load run.
+func (s *Server) ConnCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
 }
 
 func (s *Server) logf(format string, args ...any) {

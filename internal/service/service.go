@@ -2,7 +2,9 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/model"
@@ -35,12 +37,13 @@ type Service struct {
 	q     core.QueryExec
 	adm   *Admission
 	cfg   Config
+	met   *Metrics
 }
 
 // New assembles a service over a loaded executor. The database behind q must
 // already hold the graph's dataset.
 func New(g *model.Graph, q core.QueryExec, cfg Config) *Service {
-	s := &Service{graph: g, q: q, adm: NewAdmission(cfg.Capacity, cfg.MaxQueue), cfg: cfg}
+	s := &Service{graph: g, q: q, adm: NewAdmission(cfg.Capacity, cfg.MaxQueue), cfg: cfg, met: NewMetrics()}
 	for tenant, tc := range cfg.Tenants {
 		s.adm.SetTenant(tenant, tc)
 	}
@@ -85,14 +88,45 @@ func (s *Service) Analyze(ctx context.Context, tenant string, nope int) (*core.R
 	if err != nil {
 		return nil, err
 	}
-	release, err := s.adm.Acquire(ctx, tenant)
+	// Per-tenant recording happens here, inside the request's own goroutine
+	// and before it signals completion to anyone: every counter and histogram
+	// touch is therefore ordered before the server's drain barrier, which is
+	// what lets a post-drain snapshot reconcile exactly (see Server.Shutdown
+	// and cmd/cosyd).
+	tm := s.met.Tenant(tenant)
+	start := time.Now()
+	release, queued, err := s.adm.AcquireTracked(ctx, tenant)
 	if err != nil {
+		if errors.Is(err, ErrRejected) {
+			tm.Rejected.Inc()
+		} else {
+			tm.Shed.Inc()
+		}
 		return nil, err
 	}
 	defer release()
+	tm.Admitted.Inc()
+	if queued {
+		tm.Queued.Inc()
+	}
+	tm.QueueWait.Observe(time.Since(start))
+	tm.InFlight.Inc()
+	defer tm.InFlight.Dec()
+
 	opts := []core.Option{core.WithWorkers(s.cfg.Workers), core.WithBatchSize(s.cfg.BatchSize)}
 	if s.cfg.Threshold > 0 {
 		opts = append(opts, core.WithThreshold(s.cfg.Threshold))
 	}
-	return core.New(s.graph, opts...).AnalyzeSQLCtx(ctx, run, s.q)
+	rep, err := core.New(s.graph, opts...).AnalyzeSQLCtx(ctx, run, s.q)
+	switch {
+	case err == nil:
+		// End-to-end latency, queue wait included: what the tenant waited.
+		tm.Latency.Observe(time.Since(start))
+		tm.Completed.Inc()
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		tm.Canceled.Inc()
+	default:
+		tm.Failed.Inc()
+	}
+	return rep, err
 }

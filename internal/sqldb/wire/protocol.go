@@ -30,6 +30,7 @@ const (
 	ReqExecBatch                        // execute a prepared handle once per binding, inline results
 	ReqCacheStats                       // fetch the server's result-cache counters
 	ReqCancel                           // cancel the in-flight multiplexed request named by CancelID
+	ReqServerStats                      // fetch the server's engine and vendor-cost counters
 )
 
 // MaxBatch is the largest number of parameter bindings one ReqExecBatch may
@@ -142,6 +143,30 @@ type CacheStats struct {
 	Entries       int
 }
 
+// ServerStats is the engine and cost counter snapshot a ReqServerStats
+// returns: the backend's SELECT engine counters plus the server's own
+// request count and the cumulative simulated vendor delay it has charged.
+// Like every protocol extension, a server predating it answers the request
+// as an unknown kind and clients degrade gracefully (see godbc.ServerStats).
+type ServerStats struct {
+	// Engine names the backend's SELECT execution engine ("vector" or "row").
+	Engine string
+	// VecSelects / VecFallbacks count planned SELECTs executed on the
+	// vectorized operators versus the row interpreter.
+	VecSelects   int64
+	VecFallbacks int64
+	// PlanCacheHits / Misses count ad-hoc statement traffic through the
+	// server's plan cache.
+	PlanCacheHits   int64
+	PlanCacheMisses int64
+	// Requests counts protocol requests this server has served.
+	Requests int64
+	// VendorNanos is the cumulative simulated vendor delay (round trips,
+	// statement and prepare costs, per-row charges) the server has injected,
+	// in nanoseconds — the profiled "money spent at the database vendor".
+	VendorNanos int64
+}
+
 // Response is a server message.
 type Response struct {
 	Err      string
@@ -162,6 +187,8 @@ type Response struct {
 	CacheHits int
 	// Cache is the counter snapshot answering a ReqCacheStats.
 	Cache *CacheStats
+	// Server is the counter snapshot answering a ReqServerStats.
+	Server *ServerStats
 	// ID echoes the Request.ID of a multiplexed request so the client can
 	// route the reply. Pre-mux servers never set it (gob tolerates the
 	// absence); a mux client that reads back ID 0 knows it is talking to a

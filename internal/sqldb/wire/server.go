@@ -39,6 +39,14 @@ type Server struct {
 	// is served serially in arrival order, responses carry no ID, and
 	// ReqCancel is an unknown request kind. Used to test client fallback.
 	noMux atomic.Bool
+	// noServerStats does the same for ReqServerStats, for exercising the
+	// fallback of godbc's ServerStats against an older server.
+	noServerStats atomic.Bool
+
+	// requests counts protocol requests served; vendorNanos accumulates the
+	// simulated vendor delay charged by sleep. Both feed ReqServerStats.
+	requests    atomic.Int64
+	vendorNanos atomic.Int64
 
 	// sem, when non-nil, bounds how many statements the server executes
 	// simultaneously (see SetMaxConcurrent).
@@ -320,6 +328,7 @@ func (s *Server) SetMaxConcurrent(n int) {
 func canceled() *Response { return &Response{Err: ErrCanceled} }
 
 func (s *Server) serve(ctx context.Context, req *Request, st *connState) *Response {
+	s.requests.Add(1)
 	if s.sleep(ctx, s.profile.RoundTrip) != nil {
 		return canceled()
 	}
@@ -380,6 +389,20 @@ func (s *Server) serve(ctx context.Context, req *Request, st *connState) *Respon
 			Evictions:     st.ResultCacheEvictions,
 			Entries:       st.ResultCacheEntries,
 		}}
+	case ReqServerStats:
+		if s.noServerStats.Load() {
+			break // answer as a server without the stats extension would
+		}
+		st := s.db.Stats()
+		return &Response{Server: &ServerStats{
+			Engine:          st.Engine,
+			VecSelects:      st.VecSelects,
+			VecFallbacks:    st.VecFallbacks,
+			PlanCacheHits:   st.PlanCacheHits,
+			PlanCacheMisses: st.PlanCacheMisses,
+			Requests:        s.requests.Load(),
+			VendorNanos:     s.vendorNanos.Load(),
+		}}
 	}
 	return &Response{Err: fmt.Sprintf("wire: unknown request kind %d", req.Kind)}
 }
@@ -393,6 +416,11 @@ func (s *Server) DisableBatch() { s.noBatch.Store(true) }
 // predates the result cache; godbc's CacheStats then reports the counters as
 // unavailable. Used to test that fallback.
 func (s *Server) DisableCacheStats() { s.noCacheStats.Store(true) }
+
+// DisableServerStats makes the server reject ReqServerStats like a server
+// that predates the observability extension; godbc's ServerStats then reports
+// the counters as unavailable. Used to test that fallback.
+func (s *Server) DisableServerStats() { s.noServerStats.Store(true) }
 
 func toParams(req *Request) *sqldb.Params {
 	return bindParams(req.Pos, req.Named)
@@ -628,6 +656,12 @@ func encodeRows(rows []sqldb.Row) [][]WireValue {
 // OS timer granularity (≈1 ms) would otherwise flatten the differences
 // between vendor profiles that the insertion benchmarks measure.
 func (s *Server) sleep(ctx context.Context, d time.Duration) error {
+	if d > 0 {
+		// Count the full charge even when a cancellation cuts the delay
+		// short: VendorNanos reports what the workload cost at the simulated
+		// vendor's prices, not how long this process happened to block.
+		s.vendorNanos.Add(int64(d))
+	}
 	return DelayCtx(ctx, d)
 }
 
