@@ -5,11 +5,12 @@
 //
 // Usage:
 //
-//	aslc spec.asl                  # check only
-//	aslc -emit schema spec.asl     # print generated DDL
-//	aslc -emit sql spec.asl        # print per-property SQL
-//	aslc -emit ast spec.asl        # print the canonicalized specification
-//	aslc -canonical -emit sql      # run on the built-in COSY specification
+//	aslc spec.asl                      # check only
+//	aslc -emit schema spec.asl         # print generated DDL
+//	aslc -emit sql spec.asl            # print per-property SQL
+//	aslc -emit ast spec.asl            # print the canonicalized specification
+//	aslc -canonical -emit sql          # run on the built-in COSY specification
+//	aslc -canonical -emit sql -dialect ansi   # render for another SQL dialect
 package main
 
 import (
@@ -17,18 +18,25 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/asl/ast"
 	"repro/internal/asl/parser"
 	"repro/internal/asl/sem"
 	"repro/internal/asl/sqlgen"
 	"repro/internal/model"
+	"repro/internal/sqlast/build"
 )
 
 func main() {
 	emit := flag.String("emit", "", "what to emit: schema, sql, or ast (default: check only)")
 	canonical := flag.Bool("canonical", false, "use the built-in COSY specification instead of a file")
+	dialect := flag.String("dialect", build.Kojakdb.Name, "SQL dialect for -emit schema and -emit sql: "+strings.Join(build.Names(), ", "))
 	flag.Parse()
+
+	if _, ok := build.Lookup(*dialect); !ok {
+		fatal(fmt.Errorf("aslc: unknown -dialect %q (one of %s)", *dialect, strings.Join(build.Names(), ", ")))
+	}
 
 	var src string
 	switch {
@@ -61,7 +69,7 @@ func main() {
 	case "ast":
 		fmt.Print(ast.Print(spec))
 	case "schema":
-		ddl, err := sqlgen.Schema(world)
+		ddl, err := sqlgen.RenderSchema(world, *dialect)
 		if err != nil {
 			fatal(err)
 		}
@@ -77,6 +85,10 @@ func main() {
 		sort.Strings(names)
 		for _, n := range names {
 			cp := compiled[n]
+			r, err := cp.Render(*dialect)
+			if err != nil {
+				fatal(err)
+			}
 			fmt.Printf("-- property %s(", n)
 			for i, p := range cp.Params {
 				if i > 0 {
@@ -84,7 +96,11 @@ func main() {
 				}
 				fmt.Printf("%s %s", p.Type, p.Name)
 			}
-			fmt.Printf(")\n%s;\n\n", cp.SQL)
+			fmt.Print(")\n")
+			if len(r.ParamOrder) > 0 {
+				fmt.Printf("-- positional markers bind: %s\n", strings.Join(r.ParamOrder, ", "))
+			}
+			fmt.Printf("%s;\n\n", r.SQL)
 		}
 		errNames := make([]string, 0, len(errs))
 		for n := range errs {

@@ -36,6 +36,7 @@ import (
 	"repro/internal/godbc"
 	"repro/internal/model"
 	"repro/internal/paradyn"
+	"repro/internal/sqlast/build"
 	"repro/internal/sqldb"
 )
 
@@ -55,6 +56,7 @@ func main() {
 	batchSize := flag.Int("batchsize", 0, "context instances per batched request on the sql engine; 1 disables batching, omit for the default (32)")
 	cache := flag.String("cache", "on", "result cache of the in-process database: on or off (kojakdb servers configure theirs with -cache-size)")
 	sqlEngineName := flag.String("sql-engine", sqldb.EngineVector, "SELECT execution engine of the in-process database: vector or row (kojakdb servers select theirs with -engine)")
+	sqlDialect := flag.String("sql-dialect", build.Kojakdb.Name, "SQL dialect property queries are rendered in: "+strings.Join(build.Names(), ", "))
 	flag.Parse()
 
 	validateFlags()
@@ -90,6 +92,7 @@ func main() {
 	if *imbalance > 0 {
 		opts = append(opts, core.WithConst("ImbalanceThreshold", *imbalance))
 	}
+	opts = append(opts, core.WithSQLDialect(*sqlDialect))
 	analyzer := core.New(g, opts...)
 
 	switch *engine {
@@ -114,6 +117,14 @@ func main() {
 	}
 	if *sqlEngineName != sqldb.EngineVector && len(shardAddrs) > 0 {
 		usageError("-sql-engine only reaches the in-process database; select the servers' engine with kojakdb -engine")
+	}
+	// The dialect only changes how property queries are rendered, which only
+	// the sql engine does. It composes with -db (kojakdb servers parse every
+	// registered dialect) and with -sql-engine (both in-process SELECT engines
+	// execute the same parsed statements); schema DDL and the dataset load
+	// always ship in the canonical dialect.
+	if *sqlDialect != build.Kojakdb.Name && *engine != "sql" {
+		usageError("-sql-dialect only affects -engine sql (the %s engine does not render property SQL)", *engine)
 	}
 
 	// The SQL engines need a loaded database: in process by default, a
@@ -234,6 +245,7 @@ func validateFlags() {
 	check("db", func(s string) bool { return strings.TrimSpace(s) != "" }, "must name at least one kojakdb address")
 	check("cache", func(s string) bool { return s == "on" || s == "off" }, "must be on or off")
 	check("sql-engine", func(s string) bool { return s == sqldb.EngineVector || s == sqldb.EngineRow }, "must be vector or row")
+	check("sql-dialect", func(s string) bool { _, ok := build.Lookup(s); return ok }, "must be one of "+strings.Join(build.Names(), ", "))
 	check("nope", atLeast1, "must be at least 1 (omit the flag for the largest run)")
 	nonNegative := func(s string) bool { var f float64; _, err := fmt.Sscanf(s, "%g", &f); return err == nil && f >= 0 }
 	check("threshold", nonNegative, "must not be negative")

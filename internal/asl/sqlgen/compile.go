@@ -2,29 +2,36 @@ package sqlgen
 
 import (
 	"fmt"
-	"strconv"
 	"strings"
 
 	"repro/internal/asl/ast"
 	"repro/internal/asl/sem"
 	"repro/internal/asl/token"
+	"repro/internal/sqlast/build"
+	"repro/internal/sqldb"
 )
 
 // CompiledProperty is an ASL property translated into a single SQL SELECT.
 // The query produces one row with one boolean column per condition
 // ("c0".."cN"), one numeric column per confidence entry ("f0"..) and one per
-// severity entry ("s0".."sM"). Property parameters become named SQL
-// parameters "$<param>" carrying object ids for class-typed parameters and
-// plain values otherwise.
+// severity entry ("s0".."sM"). Property parameters become typed named SQL
+// parameters carrying object ids for class-typed parameters and plain values
+// otherwise.
 //
 // NULL columns arise where the object evaluator would raise an evaluation
 // error (UNIQUE over an empty set, MIN over an empty selection, and so on);
 // the analyzer treats both as "instance not evaluable".
+//
+// The query is compiled to a typed AST and rendered per dialect; SQL holds
+// the canonical kojakdb rendering, which is what plan-cache and result-cache
+// keys are built from.
 type CompiledProperty struct {
 	Name string
 	// Params are the ASL property parameters in order.
 	Params []sem.Attr
-	// SQL is the complete SELECT statement.
+	// AST is the compiled query; Render spells it for a dialect.
+	AST *build.Select
+	// SQL is the complete SELECT statement in the canonical kojakdb dialect.
 	SQL string
 	// CondLabels holds the condition label (or "") per condition column.
 	CondLabels []string
@@ -32,6 +39,110 @@ type CompiledProperty struct {
 	// and severity column.
 	ConfGuards []string
 	SevGuards  []string
+
+	// refs are the named parameters the query references, with their
+	// declared kinds, in first-occurrence order.
+	refs []build.Param
+}
+
+// Render spells the property query for the named dialect. The kojakdb
+// rendering equals SQL byte for byte.
+func (cp *CompiledProperty) Render(dialect string) (build.Rendered, error) {
+	d, ok := build.Lookup(dialect)
+	if !ok {
+		return build.Rendered{}, fmt.Errorf("sqlgen: unknown SQL dialect %q (have %s)", dialect, strings.Join(build.Names(), ", "))
+	}
+	return d.Render(cp.AST)
+}
+
+// CheckBinding validates a parameter binding against the property's declared
+// parameters: every parameter the query references must be bound under
+// Params.Named with a value of the declared kind (NULL is always accepted),
+// and every bound name must be a declared parameter.
+func (cp *CompiledProperty) CheckBinding(p *sqldb.Params) error {
+	var named map[string]sqldb.Value
+	if p != nil {
+		named = p.Named
+	}
+	for _, ref := range cp.refs {
+		v, ok := named[ref.Name]
+		if !ok {
+			return fmt.Errorf("sqlgen: property %s: no value bound for parameter $%s", cp.Name, ref.Name)
+		}
+		if !kindAccepts(ref.Kind, v) {
+			return fmt.Errorf("sqlgen: property %s: parameter $%s wants %s, bound %s", cp.Name, ref.Name, ref.Kind, v)
+		}
+	}
+	if len(named) > len(cp.Params) {
+		declared := make(map[string]bool, len(cp.Params))
+		for _, p := range cp.Params {
+			declared[p.Name] = true
+		}
+		for name := range named {
+			if !declared[name] {
+				return fmt.Errorf("sqlgen: property %s: bound parameter $%s is not declared", cp.Name, name)
+			}
+		}
+	}
+	return nil
+}
+
+// kindAccepts reports whether a bound value satisfies a declared parameter
+// kind. NULL is a legitimate binding for every kind.
+func kindAccepts(k build.ParamKind, v sqldb.Value) bool {
+	if v.IsNull() {
+		return true
+	}
+	switch k {
+	case build.KindInt:
+		return v.IsInt()
+	case build.KindFloat:
+		return v.IsNumeric()
+	case build.KindText:
+		return v.IsText()
+	case build.KindBool:
+		return v.IsBool()
+	}
+	return true
+}
+
+// FillPositional populates p.Positional with the named values in marker
+// order — the binding conversion for positional-marker dialects. Named stays
+// populated: sharded routing and binding checks read it.
+func FillPositional(p *sqldb.Params, order []string) error {
+	vals := make([]sqldb.Value, len(order))
+	for i, name := range order {
+		v, ok := p.Named[name]
+		if !ok {
+			return fmt.Errorf("sqlgen: positional binding: no value for parameter $%s", name)
+		}
+		vals[i] = v
+	}
+	p.Positional = vals
+	return nil
+}
+
+// paramKindFor maps an ASL parameter type to the SQL parameter kind its
+// bindings are checked against. Class-typed parameters carry object ids.
+func paramKindFor(t sem.Type) build.ParamKind {
+	switch x := t.(type) {
+	case *sem.Class:
+		return build.KindInt
+	case *sem.Enum:
+		return build.KindText
+	case *sem.Basic:
+		switch x.Kind {
+		case sem.Int, sem.DateTime:
+			return build.KindInt
+		case sem.Float:
+			return build.KindFloat
+		case sem.String:
+			return build.KindText
+		case sem.Bool:
+			return build.KindBool
+		}
+	}
+	return build.KindAny
 }
 
 // maxInlineDepth bounds ASL function inlining.
@@ -60,16 +171,16 @@ type compiler struct {
 // cval is a compiled ASL expression.
 //
 // Exactly one representation applies:
-//   - text != ""  — a SQL scalar expression; for class-typed values the
+//   - ex != nil    — a SQL scalar expression; for class-typed values the
 //     expression yields the object id;
-//   - alias != "" — a bound table row (set-comprehension or aggregate
+//   - alias != ""  — a bound table row (set-comprehension or aggregate
 //     binder variable), whose columns are directly addressable;
-//   - set != nil  — a set-valued expression (only legal inside UNIQUE,
+//   - set != nil   — a set-valued expression (only legal inside UNIQUE,
 //     aggregates, and comprehensions).
 type cval struct {
-	text  string
+	ex    build.Expr
 	alias string
-	class *sem.Class // non-nil for object-valued text/alias values
+	class *sem.Class // non-nil for object-valued ex/alias values
 	set   *setDesc
 	// isNull marks the ASL null literal.
 	isNull bool
@@ -80,9 +191,9 @@ type cval struct {
 type setDesc struct {
 	elem      *sem.Class
 	junction  string
-	ownerText string   // SQL expression for the owning object id
-	elemAlias string   // alias bound for the element rows
-	conds     []string // SQL predicates over elemAlias
+	ownerEx   build.Expr   // expression for the owning object id
+	elemAlias string       // alias bound for the element rows
+	conds     []build.Expr // predicates over elemAlias
 }
 
 func (c *compiler) errf(pos token.Pos, format string, args ...any) *CompileError {
@@ -122,7 +233,7 @@ func CompileProperty(w *sem.World, name string) (*CompiledProperty, error) {
 
 	env := newCEnv(nil)
 	for _, p := range sig.Params {
-		v := cval{text: "$" + p.Name}
+		v := cval{ex: &build.Param{Name: p.Name, Kind: paramKindFor(p.Type)}}
 		if cls, isClass := p.Type.(*sem.Class); isClass {
 			v.class = cls
 		}
@@ -137,82 +248,89 @@ func CompileProperty(w *sem.World, name string) (*CompiledProperty, error) {
 	}
 
 	out := &CompiledProperty{Name: name, Params: sig.Params}
-	var items []string
+	sel := &build.Select{}
 	for i, cond := range decl.Conditions {
-		sql, err := c.compileScalar(cond.Expr, env)
+		ex, err := c.compileScalar(cond.Expr, env)
 		if err != nil {
 			return nil, err
 		}
-		items = append(items, fmt.Sprintf("%s AS c%d", sql, i))
+		sel.Items = append(sel.Items, build.Item{Expr: ex, As: fmt.Sprintf("c%d", i)})
 		out.CondLabels = append(out.CondLabels, cond.Label)
 	}
 	for i, g := range decl.Confidence {
-		sql, err := c.compileScalar(g.Expr, env)
+		ex, err := c.compileScalar(g.Expr, env)
 		if err != nil {
 			return nil, err
 		}
-		items = append(items, fmt.Sprintf("%s AS f%d", sql, i))
+		sel.Items = append(sel.Items, build.Item{Expr: ex, As: fmt.Sprintf("f%d", i)})
 		out.ConfGuards = append(out.ConfGuards, g.Guard)
 	}
 	for i, g := range decl.Severity {
-		sql, err := c.compileScalar(g.Expr, env)
+		ex, err := c.compileScalar(g.Expr, env)
 		if err != nil {
 			return nil, err
 		}
-		items = append(items, fmt.Sprintf("%s AS s%d", sql, i))
+		sel.Items = append(sel.Items, build.Item{Expr: ex, As: fmt.Sprintf("s%d", i)})
 		out.SevGuards = append(out.SevGuards, g.Guard)
 	}
-	out.SQL = "SELECT " + strings.Join(items, ", ")
+	out.AST = sel
+	refs, err := build.NamedParams(sel)
+	if err != nil {
+		return nil, fmt.Errorf("sqlgen: property %s: %w", name, err)
+	}
+	out.refs = refs
+	r, err := build.Kojakdb.Render(sel)
+	if err != nil {
+		return nil, fmt.Errorf("sqlgen: property %s: %w", name, err)
+	}
+	out.SQL = r.SQL
 	return out, nil
 }
 
 // compileScalar compiles an expression that must yield a SQL scalar.
-func (c *compiler) compileScalar(e ast.Expr, env *cenv) (string, error) {
+func (c *compiler) compileScalar(e ast.Expr, env *cenv) (build.Expr, error) {
 	v, err := c.compile(e, env)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	switch {
 	case v.set != nil:
-		return "", c.errf(e.Pos(), "set-valued expression where a scalar is required")
+		return nil, c.errf(e.Pos(), "set-valued expression where a scalar is required")
 	case v.alias != "":
 		// A bare binder variable as a scalar means its id.
-		return v.alias + ".id", nil
+		return &build.Col{Table: v.alias, Name: "id"}, nil
 	case v.isNull:
-		return "NULL", nil
+		return &build.Null{}, nil
 	default:
-		return v.text, nil
+		return v.ex, nil
 	}
 }
 
-// idText returns a SQL expression for the object id of a class-typed value.
-func (c *compiler) idText(v cval, pos token.Pos) (string, error) {
+// idExpr returns an expression for the object id of a class-typed value.
+func (c *compiler) idExpr(v cval, pos token.Pos) (build.Expr, error) {
 	switch {
 	case v.alias != "":
-		return v.alias + ".id", nil
+		return &build.Col{Table: v.alias, Name: "id"}, nil
 	case v.class != nil:
-		return v.text, nil
+		return v.ex, nil
 	}
-	return "", c.errf(pos, "expected an object value")
+	return nil, c.errf(pos, "expected an object value")
 }
 
 func (c *compiler) compile(e ast.Expr, env *cenv) (cval, error) {
 	switch x := e.(type) {
 	case *ast.IntLit:
-		return cval{text: strconv.FormatInt(x.Value, 10)}, nil
+		return cval{ex: &build.Int{V: x.Value}}, nil
 	case *ast.FloatLit:
-		return cval{text: strconv.FormatFloat(x.Value, 'g', -1, 64)}, nil
+		return cval{ex: &build.Float{V: x.Value}}, nil
 	case *ast.StringLit:
-		return cval{text: sqlString(x.Value)}, nil
+		return cval{ex: &build.Str{V: x.Value}}, nil
 	case *ast.BoolLit:
-		if x.Value {
-			return cval{text: "TRUE"}, nil
-		}
-		return cval{text: "FALSE"}, nil
+		return cval{ex: &build.Bool{V: x.Value}}, nil
 	case *ast.NullLit:
 		return cval{isNull: true}, nil
 	case *ast.DateTimeLit:
-		return cval{text: strconv.FormatInt(x.Value, 10)}, nil
+		return cval{ex: &build.Int{V: x.Value}}, nil
 	case *ast.Ident:
 		if v, ok := env.lookup(x.Name); ok {
 			return v, nil
@@ -221,7 +339,7 @@ func (c *compiler) compile(e ast.Expr, env *cenv) (cval, error) {
 			return c.compile(decl.Value, newCEnv(nil))
 		}
 		if _, ok := c.w.EnumMembers[x.Name]; ok {
-			return cval{text: sqlString(x.Name)}, nil
+			return cval{ex: &build.Str{V: x.Name}}, nil
 		}
 		return cval{}, c.errf(x.Pos(), "undefined identifier %s", x.Name)
 	case *ast.Member:
@@ -232,9 +350,9 @@ func (c *compiler) compile(e ast.Expr, env *cenv) (cval, error) {
 			return cval{}, err
 		}
 		if x.Op == token.MINUS {
-			return cval{text: "(-" + sub + ")"}, nil
+			return cval{ex: &build.Paren{X: &build.Un{Op: build.OpNeg, X: sub}}}, nil
 		}
-		return cval{text: "(NOT " + sub + ")"}, nil
+		return cval{ex: &build.Paren{X: &build.Un{Op: build.OpNot, X: sub}}}, nil
 	case *ast.Binary:
 		return c.compileBinary(x, env)
 	case *ast.Call:
@@ -259,7 +377,7 @@ func (c *compiler) compile(e ast.Expr, env *cenv) (cval, error) {
 		if err != nil {
 			return cval{}, err
 		}
-		return cval{text: c.setQuery(src, src.elemAlias+".id"), class: src.elem}, nil
+		return cval{ex: c.setQuery(src, &build.Col{Table: src.elemAlias, Name: "id"}), class: src.elem}, nil
 	case *ast.Agg:
 		return c.compileAgg(x, env)
 	case *ast.NAry:
@@ -280,18 +398,23 @@ func (c *compiler) compileSet(e ast.Expr, env *cenv) (*setDesc, error) {
 	return v.set, nil
 }
 
-// setQuery renders a setDesc as a scalar subquery computing valueSQL.
-func (c *compiler) setQuery(s *setDesc, valueSQL string) string {
+// setQuery builds a setDesc into a scalar subquery computing value.
+func (c *compiler) setQuery(s *setDesc, value build.Expr) build.Expr {
 	j := c.newAlias("j")
-	var b strings.Builder
-	fmt.Fprintf(&b, "(SELECT %s FROM %s %s JOIN %s %s ON %s.id = %s.elem_id WHERE %s.owner_id = %s",
-		valueSQL, s.junction, j, s.elem.Name, s.elemAlias, s.elemAlias, j, j, s.ownerText)
-	for _, cond := range s.conds {
-		b.WriteString(" AND ")
-		b.WriteString(cond)
+	sel := &build.Select{
+		Items: []build.Item{{Expr: value}},
+		From:  &build.Table{Name: s.junction, Alias: j},
+		Joins: []build.Join{{
+			Table: build.Table{Name: s.elem.Name, Alias: s.elemAlias},
+			On: &build.Bin{Op: build.OpEq,
+				L: &build.Col{Table: s.elemAlias, Name: "id"},
+				R: &build.Col{Table: j, Name: "elem_id"}},
+		}},
+		Where: append([]build.Expr{&build.Bin{Op: build.OpEq,
+			L: &build.Col{Table: j, Name: "owner_id"},
+			R: s.ownerEx}}, s.conds...),
 	}
-	b.WriteString(")")
-	return b.String()
+	return &build.Subquery{Sel: sel}
 }
 
 func (c *compiler) compileMember(x *ast.Member, env *cenv) (cval, error) {
@@ -315,14 +438,14 @@ func (c *compiler) compileMember(x *ast.Member, env *cenv) (cval, error) {
 		if !ok {
 			return cval{}, c.errf(x.Pos(), "setof %s is not a class set", set.Elem)
 		}
-		owner, err := c.idText(base, x.Pos())
+		owner, err := c.idExpr(base, x.Pos())
 		if err != nil {
 			return cval{}, err
 		}
 		return cval{set: &setDesc{
 			elem:      elem,
 			junction:  JunctionFor(base.class, x.Name),
-			ownerText: owner,
+			ownerEx:   owner,
 			elemAlias: c.newAlias("a"),
 		}}, nil
 	}
@@ -333,13 +456,18 @@ func (c *compiler) compileMember(x *ast.Member, env *cenv) (cval, error) {
 		out.class = cls
 	}
 	if base.alias != "" {
-		out.text = base.alias + "." + col
+		out.ex = &build.Col{Table: base.alias, Name: col}
 		return out, nil
 	}
 	// Dereference via a scalar subquery on the base class table.
 	a := c.newAlias("d")
-	out.text = fmt.Sprintf("(SELECT %s.%s FROM %s %s WHERE %s.id = %s)",
-		a, col, base.class.Name, a, a, base.text)
+	out.ex = &build.Subquery{Sel: &build.Select{
+		Items: []build.Item{{Expr: &build.Col{Table: a, Name: col}}},
+		From:  &build.Table{Name: base.class.Name, Alias: a},
+		Where: []build.Expr{&build.Bin{Op: build.OpEq,
+			L: &build.Col{Table: a, Name: "id"},
+			R: base.ex}},
+	}}
 	return out, nil
 }
 
@@ -358,15 +486,15 @@ func (c *compiler) compileBinary(x *ast.Binary, env *cenv) (cval, error) {
 		if l.isNull {
 			other = r
 		}
-		text, err := c.scalarOf(other, x.Pos())
+		ex, err := c.scalarOf(other, x.Pos())
 		if err != nil {
 			return cval{}, err
 		}
 		switch x.Op {
 		case token.EQ:
-			return cval{text: "(" + text + " IS NULL)"}, nil
+			return cval{ex: &build.Paren{X: &build.IsNull{X: ex}}}, nil
 		case token.NEQ:
-			return cval{text: "(" + text + " IS NOT NULL)"}, nil
+			return cval{ex: &build.Paren{X: &build.IsNull{X: ex, Not: true}}}, nil
 		}
 		return cval{}, c.errf(x.Pos(), "null may only be compared with == or !=")
 	}
@@ -378,52 +506,52 @@ func (c *compiler) compileBinary(x *ast.Binary, env *cenv) (cval, error) {
 	if err != nil {
 		return cval{}, err
 	}
-	var op string
+	var op build.BinOp
 	switch x.Op {
 	case token.PLUS:
-		op = "+"
+		op = build.OpAdd
 	case token.MINUS:
-		op = "-"
+		op = build.OpSub
 	case token.STAR:
-		op = "*"
+		op = build.OpMul
 	case token.SLASH:
-		op = "/"
+		op = build.OpDiv
 	case token.PERCENT:
-		op = "%"
+		op = build.OpMod
 	case token.EQ:
-		op = "="
+		op = build.OpEq
 	case token.NEQ:
-		op = "<>"
+		op = build.OpNeq
 	case token.LT:
-		op = "<"
+		op = build.OpLt
 	case token.LEQ:
-		op = "<="
+		op = build.OpLeq
 	case token.GT:
-		op = ">"
+		op = build.OpGt
 	case token.GEQ:
-		op = ">="
+		op = build.OpGeq
 	case token.AND:
-		op = "AND"
+		op = build.OpAnd
 	case token.OR:
-		op = "OR"
+		op = build.OpOr
 	default:
 		return cval{}, c.errf(x.Pos(), "operator %s is not supported in SQL translation", x.Op)
 	}
-	return cval{text: "(" + lt + " " + op + " " + rt + ")"}, nil
+	return cval{ex: &build.Paren{X: &build.Bin{Op: op, L: lt, R: rt}}}, nil
 }
 
 // scalarOf renders a compiled value as a SQL scalar (object values render as
 // their id).
-func (c *compiler) scalarOf(v cval, pos token.Pos) (string, error) {
+func (c *compiler) scalarOf(v cval, pos token.Pos) (build.Expr, error) {
 	switch {
 	case v.set != nil:
-		return "", c.errf(pos, "set value used as a scalar")
+		return nil, c.errf(pos, "set value used as a scalar")
 	case v.alias != "":
-		return v.alias + ".id", nil
+		return &build.Col{Table: v.alias, Name: "id"}, nil
 	case v.isNull:
-		return "NULL", nil
+		return &build.Null{}, nil
 	}
-	return v.text, nil
+	return v.ex, nil
 }
 
 func (c *compiler) compileCall(x *ast.Call, env *cenv) (cval, error) {
@@ -462,11 +590,11 @@ func (c *compiler) compileAgg(x *ast.Agg, env *cenv) (cval, error) {
 		inner = newCEnv(env)
 		inner.vars[x.Binder] = cval{alias: src.elemAlias, class: src.elem}
 		for _, cond := range x.Conds {
-			sql, err := c.compileScalar(cond, inner)
+			ex, err := c.compileScalar(cond, inner)
 			if err != nil {
 				return cval{}, err
 			}
-			src.conds = append(src.conds, sql)
+			src.conds = append(src.conds, ex)
 		}
 	} else {
 		var err error
@@ -477,26 +605,22 @@ func (c *compiler) compileAgg(x *ast.Agg, env *cenv) (cval, error) {
 		if x.Kind != ast.AggCount {
 			return cval{}, c.errf(x.Pos(), "%s over a bare set is only supported for COUNT", x.Kind)
 		}
-		return cval{text: c.setQuery(src, "COUNT(*)")}, nil
+		return cval{ex: c.setQuery(src, &build.Call{Name: "COUNT", Star: true})}, nil
 	}
 
 	if x.Kind == ast.AggCount {
-		return cval{text: c.setQuery(src, "COUNT(*)")}, nil
+		return cval{ex: c.setQuery(src, &build.Call{Name: "COUNT", Star: true})}, nil
 	}
-	valSQL, err := c.compileScalar(x.Value, inner)
+	valEx, err := c.compileScalar(x.Value, inner)
 	if err != nil {
 		return cval{}, err
 	}
-	agg := c.setQuery(src, fmt.Sprintf("%s(%s)", x.Kind, valSQL))
+	agg := c.setQuery(src, &build.Call{Name: fmt.Sprint(x.Kind), Args: []build.Expr{valEx}})
 	if x.Kind == ast.AggSum {
 		// ASL defines SUM over an empty selection as zero; SQL yields NULL.
-		agg = "COALESCE(" + agg + ", 0)"
+		agg = &build.Call{Name: "COALESCE", Args: []build.Expr{agg, &build.Int{V: 0}}}
 	}
-	return cval{text: agg}, nil
-}
-
-func sqlString(s string) string {
-	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+	return cval{ex: agg}, nil
 }
 
 // CompileAll compiles every property of the world, returning them keyed by

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/asl/object"
 	"repro/internal/asl/sem"
+	"repro/internal/sqlast/build"
 	"repro/internal/sqldb"
 )
 
@@ -88,7 +89,15 @@ func ReadStore(w *sem.World, q QueryExecutor) (*object.Store, error) {
 	// Pass 1: create all objects so references can be linked in pass 2.
 	rowsByClass := make(map[string]*sqldb.ResultSet)
 	for _, name := range classNames {
-		set, err := q.ExecQuery("SELECT * FROM "+name+" ORDER BY id", nil)
+		r, err := build.Kojakdb.Render(&build.Select{
+			Items:   []build.Item{{Star: true}},
+			From:    &build.Table{Name: name},
+			OrderBy: []build.OrderKey{{Expr: &build.Col{Name: "id"}}},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sqlgen: reading %s: %w", name, err)
+		}
+		set, err := q.ExecQuery(r.SQL, nil)
 		if err != nil {
 			return nil, fmt.Errorf("sqlgen: reading %s: %w", name, err)
 		}
@@ -139,7 +148,17 @@ func ReadStore(w *sem.World, q QueryExecutor) (*object.Store, error) {
 				continue
 			}
 			j := JunctionFor(cls, attr.Name)
-			set, err := q.ExecQuery("SELECT owner_id, elem_id FROM "+j, nil)
+			r, err := build.Kojakdb.Render(&build.Select{
+				Items: []build.Item{
+					{Expr: &build.Col{Name: "owner_id"}},
+					{Expr: &build.Col{Name: "elem_id"}},
+				},
+				From: &build.Table{Name: j},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("sqlgen: reading %s: %w", j, err)
+			}
+			set, err := q.ExecQuery(r.SQL, nil)
 			if err != nil {
 				return nil, fmt.Errorf("sqlgen: reading %s: %w", j, err)
 			}

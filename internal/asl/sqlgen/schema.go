@@ -18,10 +18,10 @@ package sqlgen
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"repro/internal/asl/object"
 	"repro/internal/asl/sem"
+	"repro/internal/sqlast/build"
 	"repro/internal/sqldb"
 )
 
@@ -38,72 +38,100 @@ func JunctionFor(class *sem.Class, attrName string) string {
 	return class.Name + "_" + attrName
 }
 
-// sqlTypeFor maps an ASL scalar type to a SQL column type.
-func sqlTypeFor(t sem.Type) (string, error) {
+// colTypeFor maps an ASL scalar type to an abstract column type; dialects
+// spell it (kojakdb: INTEGER/REAL/TEXT/BOOLEAN).
+func colTypeFor(t sem.Type) (build.ColType, error) {
 	switch x := t.(type) {
 	case *sem.Basic:
 		switch x.Kind {
 		case sem.Int, sem.DateTime:
-			return "INTEGER", nil
+			return build.TInt, nil
 		case sem.Float:
-			return "REAL", nil
+			return build.TFloat, nil
 		case sem.String:
-			return "TEXT", nil
+			return build.TText, nil
 		case sem.Bool:
-			return "BOOLEAN", nil
+			return build.TBool, nil
 		}
 	case *sem.Enum:
-		return "TEXT", nil
+		return build.TText, nil
 	case *sem.Class:
-		return "INTEGER", nil // foreign key
+		return build.TInt, nil // foreign key
 	}
-	return "", fmt.Errorf("sqlgen: no SQL type for %s", t)
+	return 0, fmt.Errorf("sqlgen: no SQL type for %s", t)
 }
 
-// Schema generates the DDL statements (CREATE TABLE and CREATE INDEX) for
-// every class of the world, in deterministic order.
-func Schema(w *sem.World) ([]string, error) {
+// SchemaStmts generates the DDL statements (CREATE TABLE and CREATE INDEX)
+// for every class of the world as builder nodes, in deterministic order.
+func SchemaStmts(w *sem.World) ([]build.Stmt, error) {
 	names := make([]string, 0, len(w.Classes))
 	for n := range w.Classes {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 
-	var ddl []string
+	var ddl []build.Stmt
 	for _, n := range names {
 		cls := w.Classes[n]
-		var cols []string
-		cols = append(cols, "id INTEGER PRIMARY KEY")
-		var indexes []string
+		cols := []build.ColDef{{Name: "id", Type: build.TInt, PrimaryKey: true}}
+		var indexes []build.Stmt
 		for _, attr := range cls.AllAttrs() {
 			if set, ok := attr.Type.(*sem.Set); ok {
-				elem, ok := set.Elem.(*sem.Class)
-				if !ok {
+				if _, ok := set.Elem.(*sem.Class); !ok {
 					return nil, fmt.Errorf("sqlgen: class %s: setof %s is not a class set", n, set.Elem)
 				}
 				j := JunctionFor(cls, attr.Name)
-				ddl = append(ddl,
-					fmt.Sprintf("CREATE TABLE %s (owner_id INTEGER NOT NULL, elem_id INTEGER NOT NULL)", j))
+				ddl = append(ddl, &build.CreateTable{Name: j, Cols: []build.ColDef{
+					{Name: "owner_id", Type: build.TInt, NotNull: true},
+					{Name: "elem_id", Type: build.TInt, NotNull: true},
+				}})
 				indexes = append(indexes,
-					fmt.Sprintf("CREATE INDEX idx_%s_owner ON %s (owner_id)", j, j),
-					fmt.Sprintf("CREATE INDEX idx_%s_elem ON %s (elem_id)", j, j))
-				_ = elem
+					&build.CreateIndex{Name: "idx_" + j + "_owner", Table: j, Cols: []string{"owner_id"}},
+					&build.CreateIndex{Name: "idx_" + j + "_elem", Table: j, Cols: []string{"elem_id"}})
 				continue
 			}
-			st, err := sqlTypeFor(attr.Type)
+			ct, err := colTypeFor(attr.Type)
 			if err != nil {
 				return nil, fmt.Errorf("sqlgen: class %s attribute %s: %w", n, attr.Name, err)
 			}
-			cols = append(cols, fmt.Sprintf("%s %s", ColumnFor(attr), st))
+			cols = append(cols, build.ColDef{Name: ColumnFor(attr), Type: ct})
 			if _, isClass := attr.Type.(*sem.Class); isClass {
+				col := ColumnFor(attr)
 				indexes = append(indexes,
-					fmt.Sprintf("CREATE INDEX idx_%s_%s ON %s (%s)", n, ColumnFor(attr), n, ColumnFor(attr)))
+					&build.CreateIndex{Name: "idx_" + n + "_" + col, Table: n, Cols: []string{col}})
 			}
 		}
-		ddl = append(ddl, fmt.Sprintf("CREATE TABLE %s (%s)", n, strings.Join(cols, ", ")))
+		ddl = append(ddl, &build.CreateTable{Name: n, Cols: cols})
 		ddl = append(ddl, indexes...)
 	}
 	return ddl, nil
+}
+
+// Schema generates the DDL for every class of the world in the canonical
+// kojakdb dialect, in deterministic order.
+func Schema(w *sem.World) ([]string, error) {
+	return RenderSchema(w, build.Kojakdb.Name)
+}
+
+// RenderSchema generates the DDL in the named dialect.
+func RenderSchema(w *sem.World, dialect string) ([]string, error) {
+	d, ok := build.Lookup(dialect)
+	if !ok {
+		return nil, fmt.Errorf("sqlgen: unknown SQL dialect %q", dialect)
+	}
+	stmts, err := SchemaStmts(w)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(stmts))
+	for i, s := range stmts {
+		r, err := d.Render(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r.SQL
+	}
+	return out, nil
 }
 
 // Statement is one parameterized SQL statement of a load plan.

@@ -12,11 +12,11 @@ package sqlgen
 
 import (
 	"fmt"
-	"strings"
 	"sync"
 
 	"repro/internal/asl/object"
 	"repro/internal/asl/sem"
+	"repro/internal/sqlast/build"
 	"repro/internal/sqldb"
 )
 
@@ -86,9 +86,13 @@ func RoutedLoadPlan(store *object.Store, partitioned map[string]bool) ([]RoutedS
 					if !ok {
 						return nil, fmt.Errorf("sqlgen: %s.%s holds a non-object element", cls.Name, attr.Name)
 					}
+					sql, err := insertSQL(j, []string{"owner_id", "elem_id"})
+					if err != nil {
+						return nil, err
+					}
 					junctions = append(junctions, RoutedStatement{
 						Statement: Statement{
-							SQL: fmt.Sprintf("INSERT INTO %s (owner_id, elem_id) VALUES (?, ?)", j),
+							SQL: sql,
 							Params: &sqldb.Params{Positional: []sqldb.Value{
 								sqldb.NewInt(obj.ID), sqldb.NewInt(eo.ID),
 							}},
@@ -105,11 +109,13 @@ func RoutedLoadPlan(store *object.Store, partitioned map[string]bool) ([]RoutedS
 			colNames = append(colNames, ColumnFor(attr))
 			vals = append(vals, sv)
 		}
-		marks := strings.Repeat("?, ", len(colNames))
+		sql, err := insertSQL(cls.Name, colNames)
+		if err != nil {
+			return nil, err
+		}
 		stmts = append(stmts, RoutedStatement{
 			Statement: Statement{
-				SQL: fmt.Sprintf("INSERT INTO %s (%s) VALUES (%s)",
-					cls.Name, strings.Join(colNames, ", "), marks[:len(marks)-2]),
+				SQL:    sql,
 				Params: &sqldb.Params{Positional: vals},
 			},
 			RunID: runOf(obj, partitioned),
@@ -117,6 +123,20 @@ func RoutedLoadPlan(store *object.Store, partitioned map[string]bool) ([]RoutedS
 		stmts = append(stmts, junctions...)
 	}
 	return stmts, nil
+}
+
+// insertSQL builds a positional-parameter INSERT for the table and columns
+// in the canonical dialect, validating every identifier on the way.
+func insertSQL(table string, cols []string) (string, error) {
+	values := make([]build.Expr, len(cols))
+	for i := range cols {
+		values[i] = &build.Ordinal{N: i}
+	}
+	r, err := build.Kojakdb.Render(&build.Insert{Table: table, Cols: cols, Values: values})
+	if err != nil {
+		return "", fmt.Errorf("sqlgen: %w", err)
+	}
+	return r.SQL, nil
 }
 
 // LoadSharded executes a store's load plan across shards: broadcast

@@ -140,6 +140,23 @@ func (a *Analyzer) evalSQLCtxs(ctx context.Context, q QueryExec, c *compiledProp
 	if aborted(prop, ctxs, out, fail) {
 		return
 	}
+	// Validate every context's bindings against the compiled parameter list
+	// before anything executes, and fill the positional slice when the
+	// dialect renders positional markers. A mismatch is systematic — every
+	// context of a property binds the same parameter shape — so the first
+	// failure diagnoses the whole group without issuing a single query.
+	for _, ictx := range ctxs {
+		err := c.cp.CheckBinding(ictx.params)
+		if err == nil && c.paramOrder != nil {
+			err = sqlgen.FillPositional(ictx.params, c.paramOrder)
+		}
+		if err != nil {
+			for i, ic := range ctxs {
+				out[i] = Instance{Property: prop, Context: ic.label, Outcome: Outcome{Diagnostic: err.Error()}}
+			}
+			return
+		}
+	}
 	size := a.BatchSize()
 	if c.bq == nil || size <= 1 {
 		for i, ictx := range ctxs {

@@ -19,6 +19,7 @@ import (
 	"repro/internal/asl/sem"
 	"repro/internal/asl/sqlgen"
 	"repro/internal/model"
+	"repro/internal/sqlast/build"
 	"repro/internal/sqldb"
 )
 
@@ -135,6 +136,17 @@ func WithConst(name string, value float64) Option {
 	return func(a *Analyzer) { a.consts[name] = value }
 }
 
+// WithSQLDialect selects the SQL dialect the property compiler renders for
+// on the SQL engine paths (see internal/sqlast/build). The default is the
+// canonical "kojakdb" dialect, whose rendering is the byte-exact text the
+// plan and result caches key on. Positional-marker dialects ("ansi") make
+// the analyzer fill each context's positional parameter slice from its named
+// bindings in rendered marker order. The name is validated when an analysis
+// first compiles a property, not here.
+func WithSQLDialect(name string) Option {
+	return func(a *Analyzer) { a.dialect = name }
+}
+
 // WithPreparedStatements controls whether the SQL engines use prepared
 // statements when the executor supports them (on by default). Each
 // property's compiled query is then parsed and planned once per analysis and
@@ -163,6 +175,9 @@ type Analyzer struct {
 	// batchSize is the number of context instances per batched request on
 	// the SQL engines; <= 0 means DefaultBatchSize, 1 disables batching.
 	batchSize int
+	// dialect is the SQL dialect properties are rendered in; "" means the
+	// canonical kojakdb dialect.
+	dialect string
 }
 
 // New returns an analyzer over the graph.
@@ -426,13 +441,19 @@ type evalItem struct {
 	sqlProp *compiledProp
 }
 
-// compiledProp is one property's compiled query: the SQL text (with constant
-// overrides applied), the compiler's column layout, and — when the executor
-// supports it — a prepared handle shared by every context of the property.
+// compiledProp is one property's compiled query: the SQL text (rendered in
+// the analyzer's dialect, with constant overrides applied), the compiler's
+// column layout, and — when the executor supports it — a prepared handle
+// shared by every context of the property.
 type compiledProp struct {
 	sql string
 	cp  *sqlgen.CompiledProperty
-	pq  sqlgen.PreparedQuery // nil on the text-protocol path
+	// paramOrder is the rendered marker order of a positional-marker dialect;
+	// nil for named-marker dialects (kojakdb, oracle7). When set, each
+	// context's positional parameters are filled from its named bindings
+	// before execution.
+	paramOrder []string
+	pq         sqlgen.PreparedQuery // nil on the text-protocol path
 	// bq is the handle's array-binding interface, non-nil when the executor
 	// can run a whole batch of contexts in one request (see batch.go).
 	bq sqlgen.BatchPreparedQuery
@@ -468,11 +489,23 @@ func (a *Analyzer) compileProp(prop string, preparer sqlgen.QueryPreparer) (*com
 	if err != nil {
 		return nil, fmt.Errorf("core: compiling %s: %w", prop, err)
 	}
-	sql, err := a.overrideConsts(cp, prop)
+	// The canonical dialect's rendering is cp.SQL itself — reuse it so the
+	// default path pays no render and keeps the exact plan-cache text.
+	sql := cp.SQL
+	var paramOrder []string
+	if a.dialect != "" && a.dialect != build.Kojakdb.Name {
+		r, err := cp.Render(a.dialect)
+		if err != nil {
+			return nil, fmt.Errorf("core: rendering %s: %w", prop, err)
+		}
+		sql = r.SQL
+		paramOrder = r.ParamOrder
+	}
+	sql, err = a.overrideConsts(sql, prop)
 	if err != nil {
 		return nil, err
 	}
-	c := &compiledProp{sql: sql, cp: cp, runParam: a.runParam(prop)}
+	c := &compiledProp{sql: sql, cp: cp, runParam: a.runParam(prop), paramOrder: paramOrder}
 	if preparer != nil {
 		var pq sqlgen.PreparedQuery
 		if rp, ok := preparer.(sqlgen.RoutedPreparer); ok && c.runParam != "" {
@@ -680,12 +713,13 @@ func (a *Analyzer) preparer(q QueryExec) sqlgen.QueryPreparer {
 	return p
 }
 
-// overrideConsts applies constant overrides to a compiled property. The
-// compiler inlines constants as their literal SQL spelling, so an override
-// is a textual substitution of that spelling. Only literal-valued constants
-// (the canonical spec's thresholds) can be overridden on the SQL path.
-func (a *Analyzer) overrideConsts(cp *sqlgen.CompiledProperty, prop string) (string, error) {
-	sql := cp.SQL
+// overrideConsts applies constant overrides to a property's rendered SQL.
+// The compiler inlines constants as their literal SQL spelling, so an
+// override is a textual substitution of that spelling; number spellings are
+// dialect-invariant, so the substitution works on any dialect's rendering.
+// Only literal-valued constants (the canonical spec's thresholds) can be
+// overridden on the SQL path.
+func (a *Analyzer) overrideConsts(sql, prop string) (string, error) {
 	for name, v := range a.consts {
 		decl, ok := a.world.ConstDecls[name]
 		if !ok {

@@ -1,0 +1,414 @@
+// Package build is a typed, validated SQL query AST with per-dialect
+// renderers. It replaces the string concatenation sqlgen used to assemble
+// statements with: construction of explicit nodes, identifier validation at
+// render time (the injection kill — no identifier with quotes, spaces, or
+// punctuation ever reaches a statement), typed named parameters, and a
+// Render pass that spells the same tree for different database dialects
+// (quoting, parameter markers, LIMIT, NULL ordering, column types).
+//
+// The kojakdb dialect is canonical: for every statement sqlgen generates, the
+// kojakdb rendering is byte-identical to the strings the old concatenating
+// compiler produced, so plan-cache and result-cache keys are unaffected by
+// the refactor. See docs/SQL.md for the generated subset grammar and the
+// dialect divergence matrix.
+package build
+
+import "fmt"
+
+// Stmt is a renderable SQL statement.
+type Stmt interface{ stmt() }
+
+// Expr is a renderable SQL expression.
+type Expr interface{ expr() }
+
+// Int is an integer literal.
+type Int struct{ V int64 }
+
+// Float is a floating-point literal, rendered with strconv 'g' formatting.
+type Float struct{ V float64 }
+
+// Str is a string literal; the renderer quotes it and doubles embedded
+// quotes.
+type Str struct{ V string }
+
+// Bool is a boolean literal (TRUE/FALSE, or 1/0 in dialects without boolean
+// literals).
+type Bool struct{ V bool }
+
+// Null is the NULL literal.
+type Null struct{}
+
+// ParamKind is the declared value type of a named parameter; bindings are
+// checked against it.
+type ParamKind int
+
+// Parameter kinds. KindAny accepts every value (used by the fuzzer's
+// converter, where no declaration exists to check against).
+const (
+	KindAny ParamKind = iota
+	KindInt
+	KindFloat
+	KindText
+	KindBool
+)
+
+// String returns a human-readable kind name.
+func (k ParamKind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindText:
+		return "text"
+	case KindBool:
+		return "bool"
+	}
+	return "any"
+}
+
+// Param is a named statement parameter. The marker spelling is per dialect
+// ($name, :name, or a positional ? recorded in Rendered.ParamOrder).
+type Param struct {
+	Name string
+	Kind ParamKind
+}
+
+// Ordinal is a positional "?" parameter, bound by position. Load plans use
+// these; a positional-marker dialect rejects statements mixing Ordinal with
+// named parameters (the marker order would be ambiguous).
+type Ordinal struct{ N int }
+
+// Col is a column reference, optionally qualified by a table name or alias.
+type Col struct {
+	Table string // empty if unqualified
+	Name  string
+}
+
+// BinOp is a binary SQL operator.
+type BinOp int
+
+// Binary operators, in the spelling of the generated subset.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNeq
+	OpLt
+	OpLeq
+	OpGt
+	OpGeq
+	OpAnd
+	OpOr
+	OpConcat
+)
+
+// String returns the SQL spelling of the operator.
+func (op BinOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	case OpEq:
+		return "="
+	case OpNeq:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLeq:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGeq:
+		return ">="
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	case OpConcat:
+		return "||"
+	}
+	return "?"
+}
+
+// Bin is a binary operation. It renders bare ("l op r"); wrap it in Paren
+// when the surrounding precedence requires grouping. The ASL compiler
+// parenthesizes every operation it emits, so its trees are Paren{Bin{...}}.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// UnOp is a unary operator.
+type UnOp int
+
+// Unary operators.
+const (
+	OpNeg UnOp = iota // -x
+	OpNot             // NOT x
+)
+
+// Un is a unary operation; like Bin it renders bare.
+type Un struct {
+	Op UnOp
+	X  Expr
+}
+
+// Paren is explicit grouping: "(x)". Parenthesization is part of the node
+// tree, not renderer policy, so the canonical dialect reproduces the old
+// compiler's output byte for byte.
+type Paren struct{ X Expr }
+
+// IsNull is "x IS [NOT] NULL"; renders bare.
+type IsNull struct {
+	X   Expr
+	Not bool
+}
+
+// Call is a function or aggregate call; Star marks COUNT(*).
+type Call struct {
+	Name string
+	Args []Expr
+	Star bool
+}
+
+// Subquery is a scalar subquery; renders with its own parentheses.
+type Subquery struct{ Sel *Select }
+
+// In is "x [NOT] IN (SELECT ...)" or "x [NOT] IN (e1, e2, ...)"; renders
+// bare. Exactly one of Sub and List is set.
+type In struct {
+	X    Expr
+	Sub  *Select // nil when List is set
+	List []Expr
+	Not  bool
+}
+
+// Exists is "EXISTS (SELECT ...)".
+type Exists struct{ Sel *Select }
+
+func (*Int) expr()      {}
+func (*Float) expr()    {}
+func (*Str) expr()      {}
+func (*Bool) expr()     {}
+func (*Null) expr()     {}
+func (*Param) expr()    {}
+func (*Ordinal) expr()  {}
+func (*Col) expr()      {}
+func (*Bin) expr()      {}
+func (*Un) expr()       {}
+func (*Paren) expr()    {}
+func (*IsNull) expr()   {}
+func (*Call) expr()     {}
+func (*Subquery) expr() {}
+func (*In) expr()       {}
+func (*Exists) expr()   {}
+
+// Item is one projection of a SELECT list.
+type Item struct {
+	Star bool   // SELECT *
+	Expr Expr   // nil when Star
+	As   string // optional AS alias
+}
+
+// Table names a table with an optional alias.
+type Table struct {
+	Name  string
+	Alias string
+}
+
+// Join is one JOIN clause.
+type Join struct {
+	Table Table
+	On    Expr
+}
+
+// OrderKey is one ORDER BY key. The engine contract (and the canonical
+// dialect default) is NULLs-last regardless of direction; NullsFirst asks
+// for the opposite. Dialects whose vendor default differs render the
+// placement explicitly.
+type OrderKey struct {
+	Expr       Expr
+	Desc       bool
+	NullsFirst bool
+}
+
+// Select is a SELECT statement. Where predicates are joined with AND.
+type Select struct {
+	Items   []Item
+	From    *Table // nil for table-less SELECT
+	Joins   []Join
+	Where   []Expr
+	GroupBy []Expr
+	Having  Expr
+	OrderBy []OrderKey
+	Limit   Expr // nil if absent
+}
+
+// Insert is "INSERT INTO table (cols) VALUES (values)".
+type Insert struct {
+	Table  string
+	Cols   []string
+	Values []Expr
+}
+
+// ColType is an abstract column type; each dialect spells it differently.
+type ColType int
+
+// Column types of the generated schema.
+const (
+	TInt ColType = iota
+	TFloat
+	TText
+	TBool
+)
+
+// ColDef is one column of a CREATE TABLE.
+type ColDef struct {
+	Name       string
+	Type       ColType
+	PrimaryKey bool
+	NotNull    bool
+}
+
+// CreateTable is "CREATE TABLE name (cols)".
+type CreateTable struct {
+	Name string
+	Cols []ColDef
+}
+
+// CreateIndex is "CREATE INDEX name ON table (cols)".
+type CreateIndex struct {
+	Name  string
+	Table string
+	Cols  []string
+}
+
+func (*Select) stmt()      {}
+func (*Insert) stmt()      {}
+func (*CreateTable) stmt() {}
+func (*CreateIndex) stmt() {}
+
+// ValidIdent reports whether s is a safe SQL identifier: a letter or
+// underscore followed by letters, digits, or underscores. The renderer
+// rejects everything else, in every dialect — quoting is a spelling choice,
+// never an escape hatch for hostile names.
+func ValidIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// NamedParams returns the named parameters referenced by the statement,
+// unique, in first-occurrence order. A name referenced with two different
+// declared kinds is an error.
+func NamedParams(s Stmt) ([]Param, error) {
+	c := &paramCollector{seen: make(map[string]ParamKind)}
+	c.stmt(s)
+	return c.out, c.err
+}
+
+type paramCollector struct {
+	seen map[string]ParamKind
+	out  []Param
+	err  error
+}
+
+func (c *paramCollector) add(p *Param) {
+	if k, ok := c.seen[p.Name]; ok {
+		if k != p.Kind && c.err == nil {
+			c.err = fmt.Errorf("sqlast: parameter $%s referenced as both %s and %s", p.Name, k, p.Kind)
+		}
+		return
+	}
+	c.seen[p.Name] = p.Kind
+	c.out = append(c.out, *p)
+}
+
+func (c *paramCollector) stmt(s Stmt) {
+	switch x := s.(type) {
+	case *Select:
+		c.sel(x)
+	case *Insert:
+		for _, v := range x.Values {
+			c.expr(v)
+		}
+	}
+}
+
+func (c *paramCollector) sel(s *Select) {
+	if s == nil {
+		return
+	}
+	for _, it := range s.Items {
+		c.expr(it.Expr)
+	}
+	for _, j := range s.Joins {
+		c.expr(j.On)
+	}
+	for _, w := range s.Where {
+		c.expr(w)
+	}
+	for _, g := range s.GroupBy {
+		c.expr(g)
+	}
+	c.expr(s.Having)
+	for _, k := range s.OrderBy {
+		c.expr(k.Expr)
+	}
+	c.expr(s.Limit)
+}
+
+func (c *paramCollector) expr(e Expr) {
+	switch x := e.(type) {
+	case nil:
+	case *Param:
+		c.add(x)
+	case *Bin:
+		c.expr(x.L)
+		c.expr(x.R)
+	case *Un:
+		c.expr(x.X)
+	case *Paren:
+		c.expr(x.X)
+	case *IsNull:
+		c.expr(x.X)
+	case *Call:
+		for _, a := range x.Args {
+			c.expr(a)
+		}
+	case *Subquery:
+		c.sel(x.Sel)
+	case *In:
+		c.expr(x.X)
+		c.sel(x.Sub)
+		for _, a := range x.List {
+			c.expr(a)
+		}
+	case *Exists:
+		c.sel(x.Sel)
+	}
+}

@@ -1,0 +1,220 @@
+package build
+
+import (
+	"strings"
+	"testing"
+)
+
+// propertyShapedSelect builds a tree shaped like a compiled ASL property:
+// a scalar aggregate subquery over a junction join, with named parameters.
+func propertyShapedSelect() *Select {
+	inner := &Select{
+		Items: []Item{{Expr: &Call{Name: "SUM", Args: []Expr{&Col{Table: "a1", Name: "Time"}}}}},
+		From:  &Table{Name: "Region_TypTimes", Alias: "j2"},
+		Joins: []Join{{
+			Table: Table{Name: "TypedTiming", Alias: "a1"},
+			On:    &Bin{Op: OpEq, L: &Col{Table: "a1", Name: "id"}, R: &Col{Table: "j2", Name: "elem_id"}},
+		}},
+		Where: []Expr{
+			&Bin{Op: OpEq, L: &Col{Table: "j2", Name: "owner_id"}, R: &Param{Name: "r", Kind: KindInt}},
+			&Paren{X: &Bin{Op: OpEq, L: &Col{Table: "a1", Name: "Run_id"}, R: &Param{Name: "t", Kind: KindInt}}},
+		},
+	}
+	return &Select{Items: []Item{
+		{Expr: &Paren{X: &Bin{Op: OpGt,
+			L: &Call{Name: "COALESCE", Args: []Expr{&Subquery{Sel: inner}, &Int{V: 0}}},
+			R: &Int{V: 0}}}, As: "c0"},
+		{Expr: &Int{V: 1}, As: "f0"},
+	}}
+}
+
+func TestKojakdbCanonicalSpelling(t *testing.T) {
+	r, err := Kojakdb.Render(propertyShapedSelect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "SELECT (COALESCE((SELECT SUM(a1.Time) FROM Region_TypTimes j2 JOIN TypedTiming a1 " +
+		"ON a1.id = j2.elem_id WHERE j2.owner_id = $r AND (a1.Run_id = $t)), 0) > 0) AS c0, 1 AS f0"
+	if r.SQL != want {
+		t.Errorf("kojakdb spelling:\n got: %s\nwant: %s", r.SQL, want)
+	}
+	if r.ParamOrder != nil {
+		t.Errorf("named-marker dialect returned ParamOrder %v", r.ParamOrder)
+	}
+}
+
+func TestANSISpelling(t *testing.T) {
+	r, err := ANSI.Render(propertyShapedSelect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"Region_TypTimes" "j2"`, `"a1"."Run_id"`, `owner_id" = ?`} {
+		if !strings.Contains(r.SQL, want) {
+			t.Errorf("ansi spelling lacks %q:\n%s", want, r.SQL)
+		}
+	}
+	if strings.Contains(r.SQL, "$") {
+		t.Errorf("ansi spelling leaked a $ marker:\n%s", r.SQL)
+	}
+	if len(r.ParamOrder) != 2 || r.ParamOrder[0] != "r" || r.ParamOrder[1] != "t" {
+		t.Errorf("ParamOrder = %v, want [r t]", r.ParamOrder)
+	}
+}
+
+func TestOracle7Spelling(t *testing.T) {
+	r, err := Oracle7.Render(propertyShapedSelect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"REGION_TYPTIMES J2", "A1.RUN_ID = :t", "J2.OWNER_ID = :r"} {
+		if !strings.Contains(r.SQL, want) {
+			t.Errorf("oracle7 spelling lacks %q:\n%s", want, r.SQL)
+		}
+	}
+	// Function names are builtins, not schema objects: never case-folded.
+	if !strings.Contains(r.SQL, "SUM(") || !strings.Contains(r.SQL, "COALESCE(") {
+		t.Errorf("oracle7 spelling mangled function names:\n%s", r.SQL)
+	}
+	if r.ParamOrder != nil {
+		t.Errorf("named-marker dialect returned ParamOrder %v", r.ParamOrder)
+	}
+}
+
+func TestDialectDivergenceMatrix(t *testing.T) {
+	sel := &Select{
+		Items:   []Item{{Expr: &Col{Name: "x"}}, {Expr: &Bool{V: true}, As: "b"}},
+		From:    &Table{Name: "T"},
+		OrderBy: []OrderKey{{Expr: &Col{Name: "x"}, Desc: true}},
+		Limit:   &Int{V: 5},
+	}
+	kj, err := Kojakdb.Render(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "SELECT x, TRUE AS b FROM T ORDER BY x DESC LIMIT 5"; kj.SQL != want {
+		t.Errorf("kojakdb:\n got: %s\nwant: %s", kj.SQL, want)
+	}
+	an, err := ANSI.Render(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `SELECT "x", TRUE AS "b" FROM "T" ORDER BY "x" DESC NULLS LAST FETCH FIRST 5 ROWS ONLY`; an.SQL != want {
+		t.Errorf("ansi:\n got: %s\nwant: %s", an.SQL, want)
+	}
+	// Oracle 7 has no LIMIT spelling at all.
+	if _, err := Oracle7.Render(sel); err == nil {
+		t.Error("oracle7 rendered a LIMIT without error")
+	}
+	sel.Limit = nil
+	or, err := Oracle7.Render(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "SELECT X, 1 AS B FROM T ORDER BY X DESC NULLS LAST"; or.SQL != want {
+		t.Errorf("oracle7:\n got: %s\nwant: %s", or.SQL, want)
+	}
+	// NULLS FIRST spells out in every dialect (the engine default is last).
+	sel.OrderBy[0].NullsFirst = true
+	kj2, err := Kojakdb.Render(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(kj2.SQL, "ORDER BY x DESC NULLS FIRST") {
+		t.Errorf("kojakdb NULLS FIRST missing: %s", kj2.SQL)
+	}
+}
+
+// TestInjectionRejected is the astql-style suite: hostile identifiers and
+// parameter names must fail the render, in every dialect — quoting is not an
+// escape hatch.
+func TestInjectionRejected(t *testing.T) {
+	hostile := []string{
+		"", "1abc", "a b", "a;DROP TABLE T", `a"b`, "a'b", "a--", "a.b", "Schüler", "a\x00b",
+	}
+	for _, name := range Names() {
+		d, _ := Lookup(name)
+		for _, h := range hostile {
+			cases := []Stmt{
+				&Select{Items: []Item{{Expr: &Col{Name: h}}}},
+				&Select{Items: []Item{{Star: true}}, From: &Table{Name: h}},
+				&Select{Items: []Item{{Expr: &Param{Name: h}}}},
+				&Select{Items: []Item{{Expr: &Call{Name: h, Star: true}}}},
+				&Insert{Table: h, Cols: []string{"c"}, Values: []Expr{&Int{V: 1}}},
+				&Insert{Table: "T", Cols: []string{h}, Values: []Expr{&Int{V: 1}}},
+				&CreateTable{Name: h, Cols: []ColDef{{Name: "id", Type: TInt}}},
+				&CreateTable{Name: "T", Cols: []ColDef{{Name: h, Type: TInt}}},
+				&CreateIndex{Name: h, Table: "T", Cols: []string{"c"}},
+			}
+			// Table qualifier, item alias, and table alias are optional:
+			// empty means absent there, so only non-empty hostiles apply.
+			if h != "" {
+				cases = append(cases,
+					&Select{Items: []Item{{Expr: &Col{Table: h, Name: "ok"}}}},
+					&Select{Items: []Item{{Expr: &Int{V: 1}, As: h}}},
+					&Select{Items: []Item{{Star: true}}, From: &Table{Name: "T", Alias: h}})
+			}
+			for i, s := range cases {
+				if _, err := d.Render(s); err == nil {
+					t.Errorf("dialect %s case %d: hostile identifier %q rendered without error", name, i, h)
+				}
+			}
+		}
+	}
+	// Hostile string *values* are fine — they are escaped, not rejected.
+	r, err := Kojakdb.Render(&Select{Items: []Item{{Expr: &Str{V: "'; DROP TABLE T; --"}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "SELECT '''; DROP TABLE T; --'"; r.SQL != want {
+		t.Errorf("string escaping:\n got: %s\nwant: %s", r.SQL, want)
+	}
+}
+
+func TestMixedMarkersRejectedWhenPositional(t *testing.T) {
+	sel := &Select{Items: []Item{
+		{Expr: &Param{Name: "p"}},
+		{Expr: &Ordinal{N: 0}},
+	}}
+	if _, err := ANSI.Render(sel); err == nil {
+		t.Error("ansi rendered mixed named+ordinal markers without error")
+	}
+	if _, err := Kojakdb.Render(sel); err != nil {
+		t.Errorf("kojakdb rejects mixed markers: %v", err)
+	}
+}
+
+func TestNamedParams(t *testing.T) {
+	sel := propertyShapedSelect()
+	ps, err := NamedParams(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 || ps[0].Name != "r" || ps[1].Name != "t" {
+		t.Errorf("NamedParams = %v", ps)
+	}
+	if ps[0].Kind != KindInt {
+		t.Errorf("param r kind = %v, want int", ps[0].Kind)
+	}
+	conflicted := &Select{Items: []Item{
+		{Expr: &Param{Name: "p", Kind: KindInt}},
+		{Expr: &Param{Name: "p", Kind: KindText}},
+	}}
+	if _, err := NamedParams(conflicted); err == nil {
+		t.Error("conflicting kinds for one name accepted")
+	}
+}
+
+func TestFloatAndStringLiterals(t *testing.T) {
+	r, err := Kojakdb.Render(&Select{Items: []Item{
+		{Expr: &Float{V: 0.25}},
+		{Expr: &Float{V: 1e21}},
+		{Expr: &Str{V: "it's"}},
+		{Expr: &Null{}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "SELECT 0.25, 1e+21, 'it''s', NULL"; r.SQL != want {
+		t.Errorf("literals:\n got: %s\nwant: %s", r.SQL, want)
+	}
+}

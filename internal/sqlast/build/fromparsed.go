@@ -1,0 +1,155 @@
+package build
+
+import (
+	"fmt"
+
+	"repro/internal/sqldb"
+)
+
+// FromParsedSelect converts a SELECT parsed by sqldb into a build tree. It
+// exists for the render→reparse round-trip fuzzer: any SELECT the engine
+// parser accepts becomes a tree whose kojakdb rendering must parse and
+// execute identically. Every binary, unary, IS NULL, and IN node is wrapped
+// in Paren so the rendering never depends on parser precedence.
+func FromParsedSelect(s *sqldb.SelectStmt) (*Select, error) {
+	c := &fromParsed{}
+	out := c.sel(s)
+	if c.err != nil {
+		return nil, c.err
+	}
+	return out, nil
+}
+
+type fromParsed struct{ err error }
+
+func (c *fromParsed) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf("sqlast: %s", fmt.Sprintf(format, args...))
+	}
+}
+
+func (c *fromParsed) sel(s *sqldb.SelectStmt) *Select {
+	if s == nil {
+		return nil
+	}
+	out := &Select{}
+	for _, it := range s.Items {
+		out.Items = append(out.Items, Item{Star: it.Star, Expr: c.expr(it.Expr), As: it.Alias})
+	}
+	if s.From != nil {
+		out.From = &Table{Name: s.From.Table, Alias: s.From.Alias}
+	}
+	for _, j := range s.Joins {
+		out.Joins = append(out.Joins, Join{
+			Table: Table{Name: j.Table.Table, Alias: j.Table.Alias},
+			On:    c.expr(j.On),
+		})
+	}
+	if s.Where != nil {
+		out.Where = []Expr{c.expr(s.Where)}
+	}
+	for _, g := range s.GroupBy {
+		out.GroupBy = append(out.GroupBy, c.expr(g))
+	}
+	if s.Having != nil {
+		out.Having = c.expr(s.Having)
+	}
+	for _, k := range s.OrderBy {
+		out.OrderBy = append(out.OrderBy, OrderKey{Expr: c.expr(k.Expr), Desc: k.Desc, NullsFirst: k.NullsFirst})
+	}
+	if s.Limit != nil {
+		out.Limit = c.expr(s.Limit)
+	}
+	return out
+}
+
+func (c *fromParsed) expr(e sqldb.Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *sqldb.EColumn:
+		return &Col{Table: x.Qual, Name: x.Name}
+	case *sqldb.ELit:
+		return c.lit(x.Value)
+	case *sqldb.EParam:
+		if x.Name != "" {
+			return &Param{Name: x.Name, Kind: KindAny}
+		}
+		return &Ordinal{N: x.Ordinal}
+	case *sqldb.EBinary:
+		return &Paren{X: &Bin{Op: binOpOf(x.Op), L: c.expr(x.L), R: c.expr(x.R)}}
+	case *sqldb.EUnary:
+		op := OpNot
+		if x.Neg {
+			op = OpNeg
+		}
+		return &Paren{X: &Un{Op: op, X: c.expr(x.X)}}
+	case *sqldb.ECall:
+		out := &Call{Name: x.Name, Star: x.Star}
+		for _, a := range x.Args {
+			out.Args = append(out.Args, c.expr(a))
+		}
+		return out
+	case *sqldb.ESubquery:
+		return &Subquery{Sel: c.sel(x.Select)}
+	case *sqldb.EIsNull:
+		return &Paren{X: &IsNull{X: c.expr(x.X), Not: x.Not}}
+	case *sqldb.EIn:
+		out := &In{X: c.expr(x.X), Not: x.Not, Sub: c.sel(x.Sub)}
+		for _, a := range x.List {
+			out.List = append(out.List, c.expr(a))
+		}
+		return &Paren{X: out}
+	case *sqldb.EExists:
+		return &Exists{Sel: c.sel(x.Select)}
+	}
+	c.fail("unhandled parsed expression %T", e)
+	return nil
+}
+
+func (c *fromParsed) lit(v sqldb.Value) Expr {
+	switch {
+	case v.IsNull():
+		return &Null{}
+	case v.IsInt():
+		return &Int{V: v.Int()}
+	case v.IsNumeric():
+		return &Float{V: v.Float()}
+	case v.IsBool():
+		return &Bool{V: v.Bool()}
+	default:
+		return &Str{V: v.Text()}
+	}
+}
+
+func binOpOf(op sqldb.BinOp) BinOp {
+	switch op {
+	case sqldb.OpAdd:
+		return OpAdd
+	case sqldb.OpSub:
+		return OpSub
+	case sqldb.OpMul:
+		return OpMul
+	case sqldb.OpDiv:
+		return OpDiv
+	case sqldb.OpMod:
+		return OpMod
+	case sqldb.OpEq:
+		return OpEq
+	case sqldb.OpNeq:
+		return OpNeq
+	case sqldb.OpLt:
+		return OpLt
+	case sqldb.OpLeq:
+		return OpLeq
+	case sqldb.OpGt:
+		return OpGt
+	case sqldb.OpGeq:
+		return OpGeq
+	case sqldb.OpAnd:
+		return OpAnd
+	case sqldb.OpOr:
+		return OpOr
+	}
+	return OpConcat
+}

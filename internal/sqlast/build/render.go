@@ -1,0 +1,383 @@
+package build
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Rendered is the output of a Render pass.
+type Rendered struct {
+	// SQL is the statement text in the dialect's spelling.
+	SQL string
+	// ParamOrder lists named-parameter names in marker-occurrence order
+	// (duplicates included) for positional-marker dialects; nil for dialects
+	// with named markers. Bind position i with the value of ParamOrder[i].
+	ParamOrder []string
+}
+
+// Render spells the statement for the dialect. Every identifier and
+// parameter name is validated; an invalid one fails the whole render — no
+// partially-escaped statement is ever returned.
+func Render(s Stmt, d *Dialect) (Rendered, error) {
+	r := &renderer{d: d}
+	r.stmt(s)
+	if r.err != nil {
+		return Rendered{}, r.err
+	}
+	if d.ParamStyle == ParamQuestion && r.sawNamed && r.sawOrdinal {
+		return Rendered{}, fmt.Errorf("sqlast: dialect %s: statement mixes named and ordinal parameters; marker order would be ambiguous", d.Name)
+	}
+	return Rendered{SQL: r.b.String(), ParamOrder: r.order}, nil
+}
+
+// Render spells the statement for the receiver dialect.
+func (d *Dialect) Render(s Stmt) (Rendered, error) { return Render(s, d) }
+
+type renderer struct {
+	d          *Dialect
+	b          strings.Builder
+	order      []string
+	sawNamed   bool
+	sawOrdinal bool
+	err        error
+}
+
+func (r *renderer) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("sqlast: "+format, args...)
+	}
+}
+
+func (r *renderer) ident(s string) {
+	if !ValidIdent(s) {
+		r.fail("invalid identifier %q", s)
+		return
+	}
+	if r.d.UpperIdents {
+		s = strings.ToUpper(s)
+	}
+	if q := r.d.IdentQuote; q != 0 {
+		r.b.WriteByte(q)
+		r.b.WriteString(s)
+		r.b.WriteByte(q)
+		return
+	}
+	r.b.WriteString(s)
+}
+
+func (r *renderer) stmt(s Stmt) {
+	switch x := s.(type) {
+	case *Select:
+		r.sel(x)
+	case *Insert:
+		r.insert(x)
+	case *CreateTable:
+		r.createTable(x)
+	case *CreateIndex:
+		r.createIndex(x)
+	default:
+		r.fail("unhandled statement %T", s)
+	}
+}
+
+func (r *renderer) table(t Table) {
+	r.ident(t.Name)
+	if t.Alias != "" {
+		r.b.WriteString(" ")
+		r.ident(t.Alias)
+	}
+}
+
+func (r *renderer) sel(s *Select) {
+	if s == nil {
+		r.fail("nil SELECT")
+		return
+	}
+	if len(s.Items) == 0 {
+		r.fail("SELECT with no items")
+		return
+	}
+	r.b.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			r.b.WriteString(", ")
+		}
+		if it.Star {
+			r.b.WriteString("*")
+		} else if it.Expr == nil {
+			r.fail("SELECT item with neither * nor an expression")
+		} else {
+			r.expr(it.Expr)
+		}
+		if it.As != "" {
+			r.b.WriteString(" AS ")
+			r.ident(it.As)
+		}
+	}
+	if s.From != nil {
+		r.b.WriteString(" FROM ")
+		r.table(*s.From)
+		for _, j := range s.Joins {
+			r.b.WriteString(" JOIN ")
+			r.table(j.Table)
+			r.b.WriteString(" ON ")
+			r.expr(j.On)
+		}
+	} else if len(s.Joins) > 0 {
+		r.fail("JOIN without FROM")
+	}
+	if len(s.Where) > 0 {
+		r.b.WriteString(" WHERE ")
+		for i, w := range s.Where {
+			if i > 0 {
+				r.b.WriteString(" AND ")
+			}
+			r.expr(w)
+		}
+	}
+	if len(s.GroupBy) > 0 {
+		r.b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				r.b.WriteString(", ")
+			}
+			r.expr(g)
+		}
+	}
+	if s.Having != nil {
+		r.b.WriteString(" HAVING ")
+		r.expr(s.Having)
+	}
+	if len(s.OrderBy) > 0 {
+		r.b.WriteString(" ORDER BY ")
+		for i, k := range s.OrderBy {
+			if i > 0 {
+				r.b.WriteString(", ")
+			}
+			r.expr(k.Expr)
+			if k.Desc {
+				r.b.WriteString(" DESC")
+			}
+			switch {
+			case r.d.ExplicitNullOrder && k.NullsFirst:
+				r.b.WriteString(" NULLS FIRST")
+			case r.d.ExplicitNullOrder:
+				r.b.WriteString(" NULLS LAST")
+			case k.NullsFirst:
+				r.b.WriteString(" NULLS FIRST")
+			}
+		}
+	}
+	if s.Limit != nil {
+		switch r.d.LimitStyle {
+		case LimitKeyword:
+			r.b.WriteString(" LIMIT ")
+			r.expr(s.Limit)
+		case LimitFetchFirst:
+			r.b.WriteString(" FETCH FIRST ")
+			r.expr(s.Limit)
+			r.b.WriteString(" ROWS ONLY")
+		case LimitUnsupported:
+			r.fail("dialect %s has no semantics-preserving LIMIT spelling", r.d.Name)
+		}
+	}
+}
+
+func (r *renderer) insert(s *Insert) {
+	if len(s.Cols) != len(s.Values) {
+		r.fail("INSERT INTO %s: %d columns but %d values", s.Table, len(s.Cols), len(s.Values))
+		return
+	}
+	r.b.WriteString("INSERT INTO ")
+	r.ident(s.Table)
+	r.b.WriteString(" (")
+	for i, c := range s.Cols {
+		if i > 0 {
+			r.b.WriteString(", ")
+		}
+		r.ident(c)
+	}
+	r.b.WriteString(") VALUES (")
+	for i, v := range s.Values {
+		if i > 0 {
+			r.b.WriteString(", ")
+		}
+		r.expr(v)
+	}
+	r.b.WriteString(")")
+}
+
+func (r *renderer) createTable(s *CreateTable) {
+	if len(s.Cols) == 0 {
+		r.fail("CREATE TABLE %s with no columns", s.Name)
+		return
+	}
+	r.b.WriteString("CREATE TABLE ")
+	r.ident(s.Name)
+	r.b.WriteString(" (")
+	for i, c := range s.Cols {
+		if i > 0 {
+			r.b.WriteString(", ")
+		}
+		r.ident(c.Name)
+		if c.Type < 0 || int(c.Type) >= len(r.d.Types) {
+			r.fail("CREATE TABLE %s: column %s has unknown type %d", s.Name, c.Name, c.Type)
+			return
+		}
+		r.b.WriteString(" ")
+		r.b.WriteString(r.d.Types[c.Type])
+		if c.PrimaryKey {
+			r.b.WriteString(" PRIMARY KEY")
+		}
+		if c.NotNull {
+			r.b.WriteString(" NOT NULL")
+		}
+	}
+	r.b.WriteString(")")
+}
+
+func (r *renderer) createIndex(s *CreateIndex) {
+	if len(s.Cols) == 0 {
+		r.fail("CREATE INDEX %s with no columns", s.Name)
+		return
+	}
+	r.b.WriteString("CREATE INDEX ")
+	r.ident(s.Name)
+	r.b.WriteString(" ON ")
+	r.ident(s.Table)
+	r.b.WriteString(" (")
+	for i, c := range s.Cols {
+		if i > 0 {
+			r.b.WriteString(", ")
+		}
+		r.ident(c)
+	}
+	r.b.WriteString(")")
+}
+
+func (r *renderer) expr(e Expr) {
+	switch x := e.(type) {
+	case *Int:
+		r.b.WriteString(strconv.FormatInt(x.V, 10))
+	case *Float:
+		r.b.WriteString(strconv.FormatFloat(x.V, 'g', -1, 64))
+	case *Str:
+		r.b.WriteString("'")
+		r.b.WriteString(strings.ReplaceAll(x.V, "'", "''"))
+		r.b.WriteString("'")
+	case *Bool:
+		switch {
+		case r.d.BoolAsInt && x.V:
+			r.b.WriteString("1")
+		case r.d.BoolAsInt:
+			r.b.WriteString("0")
+		case x.V:
+			r.b.WriteString("TRUE")
+		default:
+			r.b.WriteString("FALSE")
+		}
+	case *Null:
+		r.b.WriteString("NULL")
+	case *Param:
+		if !ValidIdent(x.Name) {
+			r.fail("invalid parameter name %q", x.Name)
+			return
+		}
+		r.sawNamed = true
+		switch r.d.ParamStyle {
+		case ParamDollar:
+			r.b.WriteString("$")
+			r.b.WriteString(x.Name)
+		case ParamColon:
+			r.b.WriteString(":")
+			r.b.WriteString(x.Name)
+		case ParamQuestion:
+			r.b.WriteString("?")
+			r.order = append(r.order, x.Name)
+		}
+	case *Ordinal:
+		r.sawOrdinal = true
+		r.b.WriteString("?")
+	case *Col:
+		if x.Table != "" {
+			r.ident(x.Table)
+			r.b.WriteString(".")
+		}
+		r.ident(x.Name)
+	case *Bin:
+		r.expr(x.L)
+		r.b.WriteString(" ")
+		r.b.WriteString(x.Op.String())
+		r.b.WriteString(" ")
+		r.expr(x.R)
+	case *Un:
+		if x.Op == OpNeg {
+			r.b.WriteString("-")
+		} else {
+			r.b.WriteString("NOT ")
+		}
+		r.expr(x.X)
+	case *Paren:
+		r.b.WriteString("(")
+		r.expr(x.X)
+		r.b.WriteString(")")
+	case *IsNull:
+		r.expr(x.X)
+		if x.Not {
+			r.b.WriteString(" IS NOT NULL")
+		} else {
+			r.b.WriteString(" IS NULL")
+		}
+	case *Call:
+		// Function names share the identifier alphabet but are never
+		// quoted or case-folded: they name engine builtins, not schema
+		// objects.
+		if !ValidIdent(x.Name) {
+			r.fail("invalid function name %q", x.Name)
+			return
+		}
+		r.b.WriteString(x.Name)
+		r.b.WriteString("(")
+		if x.Star {
+			r.b.WriteString("*")
+		}
+		for i, a := range x.Args {
+			if i > 0 {
+				r.b.WriteString(", ")
+			}
+			r.expr(a)
+		}
+		r.b.WriteString(")")
+	case *Subquery:
+		r.b.WriteString("(")
+		r.sel(x.Sel)
+		r.b.WriteString(")")
+	case *In:
+		r.expr(x.X)
+		if x.Not {
+			r.b.WriteString(" NOT IN (")
+		} else {
+			r.b.WriteString(" IN (")
+		}
+		if x.Sub != nil {
+			r.sel(x.Sub)
+		} else {
+			for i, a := range x.List {
+				if i > 0 {
+					r.b.WriteString(", ")
+				}
+				r.expr(a)
+			}
+		}
+		r.b.WriteString(")")
+	case *Exists:
+		r.b.WriteString("EXISTS (")
+		r.sel(x.Sel)
+		r.b.WriteString(")")
+	case nil:
+		r.fail("nil expression")
+	default:
+		r.fail("unhandled expression %T", e)
+	}
+}

@@ -1171,8 +1171,8 @@ type sortableRow struct {
 }
 
 // sortRows stable-sorts output rows on their ORDER BY keys, NULLs last
-// regardless of direction. Shared by both engines so tie-breaking and
-// incomparable-type errors match exactly.
+// regardless of direction unless a key asks for NULLS FIRST. Shared by both
+// engines so tie-breaking and incomparable-type errors match exactly.
 func sortRows(rows []sortableRow, order []OrderItem) error {
 	if len(order) == 0 {
 		return nil
@@ -1181,10 +1181,13 @@ func sortRows(rows []sortableRow, order []OrderItem) error {
 	sort.SliceStable(rows, func(i, j int) bool {
 		for k, item := range order {
 			a, b := rows[i].keys[k], rows[j].keys[k]
-			// NULLs sort last regardless of direction.
+			// NULLs sort last regardless of direction, first on NULLS FIRST.
 			if a.IsNull() || b.IsNull() {
 				if a.IsNull() && b.IsNull() {
 					continue
+				}
+				if item.NullsFirst {
+					return a.IsNull()
 				}
 				return b.IsNull()
 			}

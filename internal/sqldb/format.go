@@ -171,6 +171,10 @@ func formatSelect(b *strings.Builder, st *SelectStmt) {
 			if o.Desc {
 				b.WriteString(" DESC")
 			}
+			// NULLS LAST is the default and canonicalizes away.
+			if o.NullsFirst {
+				b.WriteString(" NULLS FIRST")
+			}
 		}
 	}
 	if st.Limit != nil {

@@ -74,10 +74,13 @@ type SelectItem struct {
 	Alias string // optional AS alias
 }
 
-// OrderItem is one ORDER BY key.
+// OrderItem is one ORDER BY key. NULLs sort last by default regardless of
+// direction; NULLS FIRST asks for the opposite (NULLS LAST spells out the
+// default and parses to the zero value).
 type OrderItem struct {
-	Expr Expr
-	Desc bool
+	Expr       Expr
+	Desc       bool
+	NullsFirst bool
 }
 
 // SelectStmt is a SELECT query.

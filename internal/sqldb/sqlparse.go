@@ -12,9 +12,10 @@ type sqlTokKind int
 const (
 	sqlEOF sqlTokKind = iota
 	sqlIdent
+	sqlQIdent // "quoted identifier": never a keyword or literal
 	sqlNumber
 	sqlString
-	sqlParam  // ? or $name
+	sqlParam  // ?, $name, or :name
 	sqlSymbol // punctuation / operators, Text holds spelling
 )
 
@@ -72,17 +73,31 @@ func sqlLex(src string) ([]sqlTok, error) {
 				return nil, fmt.Errorf("sqldb: unterminated string literal at offset %d", i)
 			}
 			toks = append(toks, sqlTok{sqlString, b.String(), i})
+		case c == '"':
+			start := i
+			i++
+			for i < len(src) && src[i] != '"' {
+				i++
+			}
+			if i >= len(src) {
+				return nil, fmt.Errorf("sqldb: unterminated quoted identifier at offset %d", start)
+			}
+			if i == start+1 {
+				return nil, fmt.Errorf("sqldb: empty quoted identifier at offset %d", start)
+			}
+			toks = append(toks, sqlTok{sqlQIdent, src[start+1 : i], start})
+			i++
 		case c == '?':
 			toks = append(toks, sqlTok{sqlParam, "?", i})
 			i++
-		case c == '$':
+		case c == '$' || c == ':':
 			start := i
 			i++
 			for i < len(src) && (isSQLLetter(src[i]) || isSQLDigit(src[i])) {
 				i++
 			}
 			if i == start+1 {
-				return nil, fmt.Errorf("sqldb: bare $ at offset %d", start)
+				return nil, fmt.Errorf("sqldb: bare %c at offset %d", c, start)
 			}
 			toks = append(toks, sqlTok{sqlParam, src[start:i], start})
 		default:
@@ -190,11 +205,18 @@ func (p *sqlParser) expectSym(s string) error {
 
 func (p *sqlParser) expectIdent() (string, error) {
 	t := p.cur()
-	if t.kind != sqlIdent {
+	if t.kind != sqlIdent && t.kind != sqlQIdent {
 		return "", fmt.Errorf("sqldb: expected identifier, found %q", t.text)
 	}
 	p.next()
 	return t.text, nil
+}
+
+// curIsIdent reports whether the current token is a bare or quoted
+// identifier.
+func (p *sqlParser) curIsIdent() bool {
+	k := p.cur().kind
+	return k == sqlIdent || k == sqlQIdent
 }
 
 func (p *sqlParser) parseStmt() (Stmt, error) {
@@ -460,7 +482,7 @@ func (p *sqlParser) parseSelect() (*SelectStmt, error) {
 					return nil, err
 				}
 				item.Alias = a
-			} else if p.cur().kind == sqlIdent && !p.isSelectTerminator() {
+			} else if p.curIsIdent() && !p.isSelectTerminator() {
 				item.Alias = p.next().text
 			}
 			st.Items = append(st.Items, item)
@@ -538,14 +560,38 @@ func (p *sqlParser) parseSelect() (*SelectStmt, error) {
 			} else {
 				p.acceptKw("ASC")
 			}
+			if p.acceptKw("NULLS") {
+				if p.acceptKw("FIRST") {
+					item.NullsFirst = true
+				} else if err := p.expectKw("LAST"); err != nil {
+					return nil, err
+				}
+			}
 			st.OrderBy = append(st.OrderBy, item)
 			if !p.acceptSym(",") {
 				break
 			}
 		}
 	}
-	if p.acceptKw("LIMIT") {
+	switch {
+	case p.acceptKw("LIMIT"):
 		if st.Limit, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	case p.acceptKw("FETCH"):
+		// SQL:2008 "FETCH FIRST n ROWS ONLY", equivalent to LIMIT n.
+		if err := p.expectKw("FIRST"); err != nil {
+			return nil, err
+		}
+		if st.Limit, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+		if !p.acceptKw("ROWS") {
+			if err := p.expectKw("ROW"); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectKw("ONLY"); err != nil {
 			return nil, err
 		}
 	}
@@ -555,7 +601,7 @@ func (p *sqlParser) parseSelect() (*SelectStmt, error) {
 // isSelectTerminator reports whether the current identifier token is a
 // clause keyword rather than an implicit column alias.
 func (p *sqlParser) isSelectTerminator() bool {
-	for _, kw := range [...]string{"FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "JOIN", "INNER", "ON", "AS"} {
+	for _, kw := range [...]string{"FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "FETCH", "JOIN", "INNER", "ON", "AS"} {
 		if p.isKw(kw) {
 			return true
 		}
@@ -573,7 +619,7 @@ func (p *sqlParser) parseTableRef() (TableRef, error) {
 		if ref.Alias, err = p.expectIdent(); err != nil {
 			return TableRef{}, err
 		}
-	} else if p.cur().kind == sqlIdent && !p.isSelectTerminator() {
+	} else if p.curIsIdent() && !p.isSelectTerminator() {
 		ref.Alias = p.next().text
 	}
 	return ref, nil
@@ -856,37 +902,50 @@ func (p *sqlParser) parsePrimary() (Expr, error) {
 			return &EExists{Select: sub}, nil
 		}
 		p.next()
-		// Function call?
-		if p.acceptSym("(") {
-			call := &ECall{Name: t.text}
-			if p.acceptSym("*") {
-				call.Star = true
-			} else if !p.acceptSym(")") {
-				for {
-					a, err := p.parseExpr()
-					if err != nil {
-						return nil, err
-					}
-					call.Args = append(call.Args, a)
-					if !p.acceptSym(",") {
-						break
-					}
-				}
-				return call, p.expectSym(")")
-			} else {
-				return call, nil
-			}
-			return call, p.expectSym(")")
-		}
-		// Qualified column?
-		if p.acceptSym(".") {
-			col, err := p.expectIdent()
-			if err != nil {
-				return nil, err
-			}
-			return NewEColumn(t.text, col), nil
-		}
-		return NewEColumn("", t.text), nil
+		return p.identTail(t)
+	case sqlQIdent:
+		// A quoted identifier is never a keyword or literal: it heads a
+		// column reference (or a function call, which the engine will
+		// reject by name).
+		p.next()
+		return p.identTail(t)
 	}
 	return nil, fmt.Errorf("sqldb: expected expression, found %q", t.text)
+}
+
+// identTail parses what may follow an identifier heading an expression: a
+// function-call argument list, a qualified column, or nothing (a bare
+// column).
+func (p *sqlParser) identTail(t sqlTok) (Expr, error) {
+	// Function call?
+	if p.acceptSym("(") {
+		call := &ECall{Name: t.text}
+		if p.acceptSym("*") {
+			call.Star = true
+		} else if !p.acceptSym(")") {
+			for {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if !p.acceptSym(",") {
+					break
+				}
+			}
+			return call, p.expectSym(")")
+		} else {
+			return call, nil
+		}
+		return call, p.expectSym(")")
+	}
+	// Qualified column?
+	if p.acceptSym(".") {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return NewEColumn(t.text, col), nil
+	}
+	return NewEColumn("", t.text), nil
 }
