@@ -943,6 +943,127 @@ func BenchmarkVectorAnalyze(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// E16 — columnar DML: bulk UPDATE and DELETE on the vectorized engine versus
+// the row interpreter. The workload is a synthetic wide table rather than the
+// COSY schema: DML cost is per-table scan + mutate, so a single deep table
+// isolates the kernel difference without analyzer noise. The UPDATE predicate
+// never touches the columns being set, so every iteration mutates the same
+// half of the table; DELETE restores the removed rows with the timer stopped.
+// ---------------------------------------------------------------------------
+
+func BenchmarkVectorDML(b *testing.B) {
+	const rows = 20000
+	tags := []string{"red", "green", "blue", "cyan"}
+	seed := func(b *testing.B, engine string) *sqldb.DB {
+		b.Helper()
+		db := uncachedDB()
+		if err := db.SetEngine(engine); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Exec(`CREATE TABLE bulk (id INTEGER PRIMARY KEY, grp INTEGER, val REAL, tag TEXT)`, nil); err != nil {
+			b.Fatal(err)
+		}
+		ins, err := db.Prepare(`INSERT INTO bulk (id, grp, val, tag) VALUES ($id, $grp, $val, $tag)`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ins.Close()
+		for i := 0; i < rows; i++ {
+			_, err := ins.Execute(&sqldb.Params{Named: map[string]sqldb.Value{
+				"id":  sqldb.NewInt(int64(i)),
+				"grp": sqldb.NewInt(int64(i % 16)),
+				"val": sqldb.NewFloat(float64(i) * 0.25),
+				"tag": sqldb.NewText(tags[i%len(tags)]),
+			}})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		return db
+	}
+
+	for _, engine := range []string{sqldb.EngineVector, sqldb.EngineRow} {
+		b.Run(fmt.Sprintf("update/engine=%s", engine), func(b *testing.B) {
+			db := seed(b, engine)
+			// grp < 8 selects exactly half the table and is never written, so
+			// the matched set is identical every iteration; val converges to a
+			// fixpoint instead of drifting without bound.
+			upd, err := db.Prepare(`UPDATE bulk SET val = val * 0.5 + 1.0 WHERE grp < $cut AND tag <> 'cyan'`)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer upd.Close()
+			params := &sqldb.Params{Named: map[string]sqldb.Value{"cut": sqldb.NewInt(8)}}
+			res, err := upd.Execute(params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Affected == 0 || res.Affected >= rows {
+				b.Fatalf("update matched %d of %d rows", res.Affected, rows)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := upd.Execute(params); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(res.Affected)*float64(b.N)/b.Elapsed().Seconds(), "rows/sec")
+		})
+	}
+	for _, engine := range []string{sqldb.EngineVector, sqldb.EngineRow} {
+		b.Run(fmt.Sprintf("delete/engine=%s", engine), func(b *testing.B) {
+			db := seed(b, engine)
+			del, err := db.Prepare(`DELETE FROM bulk WHERE grp >= $cut OR tag = 'cyan'`)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer del.Close()
+			ins, err := db.Prepare(`INSERT INTO bulk (id, grp, val, tag) VALUES ($id, $grp, $val, $tag)`)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ins.Close()
+			params := &sqldb.Params{Named: map[string]sqldb.Value{"cut": sqldb.NewInt(8)}}
+			restore := func(b *testing.B) {
+				b.Helper()
+				for i := 0; i < rows; i++ {
+					if i%16 < 8 && tags[i%len(tags)] != "cyan" {
+						continue // survivor, still present
+					}
+					_, err := ins.Execute(&sqldb.Params{Named: map[string]sqldb.Value{
+						"id":  sqldb.NewInt(int64(i)),
+						"grp": sqldb.NewInt(int64(i % 16)),
+						"val": sqldb.NewFloat(float64(i) * 0.25),
+						"tag": sqldb.NewText(tags[i%len(tags)]),
+					}})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			var affected int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := del.Execute(params)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Affected == 0 || res.Affected >= rows {
+					b.Fatalf("delete matched %d of %d rows", res.Affected, rows)
+				}
+				affected = res.Affected
+				b.StopTimer()
+				restore(b)
+				b.StartTimer()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(affected)*float64(b.N)/b.Elapsed().Seconds(), "rows/sec")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
 // A2 — ablation: specification-driven analysis versus the Paradyn-style
 // fixed bottleneck set.
 // ---------------------------------------------------------------------------

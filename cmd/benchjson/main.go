@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -127,12 +128,12 @@ func normalizeName(name string) string {
 
 // bestNsOp folds a document's (possibly repeated) benchmark entries into the
 // minimum ns/op per normalized name, keeping only names matching the filter
-// substring.
-func bestNsOp(doc *Document, filter string) map[string]float64 {
+// expression (nil matches everything).
+func bestNsOp(doc *Document, filter *regexp.Regexp) map[string]float64 {
 	best := make(map[string]float64)
 	for _, b := range doc.Benchmarks {
 		ns, ok := b.Metrics["ns/op"]
-		if !ok || !strings.Contains(b.Name, filter) {
+		if !ok || (filter != nil && !filter.MatchString(b.Name)) {
 			continue
 		}
 		name := normalizeName(b.Name)
@@ -145,7 +146,7 @@ func bestNsOp(doc *Document, filter string) map[string]float64 {
 
 // Compare evaluates every benchmark present in both documents against the
 // allowed regression (0.20 = new may be at most 20% slower), in name order.
-func Compare(oldDoc, newDoc *Document, filter string, maxRegress float64) []Delta {
+func Compare(oldDoc, newDoc *Document, filter *regexp.Regexp, maxRegress float64) []Delta {
 	oldBest, newBest := bestNsOp(oldDoc, filter), bestNsOp(newDoc, filter)
 	names := make([]string, 0, len(oldBest))
 	for name := range oldBest {
@@ -181,7 +182,7 @@ func readDocument(path string) (*Document, error) {
 
 // compareMain implements -compare: exit 0 when nothing regressed (or nothing
 // was comparable), 1 on regression, 2 on usage errors.
-func compareMain(oldPath, newPath, filter string, maxRegress float64) int {
+func compareMain(oldPath, newPath string, filter *regexp.Regexp, maxRegress float64) int {
 	oldDoc, err := readDocument(oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -224,7 +225,7 @@ func main() {
 	sha := flag.String("sha", "", "commit SHA recorded in the document")
 	compare := flag.Bool("compare", false, "compare two benchmark documents (old.json new.json) instead of converting")
 	maxRegress := flag.Float64("max-regress", 0.20, "allowed ns/op regression in -compare mode (0.20 = 20% slower)")
-	bench := flag.String("bench", "", "restrict -compare to benchmarks whose name contains this substring")
+	bench := flag.String("bench", "", "restrict -compare to benchmarks whose name matches this regular expression")
 	flag.Parse()
 
 	if *compare {
@@ -236,7 +237,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -max-regress must not be negative")
 			os.Exit(2)
 		}
-		os.Exit(compareMain(flag.Arg(0), flag.Arg(1), *bench, *maxRegress))
+		var filter *regexp.Regexp
+		if *bench != "" {
+			var err error
+			if filter, err = regexp.Compile(*bench); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson: bad -bench expression:", err)
+				os.Exit(2)
+			}
+		}
+		os.Exit(compareMain(flag.Arg(0), flag.Arg(1), filter, *maxRegress))
 	}
 	if flag.NArg() > 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: unexpected arguments (use -compare to diff documents)")

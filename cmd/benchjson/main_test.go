@@ -1,6 +1,7 @@
 package main
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -88,7 +89,7 @@ func regressions(deltas []Delta) []string {
 // PR case the bench-compare job must pass.
 func TestCompareNoChange(t *testing.T) {
 	doc := bdoc("BenchmarkBatchedAnalyze/batch=32", 100.0, "BenchmarkBatchedAnalyze/prepared", 500.0)
-	deltas := Compare(doc, bdoc("BenchmarkBatchedAnalyze/batch=32", 100.0, "BenchmarkBatchedAnalyze/prepared", 500.0), "", 0.20)
+	deltas := Compare(doc, bdoc("BenchmarkBatchedAnalyze/batch=32", 100.0, "BenchmarkBatchedAnalyze/prepared", 500.0), nil, 0.20)
 	if len(deltas) != 2 {
 		t.Fatalf("compared %d benchmarks, want 2", len(deltas))
 	}
@@ -101,15 +102,15 @@ func TestCompareNoChange(t *testing.T) {
 // does not, and an improvement never does.
 func TestCompareFlagsRegression(t *testing.T) {
 	old := bdoc("a", 100.0, "b", 100.0, "c", 100.0)
-	deltas := Compare(old, bdoc("a", 125.0, "b", 110.0, "c", 60.0), "", 0.20)
+	deltas := Compare(old, bdoc("a", 125.0, "b", 110.0, "c", 60.0), nil, 0.20)
 	if got := regressions(deltas); len(got) != 1 || got[0] != "a" {
 		t.Fatalf("regressions = %v, want [a]", got)
 	}
 	// Exactly at the bound is allowed; just beyond is not.
-	if r := regressions(Compare(old, bdoc("a", 120.0), "", 0.20)); len(r) != 0 {
+	if r := regressions(Compare(old, bdoc("a", 120.0), nil, 0.20)); len(r) != 0 {
 		t.Fatalf("exactly 20%% flagged: %v", r)
 	}
-	if r := regressions(Compare(old, bdoc("a", 121.0), "", 0.20)); len(r) != 1 {
+	if r := regressions(Compare(old, bdoc("a", 121.0), nil, 0.20)); len(r) != 1 {
 		t.Fatalf("21%% not flagged: %v", r)
 	}
 }
@@ -119,29 +120,29 @@ func TestCompareFlagsRegression(t *testing.T) {
 // mask a regression.
 func TestCompareUsesBestOfRepeats(t *testing.T) {
 	old := bdoc("a", 100.0, "a", 400.0) // noisy old outlier
-	deltas := Compare(old, bdoc("a", 105.0, "a", 390.0), "", 0.20)
+	deltas := Compare(old, bdoc("a", 105.0, "a", 390.0), nil, 0.20)
 	if deltas[0].Old != 100 || deltas[0].New != 105 {
 		t.Fatalf("best-of folding: %+v", deltas[0])
 	}
 	if deltas[0].Regression {
 		t.Fatal("5% over the best old run flagged as regression")
 	}
-	if r := regressions(Compare(old, bdoc("a", 130.0, "a", 90.0), "", 0.20)); len(r) != 0 {
+	if r := regressions(Compare(old, bdoc("a", 130.0, "a", 90.0), nil, 0.20)); len(r) != 0 {
 		t.Fatalf("best new run improved, still flagged: %v", r)
 	}
 }
 
-// TestCompareFilterAndDisjoint: the -bench substring restricts the
+// TestCompareFilterAndDisjoint: the -bench expression restricts the
 // comparison, and disjoint documents compare vacuously (the missing-baseline
 // skip is decided by CI, but an empty intersection must not fail either).
 func TestCompareFilterAndDisjoint(t *testing.T) {
 	old := bdoc("BenchmarkBatchedAnalyze/x", 100.0, "BenchmarkOther", 100.0)
 	new := bdoc("BenchmarkBatchedAnalyze/x", 500.0, "BenchmarkOther", 500.0)
-	deltas := Compare(old, new, "BenchmarkBatchedAnalyze", 0.20)
+	deltas := Compare(old, new, regexp.MustCompile("BenchmarkBatchedAnalyze"), 0.20)
 	if len(deltas) != 1 || deltas[0].Name != "BenchmarkBatchedAnalyze/x" {
 		t.Fatalf("filtered comparison: %+v", deltas)
 	}
-	if got := Compare(bdoc("a", 1.0), bdoc("b", 1.0), "", 0.20); len(got) != 0 {
+	if got := Compare(bdoc("a", 1.0), bdoc("b", 1.0), nil, 0.20); len(got) != 0 {
 		t.Fatalf("disjoint documents compared: %+v", got)
 	}
 }
@@ -150,7 +151,7 @@ func TestCompareFilterAndDisjoint(t *testing.T) {
 // side (added or removed by the PR) is not comparable and must not fail the
 // gate.
 func TestCompareRenamedBenchmarkIgnored(t *testing.T) {
-	deltas := Compare(bdoc("old-name", 100.0), bdoc("new-name", 1000.0, "old-name", 100.0), "", 0.20)
+	deltas := Compare(bdoc("old-name", 100.0), bdoc("new-name", 1000.0, "old-name", 100.0), nil, 0.20)
 	if len(deltas) != 1 || deltas[0].Name != "old-name" || deltas[0].Regression {
 		t.Fatalf("rename handling: %+v", deltas)
 	}
@@ -161,18 +162,18 @@ func TestCompareRenamedBenchmarkIgnored(t *testing.T) {
 // different core counts (including a 1-core side with no suffix at all).
 func TestCompareAcrossCoreCounts(t *testing.T) {
 	old := bdoc("BenchmarkX/batch=32-2", 100.0)
-	deltas := Compare(old, bdoc("BenchmarkX/batch=32-4", 130.0), "", 0.20)
+	deltas := Compare(old, bdoc("BenchmarkX/batch=32-4", 130.0), nil, 0.20)
 	if len(deltas) != 1 || !deltas[0].Regression {
 		t.Fatalf("cross-core comparison: %+v", deltas)
 	}
 	if deltas[0].Name != "BenchmarkX/batch=32" {
 		t.Fatalf("name not normalized: %+v", deltas[0])
 	}
-	if got := Compare(old, bdoc("BenchmarkX/batch=32", 101.0), "", 0.20); len(got) != 1 || got[0].Regression {
+	if got := Compare(old, bdoc("BenchmarkX/batch=32", 101.0), nil, 0.20); len(got) != 1 || got[0].Regression {
 		t.Fatalf("suffixless side: %+v", got)
 	}
 	// A name whose tail is not a core count stays untouched.
-	if got := Compare(bdoc("BenchmarkX/mode=a-b", 100.0), bdoc("BenchmarkX/mode=a-b", 100.0), "", 0.20); len(got) != 1 {
+	if got := Compare(bdoc("BenchmarkX/mode=a-b", 100.0), bdoc("BenchmarkX/mode=a-b", 100.0), nil, 0.20); len(got) != 1 {
 		t.Fatalf("non-numeric suffix normalized away: %+v", got)
 	}
 }

@@ -120,6 +120,10 @@ func render(out *os.File, addr string, snap *service.MetricsSnapshot) {
 		fmt.Fprintf(out, "backend  engine %s  vec %d (fallback %d)  plan cache %d/%d hit  %d requests  vendor cost %v\n",
 			b.Engine, b.VecSelects, b.VecFallbacks, b.PlanCacheHits, b.PlanCacheHits+b.PlanCacheMisses,
 			b.Requests, time.Duration(b.VendorNanos).Round(time.Millisecond))
+		if b.VecFallbacks > 0 {
+			fmt.Fprintf(out, "backend  fallback reasons  join-shape %d  star %d  order-by-expr %d  subquery %d  other %d\n",
+				b.FbJoinShape, b.FbStar, b.FbOrderExpr, b.FbSubquery, b.FbOther)
+		}
 	}
 	if c := snap.Cache; c != nil {
 		fmt.Fprintf(out, "cache  %d hits  %d misses  %d invalidations  %d evictions  %d entries\n",

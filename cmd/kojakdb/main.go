@@ -136,6 +136,11 @@ func main() {
 		st.ResultCacheHits, st.ResultCacheMisses, st.ResultCacheInvalidations, st.ResultCacheEvictions, st.ResultCacheEntries)
 	fmt.Printf("kojakdb: execution engine %s: %d vectorized selects, %d row-engine fallbacks\n",
 		st.Engine, st.VecSelects, st.VecFallbacks)
+	if st.VecFallbacks > 0 {
+		r := st.VecFallbackReasons
+		fmt.Printf("kojakdb: fallback reasons: %d join-shape, %d star, %d order-by-expr, %d subquery, %d other\n",
+			r.JoinShape, r.Star, r.OrderExpr, r.Subquery, r.Other)
+	}
 }
 
 // usageError reports a bad flag value and exits with the conventional usage

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/apprentice"
+	"repro/internal/godbc"
+	"repro/internal/sqldb"
+)
+
+// TestVectorZeroFallbacks is the non-vacuity regression gate of the
+// vectorized engine: the full canonical property analysis — every property
+// SQL, in every dialect's rendering — must execute on the vectorized
+// operators with zero row-interpreter fallbacks. A plan shape regressing
+// into the interpreter fails here with the per-reason breakdown.
+func TestVectorZeroFallbacks(t *testing.T) {
+	g := buildGraph(t, apprentice.Particles())
+	run := lastRun(g)
+	for _, dialect := range []string{"kojakdb", "ansi", "oracle7"} {
+		t.Run(dialect, func(t *testing.T) {
+			db := loadDB(t, g)
+			db.SetResultCacheSize(0)
+			if err := db.SetEngine(sqldb.EngineVector); err != nil {
+				t.Fatal(err)
+			}
+			a := New(g, WithSQLDialect(dialect))
+			if _, err := a.AnalyzeSQL(run, godbc.Embedded{DB: db}); err != nil {
+				t.Fatal(err)
+			}
+			st := db.Stats()
+			if st.VecSelects == 0 {
+				t.Fatal("no SELECT ran on the vectorized path (vacuous run)")
+			}
+			if st.VecFallbacks != 0 {
+				t.Fatalf("VecFallbacks = %d (want 0), reasons: %+v",
+					st.VecFallbacks, st.VecFallbackReasons)
+			}
+		})
+	}
+}

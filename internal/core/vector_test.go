@@ -81,6 +81,85 @@ func TestVectorAnalysisDeterminism(t *testing.T) {
 	}
 }
 
+// interleavedDML is the statement sequence TestVectorInterleavedDMLDeterminism
+// replays between analyses: an arithmetic UPDATE, a DELETE whose predicate
+// aggregates the table it mutates, and a second UPDATE over the survivors.
+// Each statement targets TypedTiming (run-partitioned, so every run's slice
+// of history shifts) and each must change the report — vacuity is checked.
+var interleavedDML = []string{
+	halveTypedTiming,
+	`DELETE FROM TypedTiming WHERE Time > (SELECT AVG(Time) FROM TypedTiming)`,
+	`UPDATE TypedTiming SET Time = Time * 3 + 1`,
+}
+
+// TestVectorInterleavedDMLDeterminism: reports stay byte-identical to the row
+// interpreter's through an interleaved UPDATE/DELETE/UPDATE sequence, with
+// analyses between every step, at workers 1/8 × cache on/off. This is the
+// columnar DML path's determinism gate: in-place vector mutation, compaction,
+// and the dropped rowView must be invisible next to row-at-a-time mutation.
+func TestVectorInterleavedDMLDeterminism(t *testing.T) {
+	g := buildGraph(t, apprentice.Particles())
+	run := lastRun(g)
+
+	// Row-interpreter reference: one report before DML and one after each step.
+	refDB := loadDB(t, g)
+	refDB.SetResultCacheSize(0)
+	if err := refDB.SetEngine(sqldb.EngineRow); err != nil {
+		t.Fatal(err)
+	}
+	ref := New(g)
+	refs := make([]string, 0, len(interleavedDML)+1)
+	refs = append(refs, renderWith(t, ref, 1, func() (*Report, error) {
+		return ref.AnalyzeSQL(run, godbc.Embedded{DB: refDB})
+	}))
+	for i, dml := range interleavedDML {
+		res, err := refDB.Exec(dml, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Affected == 0 {
+			t.Fatalf("step %d (%s) affected no rows; the test is vacuous", i, dml)
+		}
+		rep := renderWith(t, ref, 1, func() (*Report, error) {
+			return ref.AnalyzeSQL(run, godbc.Embedded{DB: refDB})
+		})
+		if rep == refs[len(refs)-1] {
+			t.Fatalf("step %d (%s) did not change the report; the test is vacuous", i, dml)
+		}
+		refs = append(refs, rep)
+	}
+
+	for _, workers := range []int{1, 8} {
+		for _, cache := range []string{"off", "on"} {
+			db := loadDB(t, g)
+			if cache == "off" {
+				db.SetResultCacheSize(0)
+			}
+			if err := db.SetEngine(sqldb.EngineVector); err != nil {
+				t.Fatal(err)
+			}
+			a := New(g)
+			q := godbc.Embedded{DB: db}
+			analyze := func() (*Report, error) { return a.AnalyzeSQL(run, q) }
+			if got := renderWith(t, a, workers, analyze); got != refs[0] {
+				t.Errorf("workers=%d cache=%s: pre-DML vectorized report differs from the row baseline", workers, cache)
+			}
+			for i, dml := range interleavedDML {
+				if _, err := db.Exec(dml, nil); err != nil {
+					t.Fatal(err)
+				}
+				if got := renderWith(t, a, workers, analyze); got != refs[i+1] {
+					t.Errorf("workers=%d cache=%s: report after step %d differs from the row baseline:\n--- want ---\n%s--- got ---\n%s",
+						workers, cache, i, refs[i+1], got)
+				}
+			}
+			if st := db.Stats(); st.VecSelects == 0 {
+				t.Errorf("workers=%d cache=%s: no SELECT took the vectorized path", workers, cache)
+			}
+		}
+	}
+}
+
 // TestVectorShardedDeterminism: every shard runs the vectorized engine; the
 // merged report matches the embedded row-engine baseline at shards 1/2 ×
 // workers 1/8, and broadcast DML keeps the shards and the report consistent.

@@ -106,12 +106,19 @@ func (m *MuxConn) Metrics() MuxStats {
 // backend half of the picture PoolStats and MuxStats draw on the client. For
 // a sharded database it is the sum over all shards.
 type ServerStats struct {
-	Engine          string `json:"engine"`
-	VecSelects      int64  `json:"vec_selects"`
-	VecFallbacks    int64  `json:"vec_fallbacks"`
-	PlanCacheHits   int64  `json:"plan_cache_hits"`
-	PlanCacheMisses int64  `json:"plan_cache_misses"`
-	Requests        int64  `json:"requests"`
+	Engine       string `json:"engine"`
+	VecSelects   int64  `json:"vec_selects"`
+	VecFallbacks int64  `json:"vec_fallbacks"`
+	// FbJoinShape..FbOther break VecFallbacks down by refused plan shape;
+	// all zero against servers predating the breakdown.
+	FbJoinShape     int64 `json:"fb_join_shape"`
+	FbStar          int64 `json:"fb_star"`
+	FbOrderExpr     int64 `json:"fb_order_expr"`
+	FbSubquery      int64 `json:"fb_subquery"`
+	FbOther         int64 `json:"fb_other"`
+	PlanCacheHits   int64 `json:"plan_cache_hits"`
+	PlanCacheMisses int64 `json:"plan_cache_misses"`
+	Requests        int64 `json:"requests"`
 	// VendorNanos is the cumulative simulated vendor delay the server has
 	// charged — what the workload cost at the profiled vendor's prices.
 	VendorNanos int64 `json:"vendor_ns"`
@@ -121,6 +128,11 @@ func (ss *ServerStats) add(w *wire.ServerStats) {
 	ss.Engine = w.Engine
 	ss.VecSelects += w.VecSelects
 	ss.VecFallbacks += w.VecFallbacks
+	ss.FbJoinShape += w.FbJoinShape
+	ss.FbStar += w.FbStar
+	ss.FbOrderExpr += w.FbOrderExpr
+	ss.FbSubquery += w.FbSubquery
+	ss.FbOther += w.FbOther
 	ss.PlanCacheHits += w.PlanCacheHits
 	ss.PlanCacheMisses += w.PlanCacheMisses
 	ss.Requests += w.Requests
@@ -215,6 +227,11 @@ func (s *ShardedDB) ServerStats() (ServerStats, bool, error) {
 		total.Engine = st.Engine
 		total.VecSelects += st.VecSelects
 		total.VecFallbacks += st.VecFallbacks
+		total.FbJoinShape += st.FbJoinShape
+		total.FbStar += st.FbStar
+		total.FbOrderExpr += st.FbOrderExpr
+		total.FbSubquery += st.FbSubquery
+		total.FbOther += st.FbOther
 		total.PlanCacheHits += st.PlanCacheHits
 		total.PlanCacheMisses += st.PlanCacheMisses
 		total.Requests += st.Requests
@@ -231,6 +248,11 @@ func (e Embedded) ServerStats() (ServerStats, bool, error) {
 		Engine:          st.Engine,
 		VecSelects:      st.VecSelects,
 		VecFallbacks:    st.VecFallbacks,
+		FbJoinShape:     st.VecFallbackReasons.JoinShape,
+		FbStar:          st.VecFallbackReasons.Star,
+		FbOrderExpr:     st.VecFallbackReasons.OrderExpr,
+		FbSubquery:      st.VecFallbackReasons.Subquery,
+		FbOther:         st.VecFallbackReasons.Other,
 		PlanCacheHits:   st.PlanCacheHits,
 		PlanCacheMisses: st.PlanCacheMisses,
 	}, true, nil

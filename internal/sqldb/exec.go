@@ -211,6 +211,11 @@ func (db *DB) execUpdateLocked(st *UpdateStmt, params *Params, plan *stmtPlan) (
 	if t == nil {
 		return nil, fmt.Errorf("sqldb: no table %s", st.Table)
 	}
+	// Columnar path: a compiled DML plan evaluates WHERE/SET batch-at-a-time
+	// over the column vectors, skipping the rowView rebuild (vecdml.go).
+	if plan != nil && plan.dml != nil && plan.dml.table == t && db.vecOn.Load() {
+		return db.vecExecUpdateLocked(params, plan, t)
+	}
 	ec := &execCtx{db: db, params: params, plan: plan}
 	// Phase 1 (read): evaluate WHERE and the SET expressions against the
 	// pre-update state, without holding the table write lock, so that
@@ -286,6 +291,10 @@ func (db *DB) execDeleteLocked(st *DeleteStmt, params *Params, plan *stmtPlan) (
 	t := db.tables[strings.ToLower(st.Table)]
 	if t == nil {
 		return nil, fmt.Errorf("sqldb: no table %s", st.Table)
+	}
+	// Columnar path: see vecdml.go.
+	if plan != nil && plan.dml != nil && plan.dml.table == t && db.vecOn.Load() {
+		return db.vecExecDeleteLocked(params, plan, t)
 	}
 	ec := &execCtx{db: db, params: params, plan: plan}
 	// Phase 1 (read): decide which rows survive without the write lock held.
@@ -580,7 +589,7 @@ func (ec *execCtx) execSelect(st *SelectStmt, parent *frame) (*ResultSet, error)
 			ec.db.vecSelects.Add(1)
 			return ec.vecExecSelect(st, sp, parent)
 		}
-		ec.db.vecFallbacks.Add(1)
+		ec.db.countFallback(sp.vecReason)
 	}
 	fr := &frame{parent: parent}
 	var tuples []tuple

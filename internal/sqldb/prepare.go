@@ -47,6 +47,9 @@ type stmtPlan struct {
 	// cache does not serve (DML). Interning keeps keys compact — property
 	// queries run to kilobytes of SQL (see DB.canonicalID).
 	canonKey string
+	// dml is the compiled columnar UPDATE/DELETE pipeline, nil when the
+	// statement is not DML or its shape is not vectorized (see vecdml.go).
+	dml *vecDMLPlan
 	// tables lists every table the plan references (FROM and JOIN clauses of
 	// the statement and all its subqueries, deduplicated); the result cache
 	// derives an entry's freshness from their data versions.
@@ -98,8 +101,10 @@ type selectPlan struct {
 	aliases     map[string]int // select alias -> output column (read-only)
 	// vec is the compiled vectorized form, nil when the node falls back to
 	// the row interpreter (see the criteria in vec.go). Compiled once per
-	// plan, immutable, shared across concurrent executions.
-	vec *vecSelectPlan
+	// plan, immutable, shared across concurrent executions. vecReason names
+	// the refused shape when vec is nil (the fb* constants in vec.go).
+	vec       *vecSelectPlan
+	vecReason string
 }
 
 // PreparedStmt is a reusable handle for one statement. It is safe for
@@ -257,11 +262,17 @@ func (db *DB) buildPlan(stmt Stmt) (*stmtPlan, error) {
 		// DDL has nothing to precompute; Execute runs the dynamic path.
 	}
 	// Second pass: compile the physical operator pipeline of every SELECT
-	// node the vectorized engine covers. This runs after the logical pass so
-	// the free-column analyses of all subqueries are available (the compiler
-	// vectorizes only closed subqueries, evaluated lazily as constants).
+	// node the vectorized engine covers, and the columnar DML pipeline of
+	// UPDATE/DELETE statements. This runs after the logical pass so the
+	// free-column analyses of all subqueries are available.
 	for st, sp := range p.selects {
-		sp.vec = compileVecSelect(p, st, sp)
+		sp.vec, sp.vecReason = compileVecSelect(p, st, sp)
+	}
+	switch st := stmt.(type) {
+	case *UpdateStmt:
+		p.dml = compileVecUpdate(p, st, db.tables[strings.ToLower(st.Table)])
+	case *DeleteStmt:
+		p.dml = compileVecDelete(p, st, db.tables[strings.ToLower(st.Table)])
 	}
 	return p, nil
 }
@@ -540,10 +551,22 @@ type Stats struct {
 	// VecSelects counts planned SELECT nodes executed on the vectorized
 	// operators; VecFallbacks counts planned SELECT nodes that ran on the row
 	// interpreter because their shape is not vectorized, while the vectorized
-	// engine was selected (see vec.go).
-	Engine       string
-	VecSelects   int64
-	VecFallbacks int64
+	// engine was selected (see vec.go). VecFallbackReasons breaks the
+	// fallback count down by refused shape.
+	Engine             string
+	VecSelects         int64
+	VecFallbacks       int64
+	VecFallbackReasons FallbackReasons
+}
+
+// FallbackReasons is the per-shape breakdown of Stats.VecFallbacks (the fb*
+// refusal reasons in vec.go).
+type FallbackReasons struct {
+	JoinShape int64 // equi-join outer key reads the joined table
+	Star      int64 // grouped SELECT *
+	OrderExpr int64 // ORDER BY expression key outside the compiled forms
+	Subquery  int64 // correlated subquery outside the mirrored scopes
+	Other     int64
 }
 
 // Stats returns current prepared-statement and plan-cache counters.
@@ -579,6 +602,13 @@ func (db *DB) Stats() Stats {
 		Engine:       db.Engine(),
 		VecSelects:   db.vecSelects.Load(),
 		VecFallbacks: db.vecFallbacks.Load(),
+		VecFallbackReasons: FallbackReasons{
+			JoinShape: db.vecFbJoin.Load(),
+			Star:      db.vecFbStar.Load(),
+			OrderExpr: db.vecFbOrder.Load(),
+			Subquery:  db.vecFbSub.Load(),
+			Other:     db.vecFbOther.Load(),
+		},
 	}
 }
 

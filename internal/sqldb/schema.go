@@ -272,6 +272,30 @@ type DB struct {
 	vecOn        atomic.Bool
 	vecSelects   atomic.Int64
 	vecFallbacks atomic.Int64
+	// Per-reason fallback counters (the fb* constants in vec.go).
+	vecFbJoin  atomic.Int64
+	vecFbStar  atomic.Int64
+	vecFbOrder atomic.Int64
+	vecFbSub   atomic.Int64
+	vecFbOther atomic.Int64
+}
+
+// countFallback records one row-interpreter fallback under its refusal
+// reason.
+func (db *DB) countFallback(reason string) {
+	db.vecFallbacks.Add(1)
+	switch reason {
+	case fbJoinShape:
+		db.vecFbJoin.Add(1)
+	case fbStar:
+		db.vecFbStar.Add(1)
+	case fbOrderExpr:
+		db.vecFbOrder.Add(1)
+	case fbSubquery:
+		db.vecFbSub.Add(1)
+	default:
+		db.vecFbOther.Add(1)
+	}
 }
 
 // NewDB returns an empty database.

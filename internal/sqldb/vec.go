@@ -10,28 +10,37 @@ package sqldb
 // applyUnary, applyScalarFunc, applyInList, aggAcc in exec.go), and the
 // compiler refuses — falling the whole SELECT node back to the row engine —
 // any shape where batch evaluation could diverge from tuple-at-a-time
-// evaluation, in results or in whether an error is raised:
+// evaluation, in results or in whether an error is raised. The covered set
+// includes table-less SELECTs (one empty seed tuple), SELECT * in non-grouped
+// projections (expanded to per-column gathers at compile time), joins without
+// an equi-join column (block-wise cross products narrowed by the compiled
+// conjuncts, in the row engine's emission order), grouped ORDER BY
+// expressions (evaluated per surviving group through the hybrid row
+// evaluator, aggregates pre-folded), and correlated subqueries — including
+// unqualified free references, resolved through a compile-time mirror of the
+// frame chain's scope walk (corrLocals). What remains refused, with the
+// fallback reason it is counted under (Stats.VecFallbackReasons):
 //
-//   - table-less SELECTs and SELECT * projections;
-//   - joins without an equi-join column (nested loops stay row-wise);
+//   - equi-join outer keys that read the joined table itself (the row engine
+//     evaluates them with that row unset, which the compiled form cannot
+//     represent) — "join-shape";
+//   - SELECT * in grouped queries (the representative row may be absent;
+//     the row engine pads it per group) — "star";
+//   - grouped ORDER BY expressions whose aggregate arguments are not
+//     error-free when HAVING could reject the group, and non-grouped ORDER BY
+//     expressions that do not compile — "order-by-expr";
+//   - correlated subqueries whose free references reach a local table not yet
+//     bound at the pipeline stage, resolve into more than two local tables
+//     (the memo key packs two positions), or traverse an inner scope the
+//     compile-time walk cannot mirror — "subquery";
 //   - columns that do not resolve, or resolve ambiguously, within the
-//     SELECT's own tables (outer references need the frame chain);
-//   - subqueries whose free columns cannot be tracked: closed subqueries are
-//     evaluated lazily, once, through the row engine; correlated ones whose
-//     free columns all resolve within the SELECT's own bound tables are
-//     delegated to the row evaluator per distinct local row (corrSub); only
-//     unqualified or unresolvable free references fall back;
-//   - aggregates outside grouped projections/HAVING, nested aggregates, and
-//     malformed calls (the row engine raises the matching errors);
-//   - ORDER BY on expressions in grouped queries (the row engine evaluates
-//     them under the group context);
-//   - LIMIT expressions that are not closed;
-//   - aggregates in lazily-evaluated positions — behind a short-circuited
+//     SELECT's own tables; aggregates outside grouped projections/HAVING,
+//     nested aggregates, and malformed calls; non-closed LIMIT expressions;
+//     aggregates in lazily-evaluated positions — behind a short-circuited
 //     AND/OR right side, or in the projection of a query with HAVING (the
 //     row engine skips items of rejected groups) — unless the argument is
-//     trivially error-free (a bare column whose type fits the aggregate, or
-//     a literal): the pipeline accumulates streaming, so an erroring
-//     argument could otherwise raise where the row engine would not.
+//     trivially error-free (the row engine raises the matching errors in
+//     every case) — "other".
 //
 // Within a compiled node, AND/OR evaluate their right operand through
 // selection narrowing that mirrors the row engine's short-circuit exactly:
@@ -41,6 +50,7 @@ package sqldb
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -79,6 +89,16 @@ func (db *DB) Engine() string {
 
 // vecBatchSize is the number of seed rows processed per pipeline chunk.
 const vecBatchSize = 1024
+
+// Fallback reason labels (Stats.VecFallbackReasons): which refusal criterion
+// sent a planned SELECT node back to the row interpreter.
+const (
+	fbJoinShape = "join-shape"
+	fbStar      = "star"
+	fbOrderExpr = "order-by-expr"
+	fbSubquery  = "subquery"
+	fbOther     = "other"
+)
 
 // vbatch is one batch of joined row positions: pos[t][i] is the storage
 // position, in bound table t, of batch row i. Only the tables bound by the
@@ -177,6 +197,9 @@ type vecCtx struct {
 	// index slices for the AND/OR narrowing.
 	probeBuf []byte
 	idxPool  [][]int32
+	// fuseVals holds the per-execution comparand values of the fused filter
+	// kernels, one slot per kernel (see vecfuse.go).
+	fuseVals []Value
 }
 
 var vecCtxPool = sync.Pool{New: func() any { return new(vecCtx) }}
@@ -235,6 +258,10 @@ func (vc *vecCtx) release() {
 		vc.idxBuf[i] = nil
 	}
 	vc.idxBuf = vc.idxBuf[:0]
+	for i := range vc.fuseVals {
+		vc.fuseVals[i] = Value{}
+	}
+	vc.fuseVals = vc.fuseVals[:0]
 	vc.b.n, vc.nb.n = 0, 0
 	vecCtxPool.Put(vc)
 }
@@ -337,8 +364,13 @@ func (vc *vecCtx) inCandidates(x *EIn) ([]Value, error) {
 // Compilation
 // ---------------------------------------------------------------------------
 
-// vecJoin is the compiled form of one equi-join: probe the hash index of the
-// joined table with the outer key, then narrow by the residual conjuncts.
+// vecJoin is the compiled form of one join: probe the hash index of the
+// joined table with the outer key (eqCol >= 0), or expand the block-wise
+// cross product (eqCol < 0, the nested-loop shape), then narrow by the
+// residual conjuncts — for a cross product, rest holds every conjunct, and
+// narrowing them in order reproduces the row engine's checkConjuncts early
+// exit: conjunct k+1 is evaluated exactly for the candidates conjunct k
+// passed.
 type vecJoin struct {
 	eqCol int
 	outer vexpr
@@ -354,20 +386,29 @@ type vecAgg struct {
 }
 
 // vecOrderKey is one compiled ORDER BY key: an output-column reference
-// (select alias or in-range ordinal), a constant, or — in non-grouped
-// queries — a compiled expression over the final batch.
+// (select alias or in-range ordinal), a constant, a compiled expression over
+// the final batch (non-grouped), or — in grouped queries — a raw expression
+// evaluated per surviving group through the hybrid row evaluator with the
+// aggregates pre-folded, exactly where the row engine evaluates it.
 type vecOrderKey struct {
 	outCol int // >= 0: key is output column outCol
 	cval   Value
 	ex     vexpr // non-nil: evaluated over the batch
+	gx     Expr  // non-nil: evaluated per group (grouped queries)
 }
 
 // vecSelectPlan is the compiled physical pipeline of one SELECT node:
 // seed (access paths) → join probes → filter → project or group/aggregate.
 type vecSelectPlan struct {
-	nTab    int
-	joins   []vecJoin
-	filter  vexpr
+	nTab   int
+	joins  []vecJoin
+	filter vexpr
+	// fused is the fused compare-and-select form of the WHERE clause when it
+	// is a pure AND-chain of fusable typed comparisons (vecfuse.go); the
+	// filter stage runs it instead of the closure chain, falling back to
+	// filter when a kernel's comparand does not fit its type class at
+	// execution time.
+	fused   []vpred
 	grouped bool
 	// items is the compiled projection (non-grouped only; grouped queries
 	// project per group through the hybrid row evaluator with aggPre).
@@ -385,47 +426,70 @@ type vecCompiler struct {
 	sp    *selectPlan
 	tabs  []*Table
 	binds []string
+	// reason records the first — most specific — refusal criterion hit while
+	// compiling this node (the fb* labels above); consulted when compilation
+	// fails, "other" when no site recorded anything sharper.
+	reason string
+}
+
+// fail records a refusal reason (first one wins) and returns false for use
+// in refusal sites.
+func (cp *vecCompiler) fail(r string) bool {
+	if cp.reason == "" {
+		cp.reason = r
+	}
+	return false
+}
+
+// failReason is the reason to report for a failed compilation.
+func (cp *vecCompiler) failReason() string {
+	if cp.reason == "" {
+		return fbOther
+	}
+	return cp.reason
 }
 
 // compileVecSelect builds the vectorized pipeline of one planned SELECT
-// node, or returns nil when the node's shape is not covered (the criteria at
-// the top of this file) and execution stays on the row interpreter.
-func compileVecSelect(p *stmtPlan, st *SelectStmt, sp *selectPlan) *vecSelectPlan {
-	if sp.from == nil {
-		return nil
-	}
+// node, or returns nil plus the fallback reason when the node's shape is not
+// covered (the criteria at the top of this file) and execution stays on the
+// row interpreter.
+func compileVecSelect(p *stmtPlan, st *SelectStmt, sp *selectPlan) (*vecSelectPlan, string) {
 	cp := &vecCompiler{p: p, sp: sp}
-	cp.tabs = append(cp.tabs, sp.from)
-	cp.binds = append(cp.binds, sp.fromBinding)
-	for i := range sp.joins {
-		cp.tabs = append(cp.tabs, sp.joins[i].table)
-		cp.binds = append(cp.binds, sp.joins[i].binding)
+	if sp.from != nil {
+		cp.tabs = append(cp.tabs, sp.from)
+		cp.binds = append(cp.binds, sp.fromBinding)
+		for i := range sp.joins {
+			cp.tabs = append(cp.tabs, sp.joins[i].table)
+			cp.binds = append(cp.binds, sp.joins[i].binding)
+		}
 	}
 	vp := &vecSelectPlan{nTab: len(cp.tabs), grouped: sp.grouped}
 
-	// Joins: every join must have an equi-join column (hash probe); the
-	// nested-loop shape stays row-wise. The outer key expression must not
-	// touch the joined table itself (it is evaluated before the probe; the
+	// Joins: an equi-join probes the hash index; without an equi-join column
+	// the pipeline expands the block-wise cross product and narrows by every
+	// conjunct in order (crossJoin). An equi-join outer key that touches the
+	// joined table itself refuses: it is evaluated before the probe, and the
 	// row engine evaluates it with the joined row unset, which the compiled
-	// form cannot represent).
+	// form cannot represent.
 	for k := range sp.joins {
 		jp := &sp.joins[k]
-		if jp.eqCol < 0 {
-			return nil
-		}
 		scope := k + 2 // tables bound while this join runs, joined table included
-		if refsTable(jp.outer, cp, scope, k+1) {
-			return nil
+		vj := vecJoin{eqCol: jp.eqCol}
+		if jp.eqCol >= 0 {
+			if refsTable(jp.outer, cp, scope, k+1) {
+				cp.fail(fbJoinShape)
+				return nil, cp.failReason()
+			}
+			outer, ok := cp.compile(jp.outer, scope)
+			if !ok {
+				return nil, cp.failReason()
+			}
+			vj.outer = outer
 		}
-		outer, ok := cp.compile(jp.outer, scope)
-		if !ok {
-			return nil
-		}
-		vj := vecJoin{eqCol: jp.eqCol, outer: outer}
 		for _, c := range jp.rest {
 			ce, ok := cp.compile(c, scope)
 			if !ok {
-				return nil
+				return nil, cp.failReason()
 			}
 			vj.rest = append(vj.rest, ce)
 		}
@@ -435,40 +499,60 @@ func compileVecSelect(p *stmtPlan, st *SelectStmt, sp *selectPlan) *vecSelectPla
 	if st.Where != nil {
 		f, ok := cp.compile(st.Where, vp.nTab)
 		if !ok {
-			return nil
+			return nil, cp.failReason()
 		}
 		vp.filter = f
-	}
-
-	for _, item := range st.Items {
-		if item.Star {
-			return nil
-		}
+		vp.fused = cp.fuseFilter(st.Where, vp.nTab)
 	}
 
 	if sp.grouped {
+		// SELECT * in a grouped query projects the representative row, which
+		// may be absent (the row engine pads it per group) — refuse.
+		for _, item := range st.Items {
+			if item.Star {
+				cp.fail(fbStar)
+				return nil, cp.failReason()
+			}
+		}
 		if !cp.compileGrouped(st, vp) {
-			return nil
+			return nil, cp.failReason()
 		}
 	} else {
 		for _, item := range st.Items {
+			if item.Star {
+				// Projection-order column gather: one typed load per column
+				// of every bound table, in binding order — exactly the row
+				// engine's bt.row expansion.
+				for t := range cp.tabs {
+					for c := range cp.tabs[t].Columns {
+						vp.items = append(vp.items, vecColumn(t, c))
+					}
+				}
+				continue
+			}
 			ex, ok := cp.compile(item.Expr, vp.nTab)
 			if !ok {
-				return nil
+				return nil, cp.failReason()
 			}
 			vp.items = append(vp.items, ex)
 		}
 	}
 
-	// ORDER BY: select aliases and in-range ordinals read the output row;
-	// other literals are constant keys; in non-grouped queries any other
-	// compilable expression is evaluated over the final batch. Grouped
-	// queries evaluate expression keys under the group context, which the
-	// pipeline does not model — fall back.
+	// ORDER BY: select aliases and in-range ordinals read the output row
+	// (the ordinal range is the *expanded* output width, as the row engine
+	// checks it against the projected row); other literals are constant
+	// keys; any other expression is compiled over the final batch
+	// (non-grouped) or kept raw for per-group evaluation through the hybrid
+	// row evaluator (grouped).
+	outWidth := len(st.Items)
+	if !sp.grouped {
+		outWidth = len(vp.items)
+	}
 	for _, o := range st.OrderBy {
-		key, ok := cp.compileOrderKey(o.Expr, st, sp, vp)
+		key, ok := cp.compileOrderKey(o.Expr, st, sp, vp, outWidth)
 		if !ok {
-			return nil
+			cp.fail(fbOrderExpr)
+			return nil, cp.failReason()
 		}
 		vp.order = append(vp.order, key)
 	}
@@ -477,11 +561,11 @@ func compileVecSelect(p *stmtPlan, st *SelectStmt, sp *selectPlan) *vecSelectPla
 	// row engine evaluates it against whatever frame state the tuple loop
 	// left behind — only a closed expression is deterministic there).
 	if st.Limit != nil && !cp.closed(st.Limit) {
-		return nil
+		return nil, cp.failReason()
 	}
 
 	vp.columns = selectColumns(st, cp.tabs)
-	return vp
+	return vp, ""
 }
 
 // compileGrouped collects the aggregate call sites of the projection and
@@ -620,9 +704,15 @@ func (cp *vecCompiler) aggArgSafe(name string, e Expr) bool {
 }
 
 // compileOrderKey compiles one ORDER BY key, mirroring the row engine's
-// resolution order: select alias first, then in-range integer ordinal, then
-// plain evaluation (constant for literals).
-func (cp *vecCompiler) compileOrderKey(e Expr, st *SelectStmt, sp *selectPlan, vp *vecSelectPlan) (vecOrderKey, bool) {
+// resolution order: select alias first, then integer ordinal within the
+// expanded output width, then plain evaluation (constant for literals).
+// Grouped queries keep the raw expression (gx): finalizeGroups evaluates it
+// per surviving group through the row evaluator with the aggregates
+// pre-folded and the representative row bound — the row engine's exact group
+// context — after collecting its aggregate call sites with the same
+// eagerness rule as projection items (the row engine evaluates order keys
+// only for groups HAVING passes).
+func (cp *vecCompiler) compileOrderKey(e Expr, st *SelectStmt, sp *selectPlan, vp *vecSelectPlan, outWidth int) (vecOrderKey, bool) {
 	if col, ok := e.(*EColumn); ok && col.Qual == "" {
 		if idx, ok := sp.aliases[strings.ToLower(col.Name)]; ok {
 			return vecOrderKey{outCol: idx}, true
@@ -631,14 +721,17 @@ func (cp *vecCompiler) compileOrderKey(e Expr, st *SelectStmt, sp *selectPlan, v
 	if lit, ok := e.(*ELit); ok {
 		if lit.Value.IsInt() {
 			n := int(lit.Value.Int())
-			if n >= 1 && n <= len(st.Items) {
+			if n >= 1 && n <= outWidth {
 				return vecOrderKey{outCol: n - 1}, true
 			}
 		}
 		return vecOrderKey{outCol: -1, cval: lit.Value}, true
 	}
 	if vp.grouped {
-		return vecOrderKey{}, false // needs the group context
+		if !cp.collectAggs(e, vp, st.Having == nil) {
+			return vecOrderKey{}, false
+		}
+		return vecOrderKey{outCol: -1, gx: e}, true
 	}
 	ex, ok := cp.compile(e, vp.nTab)
 	if !ok {
@@ -701,39 +794,205 @@ func (cp *vecCompiler) freeOf(e Expr) *freeInfo {
 	return fi
 }
 
-// corrSub compiles a correlated subexpression (a subquery, EXISTS, or IN
-// whose free columns all resolve within the first ntab local tables) into a
-// vexpr that binds the local rows and delegates to the row evaluator — so
-// semantics, including every error, are the row engine's by construction —
-// memoized per distinct combination of local row positions. Free references
-// beyond the local tables must resolve in *outer* frames, which are fixed
-// for the whole execution, so they do not enter the memo key; a reference to
-// a local table beyond ntab (not yet bound at this pipeline stage) refuses.
+// corrScope is one inner SELECT's scope during corrLocals's walk: its planned
+// tables, visible up to limit — the number of tables the row engine has bound
+// at the clause being walked (join-On clauses and access-path seeds run with
+// partial frames).
+type corrScope struct {
+	sp    *selectPlan
+	limit int
+}
+
+func (sc *corrScope) at(t int) (string, *Table) {
+	if t == 0 {
+		return sc.sp.fromBinding, sc.sp.from
+	}
+	jp := &sc.sp.joins[t-1]
+	return jp.binding, jp.table
+}
+
+// matches counts the visible tables of the scope a reference resolves into,
+// mirroring frame.resolve within one scope: qualifier filter plus column
+// membership.
+func (sc *corrScope) matches(lqual, lname string) int {
+	n := 0
+	for t := 0; t < sc.limit; t++ {
+		bind, tab := sc.at(t)
+		if lqual != "" && bind != lqual {
+			continue
+		}
+		if _, has := tab.colIdx[lname]; has {
+			n++
+		}
+	}
+	return n
+}
+
+// corrLocals computes which local tables (ordinals into cp.tabs) a correlated
+// subexpression depends on, by mirroring at compile time the scope walk
+// frame.resolve performs at runtime: a reference is tried against each inner
+// SELECT scope it is nested under, innermost first — at the partial frame
+// width of the clause it appears in — then against the compiling SELECT's own
+// tables, and a reference resolving past all of those reaches outer frames,
+// which are fixed for a whole execution and carry no dependency. A reference
+// that resolves (even ambiguously — delegation raises the row engine's error)
+// in an inner scope is not a local dependency. Refuses (ok=false) when a
+// local resolution reaches a table not yet bound at pipeline stage ntab, or
+// when a nested SELECT has no plan to mirror.
+func (cp *vecCompiler) corrLocals(e Expr, ntab int) ([]int, bool) {
+	var locals []int
+	ok := true
+	var scopes []*corrScope
+
+	addLocal := func(t int) {
+		for _, have := range locals {
+			if have == t {
+				return
+			}
+		}
+		locals = append(locals, t)
+	}
+
+	resolve := func(x *EColumn) {
+		lqual, lname := x.keys()
+		for i := len(scopes) - 1; i >= 0; i-- {
+			if scopes[i].matches(lqual, lname) > 0 {
+				return // resolved within an inner scope
+			}
+		}
+		for t := range cp.tabs {
+			if lqual != "" && cp.binds[t] != lqual {
+				continue
+			}
+			if _, has := cp.tabs[t].colIdx[lname]; !has {
+				continue
+			}
+			if t >= ntab {
+				ok = false // local table not yet bound at this stage
+				return
+			}
+			addLocal(t)
+		}
+		// No local match either: the reference reaches an outer frame (or is
+		// unknown — the delegated evaluation raises the row engine's error).
+	}
+
+	var walk func(e Expr)
+	var walkSel func(st *SelectStmt)
+	walk = func(e Expr) {
+		if !ok || e == nil {
+			return
+		}
+		switch x := e.(type) {
+		case *ELit, *EParam:
+		case *EColumn:
+			resolve(x)
+		case *EBinary:
+			walk(x.L)
+			walk(x.R)
+		case *EUnary:
+			walk(x.X)
+		case *EIsNull:
+			walk(x.X)
+		case *ECall:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case *ESubquery:
+			walkSel(x.Select)
+		case *EExists:
+			walkSel(x.Select)
+		case *EIn:
+			walk(x.X)
+			for _, a := range x.List {
+				walk(a)
+			}
+			if x.Sub != nil {
+				walkSel(x.Sub)
+			}
+		default:
+			ok = false
+		}
+	}
+	walkSel = func(st *SelectStmt) {
+		sp := cp.p.selects[st]
+		if sp == nil || (st.From != nil && sp.from == nil) {
+			ok = false // no plan to mirror resolution against
+			return
+		}
+		full := 0
+		if sp.from != nil {
+			full = 1 + len(sp.joins)
+		}
+		sc := &corrScope{sp: sp}
+		scopes = append(scopes, sc)
+		if sp.from != nil {
+			// Access-path seed keys are evaluated with only the first table
+			// bound (seedRows); resolve them at that frame width too.
+			sc.limit = 1
+			for _, ap := range sp.access {
+				walk(ap.val)
+			}
+		}
+		for k := range st.Joins {
+			sc.limit = k + 2
+			walk(st.Joins[k].On)
+		}
+		sc.limit = full
+		for _, item := range st.Items {
+			if !item.Star {
+				walk(item.Expr)
+			}
+		}
+		walk(st.Where)
+		for _, g := range st.GroupBy {
+			walk(g)
+		}
+		walk(st.Having)
+		for _, o := range st.OrderBy {
+			// A bare name matching a select alias resolves to the output
+			// column, not through the frame chain (orderKeys).
+			if col, isCol := o.Expr.(*EColumn); isCol && col.Qual == "" {
+				if _, alias := sp.aliases[strings.ToLower(col.Name)]; alias {
+					continue
+				}
+			}
+			walk(o.Expr)
+		}
+		walk(st.Limit)
+		scopes = scopes[:len(scopes)-1]
+	}
+
+	walk(e)
+	if !ok {
+		return nil, false
+	}
+	sort.Ints(locals)
+	return locals, true
+}
+
+// corrSub compiles a correlated subexpression (a subquery, EXISTS, or IN)
+// into a vexpr that binds the local rows it depends on and delegates to the
+// row evaluator — so semantics, including every error, are the row engine's
+// by construction — memoized per distinct combination of local row
+// positions. The dependency set comes from corrLocals, a compile-time mirror
+// of the frame chain's scope walk, so unqualified references resolve exactly
+// as they would at runtime. Free references beyond the local tables resolve
+// in *outer* frames, which are fixed for the whole execution, so they do not
+// enter the memo key; a reference reaching a local table beyond ntab (not
+// yet bound at this pipeline stage) refuses.
 //
 // The row engine re-evaluates the subexpression per tuple; it is
 // deterministic and side-effect free, so per-distinct-row evaluation returns
 // the same values and raises an error for the same batches of rows. When
 // duplicates exist the evaluation *count* differs, never the outcome.
 func (cp *vecCompiler) corrSub(e Expr, ntab int) (vexpr, bool) {
-	fi := cp.freeOf(e)
-	if fi.unqual {
-		return nil, false // could resolve to any binding; cannot track
-	}
-	var locals []int
-	for _, q := range fi.quals {
-		for t := range cp.binds {
-			if cp.binds[t] != q {
-				continue
-			}
-			if t >= ntab {
-				return nil, false // local table not yet bound at this stage
-			}
-			locals = append(locals, t)
-			break
-		}
+	locals, ok := cp.corrLocals(e, ntab)
+	if !ok {
+		return nil, cp.fail(fbSubquery)
 	}
 	if len(locals) > 2 {
-		return nil, false // memo key packs at most two positions
+		return nil, cp.fail(fbSubquery) // memo key packs at most two positions
 	}
 	return func(vc *vecCtx, b *vbatch, out *vcol) error {
 		vals := out.alloc(b.n)

@@ -85,10 +85,18 @@ var parityQueries = []struct {
 	{"order-nulls-last", `SELECT id, val FROM item WHERE id < 60 ORDER BY val`, nil},
 	{"limit", `SELECT id FROM item ORDER BY id DESC LIMIT 7`, nil},
 	{"limit-zero", `SELECT id FROM item LIMIT 0`, nil},
-	{"star", `SELECT * FROM grp`, nil},                                                              // row-path shape
-	{"tableless", `SELECT 1 + 2, 'x'`, nil},                                                         // row-path shape
-	{"correlated", `SELECT g.id, (SELECT COUNT(*) FROM item i WHERE i.grp = g.id) FROM grp g`, nil}, // row-path shape
-	{"grouped-order-expr", `SELECT grp, COUNT(*) FROM item GROUP BY grp ORDER BY grp + 0`, nil},     // row-path shape
+	{"star", `SELECT * FROM grp`, nil},
+	{"star-join", `SELECT * FROM item i JOIN grp g ON i.grp = g.id WHERE i.id < 25`, nil},
+	{"star-order-ordinal", `SELECT * FROM grp ORDER BY 3, 1`, nil},
+	{"star-grouped", `SELECT * FROM grp GROUP BY id`, nil}, // row-path shape: grouped star
+	{"tableless", `SELECT 1 + 2, 'x'`, nil},
+	{"tableless-sub", `SELECT (SELECT COUNT(*) FROM grp), 'x'`, nil},
+	{"correlated", `SELECT g.id, (SELECT COUNT(*) FROM item i WHERE i.grp = g.id) FROM grp g`, nil},
+	{"correlated-unqual", `SELECT g.id, (SELECT COUNT(*) FROM item i WHERE i.grp = boss) FROM grp g`, nil},
+	{"grouped-order-expr", `SELECT grp, COUNT(*) FROM item GROUP BY grp ORDER BY grp + 0`, nil},
+	{"grouped-order-agg", `SELECT grp, COUNT(*) FROM item GROUP BY grp ORDER BY COUNT(*) DESC, grp + 1`, nil},
+	{"join-nonequi", `SELECT i.id, g.id FROM item i JOIN grp g ON i.val > g.id AND g.boss IS NOT NULL WHERE i.id < 80`, nil},
+	{"join-nonequi-chain", `SELECT i.id, b.name FROM item i JOIN grp g ON i.grp = g.id JOIN grp b ON b.id > g.boss WHERE i.id < 40`, nil},
 }
 
 // runEngine executes one query on the given engine against db.
@@ -174,8 +182,20 @@ func TestVecEngineSelection(t *testing.T) {
 		t.Fatal(err)
 	}
 	after = db.Stats()
+	if after.VecFallbacks != before.VecFallbacks {
+		t.Fatalf("non-grouped star query fell back: %+v -> %+v", before.VecFallbacks, after.VecFallbacks)
+	}
+
+	before = after
+	if _, err := db.Exec(`SELECT * FROM grp GROUP BY id`, nil); err != nil {
+		t.Fatal(err)
+	}
+	after = db.Stats()
 	if after.VecFallbacks <= before.VecFallbacks {
-		t.Fatalf("star query did not fall back: %+v -> %+v", before.VecFallbacks, after.VecFallbacks)
+		t.Fatalf("grouped star query did not fall back: %+v -> %+v", before.VecFallbacks, after.VecFallbacks)
+	}
+	if after.VecFallbackReasons.Star <= before.VecFallbackReasons.Star {
+		t.Fatalf("fallback not attributed to star: %+v -> %+v", before.VecFallbackReasons, after.VecFallbackReasons)
 	}
 	if after.Engine != EngineVector {
 		t.Fatalf("Stats.Engine = %s, want %s", after.Engine, EngineVector)
@@ -213,10 +233,13 @@ func TestVecPropertyShapeVectorizes(t *testing.T) {
 		t.Fatal(err)
 	}
 	after := db.Stats()
-	// The top level is table-less (row path), but each closed dereference
-	// subquery must vectorize.
-	if after.VecSelects < before.VecSelects+2 {
-		t.Fatalf("dereference subqueries did not vectorize: VecSelects %d -> %d", before.VecSelects, after.VecSelects)
+	// The table-less top level and both closed dereference subqueries must
+	// all vectorize — the property shape runs with zero fallbacks.
+	if after.VecSelects < before.VecSelects+3 {
+		t.Fatalf("property shape did not fully vectorize: VecSelects %d -> %d", before.VecSelects, after.VecSelects)
+	}
+	if after.VecFallbacks != before.VecFallbacks {
+		t.Fatalf("property shape fell back: VecFallbacks %d -> %d", before.VecFallbacks, after.VecFallbacks)
 	}
 	if err := db.SetEngine(EngineRow); err != nil {
 		t.Fatal(err)
@@ -247,6 +270,89 @@ func TestScanNoPerRowAlloc(t *testing.T) {
 	})
 	if allocs > 0 {
 		t.Fatalf("repeat scan allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestVecFusedFilterAllocs pins the allocation budget of the fused filter
+// path: a prepared aggregation whose WHERE runs on the fused kernels must
+// cost a small constant number of allocations per execution, independent of
+// row count (the per-row work reads the typed vectors directly).
+func TestVecFusedFilterAllocs(t *testing.T) {
+	db := parityDB(t)
+	db.SetResultCacheSize(0)
+	if err := db.SetEngine(EngineVector); err != nil {
+		t.Fatal(err)
+	}
+	ps, err := db.Prepare(`SELECT COUNT(*) FROM item WHERE val > 1.5 AND grp = 1 AND tag <> 'red'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	if _, err := ps.Execute(nil); err != nil {
+		t.Fatal(err) // warm the pools
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := ps.Execute(nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The budget covers the per-execution fixed costs (execCtx, Result,
+	// ResultSet, the output row) — nothing proportional to the 3000 rows.
+	if allocs > 32 {
+		t.Fatalf("fused filter allocates %.1f per run, want <= 32", allocs)
+	}
+}
+
+// TestVecDMLParity runs the same UPDATE/DELETE battery on both engines
+// against identical databases and checks the mutated tables match row for
+// row — including WHERE shapes that bail from the fused kernels.
+func TestVecDMLParity(t *testing.T) {
+	stmts := []struct {
+		name   string
+		sql    string
+		params *Params
+	}{
+		{"update-const", `UPDATE item SET tag = 'x' WHERE grp = 2`, nil},
+		{"update-expr", `UPDATE item SET val = val * 2 + 1 WHERE val > 2`, nil},
+		{"update-null", `UPDATE item SET grp = NULL WHERE id % 7 = 0`, nil},
+		{"update-no-where", `UPDATE item SET tag = 'all'`, nil},
+		{"update-param", `UPDATE item SET val = 0.5 WHERE grp = ?`, &Params{Positional: []Value{NewInt(3)}}},
+		{"update-sub", `UPDATE item SET grp = (SELECT MIN(id) FROM grp) WHERE grp IS NULL`, nil},
+		{"delete-cmp", `DELETE FROM item WHERE val < 1`, nil},
+		{"delete-and", `DELETE FROM item WHERE grp = 1 AND tag = 'green'`, nil},
+		{"delete-in-sub", `DELETE FROM item WHERE grp IN (SELECT id FROM grp WHERE boss IS NULL)`, nil},
+		{"delete-null-where", `DELETE FROM item WHERE NULL`, nil},
+	}
+	vecDB, rowDB := parityDB(t), parityDB(t)
+	if err := vecDB.SetEngine(EngineVector); err != nil {
+		t.Fatal(err)
+	}
+	if err := rowDB.SetEngine(EngineRow); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range stmts {
+		vres, verr := vecDB.Exec(s.sql, s.params)
+		rres, rerr := rowDB.Exec(s.sql, s.params)
+		if (verr == nil) != (rerr == nil) {
+			t.Fatalf("%s: error divergence: vector=%v row=%v", s.name, verr, rerr)
+		}
+		if verr != nil {
+			continue
+		}
+		if vres.Affected != rres.Affected {
+			t.Fatalf("%s: affected %d (vector) != %d (row)", s.name, vres.Affected, rres.Affected)
+		}
+		vset, err := vecDB.Exec(`SELECT id, grp, val, tag FROM item ORDER BY id`, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rset, err := rowDB.Exec(`SELECT id, grp, val, tag FROM item ORDER BY id`, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(vset.Set, rset.Set) {
+			t.Fatalf("%s: table state diverged after statement", s.name)
+		}
 	}
 }
 

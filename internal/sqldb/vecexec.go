@@ -80,31 +80,44 @@ func (ec *execCtx) vecExecRows(st *SelectStmt, sp *selectPlan, parent *frame) ([
 
 	// Bind the tables. Rows stay nil — positions replace them — except
 	// during grouped finalization, which materializes representative rows.
+	// A table-less SELECT binds nothing and runs one batch of one empty
+	// tuple, mirroring the row engine's single seed tuple.
 	vc := acquireVecCtx(ec, vp.nTab)
 	defer vc.release()
-	vc.btStore[0] = boundTable{binding: sp.fromBinding, table: sp.from}
-	vc.tabs[0] = sp.from
-	for i := range sp.joins {
-		vc.btStore[i+1] = boundTable{binding: sp.joins[i].binding, table: sp.joins[i].table}
-		vc.tabs[i+1] = sp.joins[i].table
-	}
+	vc.fr = frame{parent: parent}
 	bts, tabs := vc.bts, vc.tabs
-	vc.fr = frame{parent: parent, tables: bts[:1]}
 	fr := &vc.fr
+	var seed []int32
+	var err error
+	if vp.nTab > 0 {
+		vc.btStore[0] = boundTable{binding: sp.fromBinding, table: sp.from}
+		vc.tabs[0] = sp.from
+		for i := range sp.joins {
+			vc.btStore[i+1] = boundTable{binding: sp.joins[i].binding, table: sp.joins[i].table}
+			vc.tabs[i+1] = sp.joins[i].table
+		}
+		fr.tables = bts[:1]
 
-	// Seed positions while the frame holds only the first table — access-path
-	// keys resolve exactly as they would in the row engine's seed phase.
-	seed, err := ec.vecSeed(sp, fr, bts[0], vc.seed[:0])
-	if err != nil {
-		return nil, err
+		// Seed positions while the frame holds only the first table —
+		// access-path keys resolve exactly as they would in the row engine's
+		// seed phase.
+		seed, err = ec.vecSeed(sp, fr, bts[0], vc.seed[:0])
+		if err != nil {
+			return nil, err
+		}
+		vc.seed = seed
+		fr.tables = bts
 	}
-	vc.seed = seed
-	fr.tables = bts
 
-	// Grab each join's probe index once: indexes mutate only under the
+	// Grab each equi-join's probe index once: indexes mutate only under the
 	// exclusive DB statement lock, so probes need no further locking.
+	// Nested-loop joins (eqCol < 0) have no index.
 	idxs := vc.idxBuf[:0]
 	for k := range vp.joins {
+		if vp.joins[k].eqCol < 0 {
+			idxs = append(idxs, nil)
+			continue
+		}
 		t := tabs[k+1]
 		t.createIndex(vp.joins[k].eqCol)
 		t.mu.RLock()
@@ -112,6 +125,14 @@ func (ec *execCtx) vecExecRows(st *SelectStmt, sp *selectPlan, parent *frame) ([
 		t.mu.RUnlock()
 	}
 	vc.idxBuf = idxs
+
+	// Decide the filter strategy for the whole execution: fused kernels when
+	// every comparand binds and class-checks, the compiled filter tree
+	// otherwise (which also reproduces comparand errors).
+	fused := vp.fused
+	if fused != nil && !vc.fuseReady(fused) {
+		fused = nil
+	}
 
 	var rows []sortableRow
 
@@ -143,31 +164,44 @@ func (ec *execCtx) vecExecRows(st *SelectStmt, sp *selectPlan, parent *frame) ([
 	b, nb := &vc.b, &vc.nb
 	keyBuf := vc.keyBuf
 
-	for start := 0; start < len(seed); start += vecBatchSize {
-		end := start + vecBatchSize
-		if end > len(seed) {
-			end = len(seed)
-		}
-		b.n = end - start
-		// Copy the chunk out of the seed buffer: the position batches are
-		// pooled, and a gather reusing one of them in place must never write
-		// into unconsumed seed positions.
-		if cap(vc.chunkBuf) < b.n {
-			vc.chunkBuf = make([]int32, vecBatchSize)
-		}
-		vc.chunkBuf = vc.chunkBuf[:b.n]
-		copy(vc.chunkBuf, seed[start:end])
-		b.pos[0] = vc.chunkBuf
-		for t := 1; t < vp.nTab; t++ {
-			b.pos[t] = nil
+	for start := 0; ; start += vecBatchSize {
+		if vp.nTab == 0 {
+			// One batch of one empty tuple, like the row engine's seed.
+			if start > 0 {
+				break
+			}
+			b.n = 1
+		} else {
+			if start >= len(seed) {
+				break
+			}
+			end := start + vecBatchSize
+			if end > len(seed) {
+				end = len(seed)
+			}
+			b.n = end - start
+			// Copy the chunk out of the seed buffer: the position batches are
+			// pooled, and a gather reusing one of them in place must never
+			// write into unconsumed seed positions.
+			if cap(vc.chunkBuf) < b.n {
+				vc.chunkBuf = make([]int32, vecBatchSize)
+			}
+			vc.chunkBuf = vc.chunkBuf[:b.n]
+			copy(vc.chunkBuf, seed[start:end])
+			b.pos[0] = vc.chunkBuf
+			for t := 1; t < vp.nTab; t++ {
+				b.pos[t] = nil
+			}
 		}
 
-		// Join probes, narrowing by the residual conjuncts after each.
+		// Join expansions, narrowing by the residual conjuncts after each.
 		for k := range vp.joins {
 			if b.n == 0 {
 				break
 			}
-			if err := vc.probeJoin(b, nb, &vp.joins[k], k, idxs[k]); err != nil {
+			if vp.joins[k].eqCol < 0 {
+				vc.crossJoin(b, nb, k)
+			} else if err := vc.probeJoin(b, nb, &vp.joins[k], k, idxs[k]); err != nil {
 				return nil, err
 			}
 			b, nb = nb, b
@@ -190,12 +224,19 @@ func (ec *execCtx) vecExecRows(st *SelectStmt, sp *selectPlan, parent *frame) ([
 
 		// WHERE.
 		if vp.filter != nil {
-			out, err := vc.narrow(b, nb, vp.filter)
-			if err != nil {
-				return nil, err
-			}
-			if out != b {
-				b, nb = nb, b
+			if fused != nil {
+				out := vc.narrowFused(b, nb, fused)
+				if out != b {
+					b, nb = nb, b
+				}
+			} else {
+				out, err := vc.narrow(b, nb, vp.filter)
+				if err != nil {
+					return nil, err
+				}
+				if out != b {
+					b, nb = nb, b
+				}
 			}
 			if b.n == 0 {
 				continue
@@ -324,6 +365,31 @@ func (vc *vecCtx) probeJoin(b, nb *vbatch, vj *vecJoin, k int, idx map[string][]
 		nb.pos[t] = nil
 	}
 	return nil
+}
+
+// crossJoin expands the batch through a nested-loop join: every batch row
+// pairs with every storage row of the joined table, outer-major in storage
+// order — the row engine's iteration order. The ON conjuncts all live in the
+// join's rest list and narrow the product immediately after, reproducing
+// checkConjuncts's early exit block-wise.
+func (vc *vecCtx) crossJoin(b, nb *vbatch, k int) {
+	inner := vc.tabs[k+1].nrows // stable under the statement lock
+	nb.n = 0
+	for t := 0; t <= k+1; t++ {
+		nb.pos[t] = nb.pos[t][:0]
+	}
+	for i := 0; i < b.n; i++ {
+		for p := 0; p < inner; p++ {
+			for t := 0; t <= k; t++ {
+				nb.pos[t] = append(nb.pos[t], b.pos[t][i])
+			}
+			nb.pos[k+1] = append(nb.pos[k+1], int32(p))
+		}
+	}
+	nb.n = len(nb.pos[k+1])
+	for t := k + 2; t < len(nb.pos); t++ {
+		nb.pos[t] = nil
+	}
 }
 
 // narrow filters the batch by one predicate, with the row engine's evalBool
@@ -618,9 +684,19 @@ func (vc *vecCtx) finalizeGroups(st *SelectStmt, vp *vecSelectPlan, seq []*vecGr
 		if len(vp.order) > 0 {
 			keys = make([]Value, len(vp.order))
 			for j := range vp.order {
-				if vp.order[j].outCol >= 0 {
+				switch {
+				case vp.order[j].outCol >= 0:
 					keys[j] = out[vp.order[j].outCol]
-				} else {
+				case vp.order[j].gx != nil:
+					// Evaluate the key through the row evaluator while the
+					// representative row is bound and the aggregates are
+					// pre-folded — exactly the row engine's orderKeys timing.
+					v, err := ec.eval(vp.order[j].gx, &vc.fr)
+					if err != nil {
+						return nil, err
+					}
+					keys[j] = v
+				default:
 					keys[j] = vp.order[j].cval
 				}
 			}

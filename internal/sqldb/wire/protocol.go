@@ -155,6 +155,13 @@ type ServerStats struct {
 	// vectorized operators versus the row interpreter.
 	VecSelects   int64
 	VecFallbacks int64
+	// FbJoinShape..FbOther break VecFallbacks down by refused plan shape.
+	// Gob drops unknown fields, so pre-breakdown peers interoperate.
+	FbJoinShape int64
+	FbStar      int64
+	FbOrderExpr int64
+	FbSubquery  int64
+	FbOther     int64
 	// PlanCacheHits / Misses count ad-hoc statement traffic through the
 	// server's plan cache.
 	PlanCacheHits   int64

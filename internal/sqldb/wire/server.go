@@ -398,6 +398,11 @@ func (s *Server) serve(ctx context.Context, req *Request, st *connState) *Respon
 			Engine:          st.Engine,
 			VecSelects:      st.VecSelects,
 			VecFallbacks:    st.VecFallbacks,
+			FbJoinShape:     st.VecFallbackReasons.JoinShape,
+			FbStar:          st.VecFallbackReasons.Star,
+			FbOrderExpr:     st.VecFallbackReasons.OrderExpr,
+			FbSubquery:      st.VecFallbackReasons.Subquery,
+			FbOther:         st.VecFallbackReasons.Other,
 			PlanCacheHits:   st.PlanCacheHits,
 			PlanCacheMisses: st.PlanCacheMisses,
 			Requests:        s.requests.Load(),
